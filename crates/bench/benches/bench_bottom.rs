@@ -1,0 +1,33 @@
+//! Criterion bench: bottom-witness search (experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_petri::bottom::find_bottom_witness;
+use pp_petri::ExplorationLimits;
+use pp_population::StateId;
+use pp_protocols::{leaders_n, modulo};
+use std::collections::BTreeSet;
+
+fn bench_bottom(c: &mut Criterion) {
+    let limits = ExplorationLimits::with_max_configurations(1_000);
+    let entries = [
+        ("example_4_2", leaders_n::example_4_2(3)),
+        ("modulo_3", modulo::modulo_with_leader(3, 1)),
+    ];
+    let mut group = c.benchmark_group("bottom_witness");
+    group.sample_size(20);
+    for (name, protocol) in entries {
+        let non_initial: BTreeSet<StateId> = protocol
+            .states()
+            .filter(|s| !protocol.initial_states().contains(s))
+            .collect();
+        let net = protocol.net().restrict(&non_initial);
+        let leaders = protocol.leaders().restrict(&non_initial);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| find_bottom_witness(&net, &leaders, &limits));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bottom);
+criterion_main!(benches);

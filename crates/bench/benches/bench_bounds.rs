@@ -1,0 +1,29 @@
+//! Criterion bench: computing the Theorem 4.3 bound and the Section 8
+//! constants (experiment E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_statecomplexity::theorem_4_3_bound;
+use pp_statecomplexity::Section8Constants;
+
+fn bench_theorem_4_3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_4_3_bound");
+    for states in [4u64, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, &s| {
+            b.iter(|| theorem_4_3_bound(std::hint::black_box(s), 2, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_section8_constants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section8_constants");
+    for states in [4u64, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, &s| {
+            b.iter(|| Section8Constants::new(std::hint::black_box(s), 1, 1, 2, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem_4_3, bench_section8_constants);
+criterion_main!(benches);

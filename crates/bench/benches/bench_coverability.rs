@@ -1,0 +1,40 @@
+//! Criterion bench: coverability procedures (experiment E5 ablation —
+//! backward algorithm vs forward search vs Karp–Miller).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_multiset::Multiset;
+use pp_petri::cover::{shortest_covering_word, CoverabilityOracle};
+use pp_petri::karp_miller::KarpMillerTree;
+use pp_petri::ExplorationLimits;
+use pp_protocols::leaders_n::example_4_2;
+
+fn bench_coverability(c: &mut Criterion) {
+    let protocol = example_4_2(2);
+    let net = protocol.net().clone();
+    let p = protocol.state_id("p").unwrap();
+    let q = protocol.state_id("q").unwrap();
+    let target = Multiset::from_pairs([(p, 1u64), (q, 1)]);
+    let start = protocol.initial_config_with_count(6);
+    let limits = ExplorationLimits::default();
+
+    let mut group = c.benchmark_group("coverability_example_4_2");
+    group.bench_function("backward_oracle", |b| {
+        b.iter(|| {
+            let oracle = CoverabilityOracle::build(&net, target.clone());
+            std::hint::black_box(oracle.is_coverable_from(&start))
+        });
+    });
+    group.bench_function("forward_bfs", |b| {
+        b.iter(|| std::hint::black_box(shortest_covering_word(&net, &start, &target, &limits)));
+    });
+    group.bench_function("karp_miller", |b| {
+        b.iter(|| {
+            let tree = KarpMillerTree::build(&net, &start, 100_000);
+            std::hint::black_box(tree.covers(&target))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverability);
+criterion_main!(benches);

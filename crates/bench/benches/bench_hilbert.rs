@@ -1,0 +1,24 @@
+//! Criterion bench: Hilbert-basis computation (experiment E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_diophantine::{HilbertConfig, LinearSystem};
+
+fn bench_hilbert(c: &mut Criterion) {
+    let systems: Vec<(&str, Vec<Vec<i64>>)> = vec![
+        ("x+y=2z", vec![vec![1, 1, -2]]),
+        ("3x=y+z", vec![vec![3, -1, -1]]),
+        ("two_equations", vec![vec![1, 2, -3], vec![2, -1, -1]]),
+        ("frobenius_5_7", vec![vec![5, 7, -3, -11]]),
+    ];
+    let mut group = c.benchmark_group("hilbert_basis");
+    for (name, rows) in systems {
+        let system = LinearSystem::from_rows(rows).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &system, |b, system| {
+            b.iter(|| system.hilbert_basis(&HilbertConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hilbert);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: the full Section 8 analysis pipeline (experiment E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_petri::ExplorationLimits;
+use pp_protocols::{leaders_n, modulo};
+use pp_statecomplexity::analyze_protocol;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let limits = ExplorationLimits::with_max_configurations(500);
+    let entries = [
+        ("example_4_2(n=2)", leaders_n::example_4_2(2)),
+        ("modulo(m=2)", modulo::modulo_with_leader(2, 0)),
+    ];
+    let mut group = c.benchmark_group("section8_pipeline");
+    group.sample_size(10);
+    for (name, protocol) in entries {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &protocol, |b, protocol| {
+            b.iter(|| analyze_protocol(protocol, &limits));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: exhaustive stable-computation verification (experiment E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_petri::ExplorationLimits;
+use pp_population::verify::verify_counting_inputs;
+use pp_population::Predicate;
+use pp_protocols::{flock, leaders_n};
+
+fn bench_verification(c: &mut Criterion) {
+    let limits = ExplorationLimits::default();
+    let mut group = c.benchmark_group("verify_counting");
+    group.sample_size(10);
+    for n in [1u64, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("example_4_2", n), &n, |b, &n| {
+            let protocol = leaders_n::example_4_2(n);
+            let predicate = Predicate::counting("i", n);
+            b.iter(|| verify_counting_inputs(&protocol, &predicate, n + 2, &limits));
+        });
+        group.bench_with_input(BenchmarkId::new("flock_unary", n), &n, |b, &n| {
+            let protocol = flock::flock_of_birds_unary(n);
+            let predicate = Predicate::counting("a1", n);
+            b.iter(|| verify_counting_inputs(&protocol, &predicate, n + 2, &limits));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

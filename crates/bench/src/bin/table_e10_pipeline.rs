@@ -1,0 +1,63 @@
+//! Experiment E10 — the Section 8 pipeline on concrete protocols.
+
+use pp_bench::{fmt_f64, Table};
+use pp_petri::ExplorationLimits;
+use pp_protocols::{flock, leaders_n, modulo, threshold};
+use pp_statecomplexity::analyze_protocol;
+
+fn main() {
+    let mut table = Table::new([
+        "protocol",
+        "|P|",
+        "width",
+        "leaders",
+        "witness",
+        "pumped",
+        "|S|",
+        "|E|",
+        "total cycle",
+        "shrunk cycles",
+        "log10(Thm 4.3 bound)",
+        "log10(b)",
+    ]);
+    let limits = ExplorationLimits::with_max_configurations(800);
+    let entries = [
+        ("example-4.2(n=2)", leaders_n::example_4_2(2)),
+        ("example-4.2(n=4)", leaders_n::example_4_2(4)),
+        ("flock-unary(n=3)", flock::flock_of_birds_unary(3)),
+        ("flock-doubling(k=2)", flock::flock_of_birds_doubling(2)),
+        ("modulo(m=2,r=0)", modulo::modulo_with_leader(2, 0)),
+        ("binary-threshold(n=5)", threshold::binary_threshold_with_leader(5)),
+    ];
+    for (name, protocol) in entries {
+        let report = analyze_protocol(&protocol, &limits);
+        table.row([
+            name.to_owned(),
+            report.states.to_string(),
+            report.width.to_string(),
+            report.leaders.to_string(),
+            if report.witness.is_some() { "found" } else { "—" }.to_owned(),
+            report
+                .witness
+                .as_ref()
+                .map_or("—".into(), |w| w.pumped_places.len().to_string()),
+            report.control_states.map_or("—".into(), |v| v.to_string()),
+            report.control_edges.map_or("—".into(), |v| v.to_string()),
+            report
+                .total_cycle_length
+                .map_or("—".into(), |v| v.to_string()),
+            report
+                .shrunk
+                .as_ref()
+                .map_or("—".into(), |s| s.cycle_count.to_string()),
+            fmt_f64(report.theorem_4_3_bound.approx_log10()),
+            fmt_f64(report.theorem_6_1_bound.approx_log10()),
+        ]);
+    }
+    table.print("E10 — the Section 8 lower-bound pipeline, step by step");
+    println!(
+        "Paper claim (Section 8): the pipeline objects (bottom witness, control component, total \
+         cycle, shrunken multicycle) exist for every protocol; the bound they certify is the \
+         Theorem 4.3 value in the last column."
+    );
+}

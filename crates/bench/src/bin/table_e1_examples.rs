@@ -1,0 +1,46 @@
+//! Experiment E1 — the paper's Examples 4.1 and 4.2, verified exhaustively.
+//!
+//! For each threshold `n`, both example protocols are built and the stable
+//! computation of `(i ≥ n)` is verified exactly on every input `0..=n+3`.
+
+use pp_bench::Table;
+use pp_petri::ExplorationLimits;
+use pp_population::verify::verify_counting_inputs;
+use pp_population::Predicate;
+use pp_protocols::{leaders_n, width_n};
+
+fn main() {
+    let mut table = Table::new([
+        "protocol",
+        "n",
+        "states",
+        "width",
+        "leaders",
+        "inputs checked",
+        "stably computes (i ≥ n)",
+    ]);
+    let limits = ExplorationLimits::default();
+    for n in 1..=4u64 {
+        for (name, protocol) in [
+            ("example-4.1", width_n::example_4_1(n)),
+            ("example-4.2", leaders_n::example_4_2(n)),
+        ] {
+            let report =
+                verify_counting_inputs(&protocol, &Predicate::counting("i", n), n + 3, &limits);
+            table.row([
+                name.to_owned(),
+                n.to_string(),
+                protocol.num_states().to_string(),
+                protocol.width().to_string(),
+                protocol.num_leaders().to_string(),
+                format!("0..={}", n + 3),
+                if report.all_correct() { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+    }
+    table.print("E1 — Examples 4.1 and 4.2 stably compute the counting predicate");
+    println!(
+        "Paper claim (Section 4): both protocols stably compute (i ≥ n); state count is \
+         constant while width (Ex 4.1) or leaders (Ex 4.2) grow with n."
+    );
+}

@@ -1,0 +1,25 @@
+//! Experiment E2 — the Theorem 4.3 bound as a function of `|P|`, width, leaders.
+
+use pp_bench::{fmt_f64, Table};
+use pp_statecomplexity::theorem_4_3_bound;
+
+fn main() {
+    let mut table = Table::new(["|P|", "width", "leaders", "bound (symbolic)", "log10(bound)"]);
+    for states in 2..=10u64 {
+        for &(width, leaders) in &[(1u64, 1u64), (2, 2), (4, 4)] {
+            let bound = theorem_4_3_bound(states, width, leaders);
+            table.row([
+                states.to_string(),
+                width.to_string(),
+                leaders.to_string(),
+                bound.to_string(),
+                fmt_f64(bound.approx_log10()),
+            ]);
+        }
+    }
+    table.print("E2 — Theorem 4.3: n ≤ (4 + 4·width + 2·leaders)^(|P|^((|P|+2)²))");
+    println!(
+        "Paper claim (Theorem 4.3): the maximal decidable threshold is doubly exponential in a \
+         polynomial of |P|; equivalently |P| must grow like a power of log log n (Corollary 4.4)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Experiment E7 — Theorem 6.1: bottom witnesses and their bound.
+
+use pp_bench::{fmt_f64, Table};
+use pp_petri::bottom::{find_bottom_witness, theorem_6_1_bound};
+use pp_petri::ExplorationLimits;
+use pp_population::StateId;
+use pp_protocols::{flock, leaders_n, modulo, threshold};
+use std::collections::BTreeSet;
+
+fn main() {
+    let mut table = Table::new([
+        "protocol",
+        "|P'|",
+        "witness",
+        "|σ|",
+        "|w|",
+        "|Q|",
+        "pumped places",
+        "component size",
+        "log10(Theorem 6.1 bound b)",
+    ]);
+    let limits = ExplorationLimits::with_max_configurations(2_000);
+    let entries = [
+        ("example-4.2(n=2)", leaders_n::example_4_2(2)),
+        ("example-4.2(n=3)", leaders_n::example_4_2(3)),
+        ("flock-unary(n=3)", flock::flock_of_birds_unary(3)),
+        ("flock-doubling(k=2)", flock::flock_of_birds_doubling(2)),
+        ("modulo(m=2,r=0)", modulo::modulo_with_leader(2, 0)),
+        ("modulo(m=3,r=1)", modulo::modulo_with_leader(3, 1)),
+        ("binary-threshold(n=5)", threshold::binary_threshold_with_leader(5)),
+    ];
+    for (name, protocol) in entries {
+        let non_initial: BTreeSet<StateId> = protocol
+            .states()
+            .filter(|s| !protocol.initial_states().contains(s))
+            .collect();
+        let restricted = protocol.net().restrict(&non_initial);
+        let leaders = protocol.leaders().restrict(&non_initial);
+        let bound = theorem_6_1_bound(&restricted, &leaders);
+        match find_bottom_witness(&restricted, &leaders, &limits) {
+            Some(witness) => {
+                table.row([
+                    name.to_owned(),
+                    restricted.num_places().to_string(),
+                    "found".to_owned(),
+                    witness.sigma.len().to_string(),
+                    witness.w.len().to_string(),
+                    witness.q_places.len().to_string(),
+                    witness.pumped_places.len().to_string(),
+                    witness.component_size.to_string(),
+                    fmt_f64(bound.approx_log10()),
+                ]);
+            }
+            None => {
+                table.row([
+                    name.to_owned(),
+                    restricted.num_places().to_string(),
+                    "not found (limits)".to_owned(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    fmt_f64(bound.approx_log10()),
+                ]);
+            }
+        }
+    }
+    table.print("E7 — Theorem 6.1 bottom witnesses on the protocol catalog (T|P' from ρ_L|P')");
+    println!(
+        "Paper claim (Theorem 6.1): witnesses with all quantities bounded by b exist; measured \
+         witnesses are minuscule compared to the doubly-exponential bound."
+    );
+}

@@ -1,0 +1,98 @@
+//! Experiment E9 — Lemma 7.3 / Pottier: Hilbert bases and multicycle shrinking.
+
+use pp_bench::Table;
+use pp_diophantine::{pottier_bound, HilbertConfig, LinearSystem};
+use pp_petri::control::ControlNet;
+use pp_petri::cycles::{lemma_7_3_size_bound, shrink_multicycle};
+use pp_petri::ExplorationLimits;
+use pp_petri::{PetriNet, Transition};
+use pp_multiset::Multiset;
+use std::collections::BTreeSet;
+
+fn main() {
+    // Part a: Pottier's bound on representative homogeneous systems.
+    let mut basis_table = Table::new([
+        "system (rows × cols)",
+        "hilbert basis size",
+        "max ‖x‖₁ in basis",
+        "Pottier bound",
+    ]);
+    let systems = vec![
+        ("x = y", vec![vec![1, -1]]),
+        ("x + y = 2z", vec![vec![1, 1, -2]]),
+        ("3x = y + z", vec![vec![3, -1, -1]]),
+        ("x+2y=3z, 2x=y+z", vec![vec![1, 2, -3], vec![2, -1, -1]]),
+        ("5x + 7y = 3z + 11w", vec![vec![5, 7, -3, -11]]),
+    ];
+    for (label, rows) in systems {
+        let shape = format!("{} × {} ({label})", rows.len(), rows[0].len());
+        let system = LinearSystem::from_rows(rows).unwrap();
+        let basis = system
+            .hilbert_basis(&HilbertConfig::default())
+            .expect("basis computed");
+        let max_norm = basis.iter().map(|b| b.iter().sum::<u64>()).max().unwrap_or(0);
+        basis_table.row([
+            shape,
+            basis.len().to_string(),
+            max_norm.to_string(),
+            pottier_bound(&system).to_string(),
+        ]);
+    }
+    basis_table.print("E9a — Hilbert bases vs Pottier's norm bound");
+
+    // Part b: Lemma 7.3 shrinking on a two-counter control net.
+    let net = PetriNet::from_transitions([
+        Transition::new(Multiset::unit("s0"), Multiset::from_pairs([("s1", 1u64), ("x", 1)])),
+        Transition::new(Multiset::unit("s1"), Multiset::from_pairs([("s0", 1u64), ("y", 1)])),
+        Transition::new(
+            Multiset::from_pairs([("s1", 1u64), ("y", 1)]),
+            Multiset::unit("s0"),
+        ),
+    ]);
+    let q: BTreeSet<&str> = ["s0", "s1"].into_iter().collect();
+    let control = ControlNet::from_component(
+        &net,
+        &q,
+        &Multiset::unit("s0"),
+        &ExplorationLimits::default(),
+    )
+    .expect("control net");
+    let edge_of = |t: usize| control.edges().iter().position(|e| e.transition == t).unwrap();
+    let mut shrink_table = Table::new([
+        "original multicycle |Θ|",
+        "Δ(Θ) on x",
+        "Δ(Θ) on y",
+        "k",
+        "|Θ'| (cycles)",
+        "Δ(Θ') on x",
+        "Δ(Θ') on y",
+        "Lemma 7.3 size bound",
+    ]);
+    for (copies_plus, copies_minus, k) in [(50u64, 40u64, 10u64), (500, 400, 50), (5000, 4000, 100)] {
+        let mut parikh = vec![0u64; control.num_edges()];
+        for &e in &[edge_of(0), edge_of(1)] {
+            parikh[e] += copies_plus;
+        }
+        for &e in &[edge_of(0), edge_of(2)] {
+            parikh[e] += copies_minus;
+        }
+        let original = control.displacement_of_parikh(&parikh);
+        let shrunk = shrink_multicycle(&control, &parikh, &BTreeSet::new(), k, &HilbertConfig::default())
+            .expect("shrinking succeeds");
+        shrink_table.row([
+            parikh.iter().sum::<u64>().to_string(),
+            original.get(&"x").to_string(),
+            original.get(&"y").to_string(),
+            k.to_string(),
+            shrunk.cycle_count.to_string(),
+            shrunk.displacement.get(&"x").to_string(),
+            shrunk.displacement.get(&"y").to_string(),
+            lemma_7_3_size_bound(&control).to_string(),
+        ]);
+    }
+    shrink_table.print("E9b — Lemma 7.3: multicycles shrink while preserving signs");
+    println!(
+        "Paper claim (Lemma 7.3, via Pottier [12]): minimal solutions obey the norm bound and \
+         arbitrarily large multicycles can be replaced by sign-preserving ones of bounded size."
+    );
+}

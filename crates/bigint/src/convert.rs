@@ -1,0 +1,154 @@
+//! Conversions between [`Nat`] and machine integers.
+
+use crate::error::TryFromNatError;
+use crate::Nat;
+
+impl From<u8> for Nat {
+    fn from(v: u8) -> Self {
+        Nat::from(u64::from(v))
+    }
+}
+
+impl From<u16> for Nat {
+    fn from(v: u16) -> Self {
+        Nat::from(u64::from(v))
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from(u64::from(v))
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Nat::zero()
+        } else {
+            Nat { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<usize> for Nat {
+    fn from(v: usize) -> Self {
+        Nat::from(v as u64)
+    }
+}
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl TryFrom<&Nat> for u64 {
+    type Error = TryFromNatError;
+    fn try_from(value: &Nat) -> Result<Self, Self::Error> {
+        match value.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(value.limbs[0]),
+            _ => Err(TryFromNatError::new(value.bits(), 64)),
+        }
+    }
+}
+
+impl TryFrom<Nat> for u64 {
+    type Error = TryFromNatError;
+    fn try_from(value: Nat) -> Result<Self, Self::Error> {
+        u64::try_from(&value)
+    }
+}
+
+impl TryFrom<&Nat> for u128 {
+    type Error = TryFromNatError;
+    fn try_from(value: &Nat) -> Result<Self, Self::Error> {
+        match value.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(u128::from(value.limbs[0])),
+            2 => Ok(u128::from(value.limbs[0]) | (u128::from(value.limbs[1]) << 64)),
+            _ => Err(TryFromNatError::new(value.bits(), 128)),
+        }
+    }
+}
+
+impl TryFrom<Nat> for u128 {
+    type Error = TryFromNatError;
+    fn try_from(value: Nat) -> Result<Self, Self::Error> {
+        u128::try_from(&value)
+    }
+}
+
+impl TryFrom<&Nat> for usize {
+    type Error = TryFromNatError;
+    fn try_from(value: &Nat) -> Result<Self, Self::Error> {
+        let v = u64::try_from(value)?;
+        usize::try_from(v).map_err(|_| TryFromNatError::new(value.bits(), usize::BITS as u64))
+    }
+}
+
+impl Nat {
+    /// Converts to `u64`, saturating at `u64::MAX` when the value is too big.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert_eq!(Nat::from(7u64).saturating_u64(), 7);
+    /// assert_eq!(Nat::from(u128::MAX).saturating_u64(), u64::MAX);
+    /// ```
+    #[must_use]
+    pub fn saturating_u64(&self) -> u64 {
+        u64::try_from(self).unwrap_or(u64::MAX)
+    }
+
+    /// Converts to `u128`, saturating at `u128::MAX` when the value is too big.
+    #[must_use]
+    pub fn saturating_u128(&self) -> u128 {
+        u128::try_from(self).unwrap_or(u128::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_small_integer_types() {
+        assert_eq!(Nat::from(7u8), Nat::from(7u64));
+        assert_eq!(Nat::from(7u16), Nat::from(7u64));
+        assert_eq!(Nat::from(7u32), Nat::from(7u64));
+        assert_eq!(Nat::from(7usize), Nat::from(7u64));
+        assert_eq!(Nat::from(0u128), Nat::zero());
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        for v in [0u128, 1, u128::from(u64::MAX), u128::from(u64::MAX) + 1, u128::MAX] {
+            assert_eq!(u128::try_from(&Nat::from(v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip_and_overflow() {
+        assert_eq!(u64::try_from(Nat::from(u64::MAX)).unwrap(), u64::MAX);
+        let too_big = Nat::from(u128::from(u64::MAX) + 1);
+        assert!(u64::try_from(&too_big).is_err());
+        let err = u64::try_from(&too_big).unwrap_err();
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn usize_conversion() {
+        assert_eq!(usize::try_from(&Nat::from(12u64)).unwrap(), 12usize);
+        assert!(usize::try_from(&Nat::from(2u64).pow(200)).is_err());
+    }
+
+    #[test]
+    fn saturating_conversions() {
+        let huge = Nat::from(3u64).pow(300);
+        assert_eq!(huge.saturating_u64(), u64::MAX);
+        assert_eq!(huge.saturating_u128(), u128::MAX);
+        assert_eq!(Nat::from(9u64).saturating_u64(), 9);
+        assert_eq!(Nat::from(9u64).saturating_u128(), 9);
+    }
+}

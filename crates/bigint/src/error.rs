@@ -1,0 +1,108 @@
+//! Error types for [`Nat`](crate::Nat) parsing and conversions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`Nat`](crate::Nat) from a string fails.
+///
+/// ```
+/// # use pp_bigint::Nat;
+/// assert!("12x34".parse::<Nat>().is_err());
+/// assert!("".parse::<Nat>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNatError {
+    kind: ParseNatErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseNatErrorKind {
+    Empty,
+    InvalidDigit { ch: char, position: usize },
+}
+
+impl ParseNatError {
+    pub(crate) fn empty() -> Self {
+        ParseNatError {
+            kind: ParseNatErrorKind::Empty,
+        }
+    }
+
+    pub(crate) fn invalid_digit(ch: char, position: usize) -> Self {
+        ParseNatError {
+            kind: ParseNatErrorKind::InvalidDigit { ch, position },
+        }
+    }
+}
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseNatErrorKind::Empty => write!(f, "cannot parse natural number from empty string"),
+            ParseNatErrorKind::InvalidDigit { ch, position } => write!(
+                f,
+                "invalid digit {ch:?} at position {position} in natural number literal"
+            ),
+        }
+    }
+}
+
+impl Error for ParseNatError {}
+
+/// Error returned when converting a [`Nat`](crate::Nat) into a machine integer
+/// that is too small to hold the value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TryFromNatError {
+    bits_required: u64,
+    bits_available: u64,
+}
+
+impl TryFromNatError {
+    pub(crate) fn new(bits_required: u64, bits_available: u64) -> Self {
+        TryFromNatError {
+            bits_required,
+            bits_available,
+        }
+    }
+
+    /// Number of bits of the value that failed to convert.
+    #[must_use]
+    pub fn bits_required(&self) -> u64 {
+        self.bits_required
+    }
+
+    /// Width in bits of the target integer type.
+    #[must_use]
+    pub fn bits_available(&self) -> u64 {
+        self.bits_available
+    }
+}
+
+impl fmt::Display for TryFromNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value needs {} bits but the target integer type only has {}",
+            self.bits_required, self.bits_available
+        )
+    }
+}
+
+impl Error for TryFromNatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ParseNatError::invalid_digit('x', 3);
+        assert!(e.to_string().contains("position 3"));
+        let e = ParseNatError::empty();
+        assert!(e.to_string().contains("empty"));
+        let e = TryFromNatError::new(200, 64);
+        assert_eq!(e.bits_required(), 200);
+        assert_eq!(e.bits_available(), 64);
+        assert!(e.to_string().contains("200"));
+    }
+}

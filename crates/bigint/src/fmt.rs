@@ -1,0 +1,181 @@
+//! Formatting and parsing for [`Nat`].
+
+use crate::error::ParseNatError;
+use crate::Nat;
+use std::fmt;
+use std::str::FromStr;
+
+impl Nat {
+    /// Renders the value in decimal.
+    #[must_use]
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        // Repeatedly divide by 10^19 (the largest power of ten fitting u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                out.push_str(&chunk.to_string());
+            } else {
+                out.push_str(&format!("{chunk:019}"));
+            }
+        }
+        out
+    }
+
+    /// Renders the value compactly: exact decimal when it has at most
+    /// `max_digits` digits, otherwise scientific notation `m.mmm × 10^e`.
+    ///
+    /// This is the format used throughout the experiment tables, where bound
+    /// values routinely have thousands of digits.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert_eq!(Nat::from(1234u64).to_compact_string(6), "1234");
+    /// let big = Nat::from(10u64).pow(50);
+    /// assert_eq!(big.to_compact_string(6), "1.000e50");
+    /// ```
+    #[must_use]
+    pub fn to_compact_string(&self, max_digits: usize) -> String {
+        let decimal = self.to_decimal_string();
+        if decimal.len() <= max_digits {
+            return decimal;
+        }
+        let exponent = decimal.len() - 1;
+        let mantissa_digits: String = decimal.chars().take(4).collect();
+        let (head, tail) = mantissa_digits.split_at(1);
+        format!("{head}.{tail}e{exponent}")
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({})", self.to_compact_string(24))
+    }
+}
+
+impl FromStr for Nat {
+    type Err = ParseNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseNatError::empty());
+        }
+        let mut value = Nat::zero();
+        let ten = Nat::from(10u64);
+        for (i, ch) in s.chars().enumerate() {
+            if ch == '_' {
+                continue;
+            }
+            let digit = ch
+                .to_digit(10)
+                .ok_or_else(|| ParseNatError::invalid_digit(ch, i))?;
+            value = value * &ten + Nat::from(u64::from(digit));
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl Serialize for Nat {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(&self.to_decimal_string())
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Nat {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let s = String::deserialize(deserializer)?;
+            s.parse().map_err(serde::de::Error::custom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_small_values() {
+        assert_eq!(Nat::zero().to_string(), "0");
+        assert_eq!(Nat::from(7u64).to_string(), "7");
+        assert_eq!(Nat::from(u64::MAX).to_string(), "18446744073709551615");
+    }
+
+    #[test]
+    fn display_value_spanning_multiple_limbs() {
+        let v = Nat::from(u128::MAX);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211455");
+    }
+
+    #[test]
+    fn parse_roundtrip_large() {
+        let x = Nat::from(7u64).pow(120);
+        let parsed: Nat = x.to_string().parse().unwrap();
+        assert_eq!(parsed, x);
+    }
+
+    #[test]
+    fn parse_with_underscores_and_whitespace() {
+        let parsed: Nat = " 1_000_000 ".parse().unwrap();
+        assert_eq!(parsed, Nat::from(1_000_000u64));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Nat>().is_err());
+        assert!("   ".parse::<Nat>().is_err());
+        assert!("-3".parse::<Nat>().is_err());
+        assert!("12a".parse::<Nat>().is_err());
+    }
+
+    #[test]
+    fn compact_string_forms() {
+        assert_eq!(Nat::zero().to_compact_string(4), "0");
+        assert_eq!(Nat::from(9999u64).to_compact_string(4), "9999");
+        assert_eq!(Nat::from(123_456u64).to_compact_string(4), "1.234e5");
+        let g = Nat::from(10u64).pow(100);
+        assert_eq!(g.to_compact_string(10), "1.000e100");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Nat::zero()).is_empty());
+        assert!(format!("{:?}", Nat::from(5u64)).contains('5'));
+    }
+
+    #[test]
+    fn padded_display() {
+        assert_eq!(format!("{:>6}", Nat::from(42u64)), "    42");
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_roundtrip(v in any::<u128>()) {
+            let n = Nat::from(v);
+            prop_assert_eq!(n.to_string().parse::<Nat>().unwrap(), n.clone());
+            prop_assert_eq!(n.to_string(), v.to_string());
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The [`Nat`] type: an arbitrary-precision natural number.
+
+/// An arbitrary-precision natural number (unsigned integer).
+///
+/// Internally the value is stored as little-endian base-2⁶⁴ limbs with no
+/// trailing zero limbs; the zero value is represented by an empty limb vector.
+/// All operations preserve this normalization invariant.
+///
+/// `Nat` implements the arithmetic operators `+`, `*`, `/`, `%`, `<<`, and the
+/// assign variants, as well as total ordering and decimal
+/// formatting/parsing. Subtraction is only available through
+/// [`Nat::checked_sub`] / [`Nat::saturating_sub`] because naturals are not
+/// closed under subtraction.
+///
+/// # Examples
+///
+/// ```
+/// use pp_bigint::Nat;
+///
+/// let a = Nat::from(2u64).pow(130);
+/// let b = Nat::from(3u64).pow(83);
+/// assert!(a < b);
+/// assert_eq!((&a * &b) / &a, b);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs; no trailing zeros (zero is the empty vector).
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The value `0`.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert!(Nat::zero().is_zero());
+    /// ```
+    #[must_use]
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert_eq!(Nat::one(), Nat::from(1u64));
+    /// ```
+    #[must_use]
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Returns `true` if the value is `0`.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is `1`.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Removes trailing zero limbs, restoring the normalization invariant.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Constructs a value from little-endian limbs (normalizing them).
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = Nat { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert_eq!(Nat::zero().bits(), 0);
+    /// assert_eq!(Nat::from(1u64).bits(), 1);
+    /// assert_eq!(Nat::from(255u64).bits(), 8);
+    /// assert_eq!(Nat::from(256u64).bits(), 9);
+    /// ```
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros()))
+            }
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit positions).
+    #[must_use]
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Base-2 logarithm as a floating-point approximation.
+    ///
+    /// Returns `f64::NEG_INFINITY` for zero. The result is accurate to well
+    /// below one part in 2⁵², which is plenty for reporting magnitudes of
+    /// doubly-exponential bounds.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// let x = Nat::from(2u64).pow(1000);
+    /// assert!((x.approx_log2() - 1000.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn approx_log2(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        let bits = self.bits();
+        // Take the top (up to) 128 bits as a mantissa.
+        let take = bits.min(128);
+        let shift = bits - take;
+        let mantissa = self.shr_bits(shift).to_u128_wrapping();
+        (mantissa as f64).log2() + shift as f64
+    }
+
+    /// Base-10 logarithm as a floating-point approximation.
+    ///
+    /// Returns `f64::NEG_INFINITY` for zero.
+    #[must_use]
+    pub fn approx_log10(&self) -> f64 {
+        self.approx_log2() * std::f64::consts::LOG10_2
+    }
+
+    /// Number of decimal digits of the value (`1` for zero).
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert_eq!(Nat::zero().digits(), 1);
+    /// assert_eq!(Nat::from(999u64).digits(), 3);
+    /// assert_eq!(Nat::from(1000u64).digits(), 4);
+    /// ```
+    #[must_use]
+    pub fn digits(&self) -> usize {
+        if self.is_zero() {
+            return 1;
+        }
+        self.to_decimal_string().len()
+    }
+
+    /// Lossy conversion to `f64` (`f64::INFINITY` when the value exceeds the
+    /// `f64` range).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let bits = self.bits();
+        if bits > 1024 {
+            return f64::INFINITY;
+        }
+        if bits <= 128 {
+            return self.to_u128_wrapping() as f64;
+        }
+        let shift = bits - 128;
+        (self.shr_bits(shift).to_u128_wrapping() as f64) * (shift as f64).exp2()
+    }
+
+    /// Truncating conversion keeping the low 128 bits.
+    pub(crate) fn to_u128_wrapping(&self) -> u128 {
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        lo | (hi << 64)
+    }
+
+    /// Checked subtraction: `self - rhs`, or `None` if `rhs > self`.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// let a = Nat::from(10u64);
+    /// let b = Nat::from(4u64);
+    /// assert_eq!(a.checked_sub(&b), Some(Nat::from(6u64)));
+    /// assert_eq!(b.checked_sub(&a), None);
+    /// ```
+    #[must_use]
+    pub fn checked_sub(&self, rhs: &Nat) -> Option<Nat> {
+        if self < rhs {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (v1, b1) = limb.overflowing_sub(r);
+            let (v2, b2) = v1.overflowing_sub(borrow);
+            *limb = v2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "subtraction underflow despite ordering check");
+        Some(Nat::from_limbs(limbs))
+    }
+
+    /// Saturating subtraction: `self - rhs`, or `0` if `rhs > self`.
+    #[must_use]
+    pub fn saturating_sub(&self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs).unwrap_or_else(Nat::zero)
+    }
+
+    /// Raises the value to the power `exp` by binary exponentiation.
+    ///
+    /// `0⁰` is defined as `1`, matching the convention used by the bounds in
+    /// the paper (empty products are `1`).
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// assert_eq!(Nat::from(3u64).pow(4), Nat::from(81u64));
+    /// assert_eq!(Nat::zero().pow(0), Nat::one());
+    /// ```
+    #[must_use]
+    pub fn pow(&self, exp: u64) -> Nat {
+        let mut result = Nat::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+
+    /// Raises the value to a [`Nat`] power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exponent does not fit in `u64` while the base is larger
+    /// than one (the result would not fit in memory anyway).
+    #[must_use]
+    pub fn pow_nat(&self, exp: &Nat) -> Nat {
+        if self.is_zero() {
+            return if exp.is_zero() { Nat::one() } else { Nat::zero() };
+        }
+        if self.is_one() {
+            return Nat::one();
+        }
+        let e = u64::try_from(exp).expect("exponent too large for a non-trivial base");
+        self.pow(e)
+    }
+
+    /// Integer division with remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// # use pp_bigint::Nat;
+    /// let (q, r) = Nat::from(1000u64).div_rem(&Nat::from(7u64));
+    /// assert_eq!(q, Nat::from(142u64));
+    /// assert_eq!(r, Nat::from(6u64));
+    /// ```
+    #[must_use]
+    pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Nat::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Nat::from(r));
+        }
+        // Binary long division: slow but simple and only used on the very
+        // large bound values where exact quotients are rarely needed.
+        let mut quotient = Nat::zero();
+        let mut remainder = Nat::zero();
+        let bits = self.bits();
+        for i in (0..bits).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i) {
+                remainder += Nat::one();
+            }
+            if remainder >= *divisor {
+                remainder = remainder
+                    .checked_sub(divisor)
+                    .expect("remainder >= divisor");
+                quotient.set_bit(i);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Division with remainder by a machine-word divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem_u64(&self, divisor: u64) -> (Nat, u64) {
+        assert_ne!(divisor, 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(divisor)) as u64;
+            rem = cur % u128::from(divisor);
+        }
+        (Nat::from_limbs(out), rem as u64)
+    }
+
+    /// Left shift by `bits` bit positions.
+    #[must_use]
+    pub fn shl_bits(&self, bits: u64) -> Nat {
+        if self.is_zero() || bits == 0 {
+            return if bits == 0 { self.clone() } else { self.clone() };
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// Right shift by `bits` bit positions.
+    #[must_use]
+    pub fn shr_bits(&self, bits: u64) -> Nat {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Nat::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Nat::from_limbs(src.to_vec());
+        }
+        let mut limbs = Vec::with_capacity(src.len());
+        for (i, &l) in src.iter().enumerate() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            limbs.push((l >> bit_shift) | (hi << (64 - bit_shift)));
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// Sets bit `i` to one.
+    fn set_bit(&mut self, i: u64) {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << (i % 64);
+    }
+
+    /// The maximum of two values, by reference.
+    #[must_use]
+    pub fn max_ref<'a>(&'a self, other: &'a Nat) -> &'a Nat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The minimum of two values, by reference.
+    #[must_use]
+    pub fn min_ref<'a>(&'a self, other: &'a Nat) -> &'a Nat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            std::cmp::Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        std::cmp::Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_are_distinct() {
+        assert!(Nat::zero().is_zero());
+        assert!(!Nat::one().is_zero());
+        assert!(Nat::one().is_one());
+        assert_ne!(Nat::zero(), Nat::one());
+        assert!(Nat::zero() < Nat::one());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Nat::default(), Nat::zero());
+    }
+
+    #[test]
+    fn bits_of_powers_of_two() {
+        for k in 0..200u64 {
+            let x = Nat::from(2u64).pow(k);
+            assert_eq!(x.bits(), k + 1, "2^{k} must have {k}+1 bits");
+        }
+    }
+
+    #[test]
+    fn bit_accessor_matches_bits() {
+        let x = Nat::from(0b1011_0101u64);
+        assert!(x.bit(0));
+        assert!(!x.bit(1));
+        assert!(x.bit(2));
+        assert!(x.bit(7));
+        assert!(!x.bit(8));
+        assert!(!x.bit(1000));
+    }
+
+    #[test]
+    fn checked_sub_basic() {
+        let a = Nat::from(1u64 << 63) * Nat::from(4u64);
+        let b = Nat::from(3u64);
+        let d = a.checked_sub(&b).unwrap();
+        assert_eq!(&d + &b, a);
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(a.saturating_sub(&b), d);
+        assert_eq!(b.saturating_sub(&a), Nat::zero());
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(Nat::zero().pow(0), Nat::one());
+        assert_eq!(Nat::zero().pow(5), Nat::zero());
+        assert_eq!(Nat::one().pow(1_000_000), Nat::one());
+        assert_eq!(Nat::from(7u64).pow(1), Nat::from(7u64));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let base = Nat::from(12345u64);
+        let mut acc = Nat::one();
+        for e in 0..20u64 {
+            assert_eq!(base.pow(e), acc);
+            acc = &acc * &base;
+        }
+    }
+
+    #[test]
+    fn pow_nat_large_exponent_with_trivial_base() {
+        let huge = Nat::from(10u64).pow(50);
+        assert_eq!(Nat::one().pow_nat(&huge), Nat::one());
+        assert_eq!(Nat::zero().pow_nat(&huge), Nat::zero());
+        assert_eq!(Nat::zero().pow_nat(&Nat::zero()), Nat::one());
+    }
+
+    #[test]
+    fn div_rem_u64_roundtrip() {
+        let x = Nat::from(2u64).pow(200);
+        let (q, r) = x.div_rem_u64(1_000_003);
+        assert_eq!(q * Nat::from(1_000_003u64) + Nat::from(r), x);
+    }
+
+    #[test]
+    fn div_rem_large_divisor_roundtrip() {
+        let x = Nat::from(7u64).pow(100);
+        let d = Nat::from(3u64).pow(40);
+        let (q, r) = x.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q * d + r, x);
+    }
+
+    #[test]
+    fn div_rem_smaller_dividend() {
+        let (q, r) = Nat::from(5u64).div_rem(&Nat::from(9u64));
+        assert_eq!(q, Nat::zero());
+        assert_eq!(r, Nat::from(5u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Nat::from(5u64).div_rem(&Nat::zero());
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let x = Nat::from(0xDEAD_BEEF_CAFE_BABEu64);
+        for s in [0u64, 1, 7, 63, 64, 65, 130] {
+            assert_eq!(x.shl_bits(s).shr_bits(s), x);
+        }
+    }
+
+    #[test]
+    fn approx_log2_on_powers() {
+        for k in [1u64, 10, 100, 1000, 10_000] {
+            let x = Nat::from(2u64).pow(k);
+            assert!((x.approx_log2() - k as f64).abs() < 1e-6);
+        }
+        assert!(Nat::zero().approx_log2().is_infinite());
+    }
+
+    #[test]
+    fn approx_log10_of_googol() {
+        let googol = Nat::from(10u64).pow(100);
+        assert!((googol.approx_log10() - 100.0).abs() < 1e-6);
+        assert_eq!(googol.digits(), 101);
+    }
+
+    #[test]
+    fn to_f64_small_and_huge() {
+        assert_eq!(Nat::from(42u64).to_f64(), 42.0);
+        assert_eq!(Nat::zero().to_f64(), 0.0);
+        let huge = Nat::from(2u64).pow(2000);
+        assert!(huge.to_f64().is_infinite());
+    }
+
+    #[test]
+    fn min_max_ref() {
+        let a = Nat::from(3u64);
+        let b = Nat::from(5u64);
+        assert_eq!(a.max_ref(&b), &b);
+        assert_eq!(a.min_ref(&b), &a);
+        assert_eq!(a.max_ref(&a), &a);
+    }
+
+    #[test]
+    fn ordering_is_total_on_samples() {
+        let values = [
+            Nat::zero(),
+            Nat::one(),
+            Nat::from(u64::MAX),
+            Nat::from(u128::MAX),
+            Nat::from(2u64).pow(300),
+        ];
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j));
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Arithmetic operator implementations for [`Nat`].
+
+use crate::Nat;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Rem, Shl, Shr};
+
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let x = long[i];
+        let y = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = u64::from(c1) + u64::from(c2);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = u128::from(out[i + j]) + u128::from(x) * u128::from(y) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = u128::from(out[k]) + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+impl Add<&Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: &Nat) -> Nat {
+        Nat::from_limbs(add_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Add for Nat {
+    type Output = Nat;
+    fn add(self, rhs: Nat) -> Nat {
+        &self + &rhs
+    }
+}
+
+impl Add<&Nat> for Nat {
+    type Output = Nat;
+    fn add(self, rhs: &Nat) -> Nat {
+        &self + rhs
+    }
+}
+
+impl Add<Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: Nat) -> Nat {
+        self + &rhs
+    }
+}
+
+impl Add<u64> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: u64) -> Nat {
+        self + &Nat::from(rhs)
+    }
+}
+
+impl Add<u64> for Nat {
+    type Output = Nat;
+    fn add(self, rhs: u64) -> Nat {
+        &self + &Nat::from(rhs)
+    }
+}
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for Nat {
+    fn add_assign(&mut self, rhs: Nat) {
+        *self += &rhs;
+    }
+}
+
+impl Mul<&Nat> for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: &Nat) -> Nat {
+        Nat::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: Nat) -> Nat {
+        &self * &rhs
+    }
+}
+
+impl Mul<&Nat> for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: &Nat) -> Nat {
+        &self * rhs
+    }
+}
+
+impl Mul<Nat> for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: Nat) -> Nat {
+        self * &rhs
+    }
+}
+
+impl Mul<u64> for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: u64) -> Nat {
+        self * &Nat::from(rhs)
+    }
+}
+
+impl Mul<u64> for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: u64) -> Nat {
+        &self * &Nat::from(rhs)
+    }
+}
+
+impl MulAssign<&Nat> for Nat {
+    fn mul_assign(&mut self, rhs: &Nat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for Nat {
+    fn mul_assign(&mut self, rhs: Nat) {
+        *self *= &rhs;
+    }
+}
+
+impl Div<&Nat> for &Nat {
+    type Output = Nat;
+    fn div(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for Nat {
+    type Output = Nat;
+    fn div(self, rhs: Nat) -> Nat {
+        &self / &rhs
+    }
+}
+
+impl Div<&Nat> for Nat {
+    type Output = Nat;
+    fn div(self, rhs: &Nat) -> Nat {
+        &self / rhs
+    }
+}
+
+impl Rem<&Nat> for &Nat {
+    type Output = Nat;
+    fn rem(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for Nat {
+    type Output = Nat;
+    fn rem(self, rhs: Nat) -> Nat {
+        &self % &rhs
+    }
+}
+
+impl Shl<u64> for &Nat {
+    type Output = Nat;
+    fn shl(self, rhs: u64) -> Nat {
+        self.shl_bits(rhs)
+    }
+}
+
+impl Shl<u64> for Nat {
+    type Output = Nat;
+    fn shl(self, rhs: u64) -> Nat {
+        self.shl_bits(rhs)
+    }
+}
+
+impl Shr<u64> for &Nat {
+    type Output = Nat;
+    fn shr(self, rhs: u64) -> Nat {
+        self.shr_bits(rhs)
+    }
+}
+
+impl Shr<u64> for Nat {
+    type Output = Nat;
+    fn shr(self, rhs: u64) -> Nat {
+        self.shr_bits(rhs)
+    }
+}
+
+impl Sum for Nat {
+    fn sum<I: Iterator<Item = Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Nat> for Nat {
+    fn sum<I: Iterator<Item = &'a Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::zero(), |acc, x| acc + x)
+    }
+}
+
+impl Product for Nat {
+    fn product<I: Iterator<Item = Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::one(), |acc, x| acc * x)
+    }
+}
+
+impl<'a> Product<&'a Nat> for Nat {
+    fn product<I: Iterator<Item = &'a Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::one(), |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Nat;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = Nat::from(u64::MAX);
+        let b = Nat::from(1u64);
+        let c = &a + &b;
+        assert_eq!(c, Nat::from(1u128 << 64));
+        assert_eq!(c.bits(), 65);
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let x = Nat::from(123_456_789u64);
+        assert_eq!(&x * &Nat::zero(), Nat::zero());
+        assert_eq!(&x * &Nat::one(), x);
+        assert_eq!(&Nat::zero() * &x, Nat::zero());
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let values: Vec<Nat> = (1u64..=10).map(Nat::from).collect();
+        let s: Nat = values.iter().sum();
+        let p: Nat = values.iter().product();
+        assert_eq!(s, Nat::from(55u64));
+        assert_eq!(p, Nat::from(3_628_800u64));
+        let empty: Vec<Nat> = Vec::new();
+        assert_eq!(empty.iter().sum::<Nat>(), Nat::zero());
+        assert_eq!(empty.iter().product::<Nat>(), Nat::one());
+    }
+
+    #[test]
+    fn shift_operators() {
+        let x = Nat::from(5u64);
+        assert_eq!(&x << 3, Nat::from(40u64));
+        assert_eq!(Nat::from(40u64) >> 3, x);
+    }
+
+    #[test]
+    fn add_u64_convenience() {
+        assert_eq!(Nat::from(41u64) + 1u64, Nat::from(42u64));
+        assert_eq!(&Nat::from(u64::MAX) + 1u64, Nat::from(1u128 << 64));
+    }
+
+    proptest! {
+        #[test]
+        fn add_agrees_with_u128(a in any::<u64>(), b in any::<u64>()) {
+            let expected = u128::from(a) + u128::from(b);
+            prop_assert_eq!(Nat::from(a) + Nat::from(b), Nat::from(expected));
+        }
+
+        #[test]
+        fn mul_agrees_with_u128(a in any::<u64>(), b in any::<u64>()) {
+            let expected = u128::from(a) * u128::from(b);
+            prop_assert_eq!(Nat::from(a) * Nat::from(b), Nat::from(expected));
+        }
+
+        #[test]
+        fn sub_inverts_add(a in any::<u128>(), b in any::<u128>()) {
+            let sum = Nat::from(a) + Nat::from(b);
+            prop_assert_eq!(sum.checked_sub(&Nat::from(b)), Some(Nat::from(a)));
+        }
+
+        #[test]
+        fn div_rem_roundtrip(a in any::<u128>(), b in 1u64..) {
+            let (q, r) = Nat::from(a).div_rem(&Nat::from(b));
+            prop_assert!(Nat::from(r.clone()) < Nat::from(b));
+            prop_assert_eq!(q * Nat::from(b) + r, Nat::from(a));
+        }
+
+        #[test]
+        fn addition_is_commutative_and_associative(
+            a in any::<u128>(), b in any::<u128>(), c in any::<u128>()
+        ) {
+            let (a, b, c) = (Nat::from(a), Nat::from(b), Nat::from(c));
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        }
+
+        #[test]
+        fn multiplication_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (a, b, c) = (Nat::from(a), Nat::from(b), Nat::from(c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn ordering_agrees_with_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(Nat::from(a).cmp(&Nat::from(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn shifts_agree_with_u128(a in any::<u64>(), s in 0u64..60) {
+            let expected = u128::from(a) << s;
+            prop_assert_eq!(Nat::from(a) << s, Nat::from(expected));
+            prop_assert_eq!(Nat::from(expected) >> s, Nat::from(a));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Symbolic powers `base^exponent` for bounds too large to materialize.
+//!
+//! Several bounds of the paper (Theorem 6.1's `b`, the Section 8 constants
+//! `h`, `k`, `a`, `ℓ`) have exponents that are themselves astronomically
+//! large, so the bound cannot be written out as a [`Nat`] in memory. The
+//! [`PowerBound`] type keeps the bound in the symbolic form `base^exponent`,
+//! supports approximate logarithms for reporting magnitudes, comparison via
+//! logarithms, and expansion to an exact [`Nat`] when the value is small
+//! enough to be worth materializing.
+
+use crate::Nat;
+use std::fmt;
+
+/// A natural number represented symbolically as `base ^ exponent`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_bigint::{Nat, PowerBound};
+///
+/// let bound = PowerBound::new(Nat::from(10u64), Nat::from(384u64));
+/// assert_eq!(bound.to_nat(4096).unwrap().digits(), 385);
+/// let huge = PowerBound::new(Nat::from(3u64), Nat::from(10u64).pow(30));
+/// assert!(huge.to_nat(4096).is_none());
+/// assert!(huge.approx_log10() > 4.0e29);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerBound {
+    base: Nat,
+    exponent: Nat,
+}
+
+impl PowerBound {
+    /// Creates the bound `base ^ exponent`.
+    #[must_use]
+    pub fn new(base: Nat, exponent: Nat) -> Self {
+        PowerBound { base, exponent }
+    }
+
+    /// Creates the bound representing the exact value `value` (`value¹`).
+    #[must_use]
+    pub fn exact(value: Nat) -> Self {
+        PowerBound {
+            base: value,
+            exponent: Nat::one(),
+        }
+    }
+
+    /// The base of the power.
+    #[must_use]
+    pub fn base(&self) -> &Nat {
+        &self.base
+    }
+
+    /// The exponent of the power.
+    #[must_use]
+    pub fn exponent(&self) -> &Nat {
+        &self.exponent
+    }
+
+    /// Base-2 logarithm of the value (`0` for the value `1`, `-inf` for `0`).
+    ///
+    /// Returns `f64::INFINITY` when the logarithm itself exceeds the `f64`
+    /// range (which only happens for towers far beyond anything the
+    /// experiments report).
+    #[must_use]
+    pub fn approx_log2(&self) -> f64 {
+        if self.base.is_zero() {
+            return if self.exponent.is_zero() { 0.0 } else { f64::NEG_INFINITY };
+        }
+        self.exponent.to_f64() * self.base.approx_log2()
+    }
+
+    /// Base-10 logarithm of the value.
+    #[must_use]
+    pub fn approx_log10(&self) -> f64 {
+        self.approx_log2() * std::f64::consts::LOG10_2
+    }
+
+    /// Expands the bound to an exact [`Nat`] if its size does not exceed
+    /// `max_bits` bits; returns `None` otherwise.
+    #[must_use]
+    pub fn to_nat(&self, max_bits: u64) -> Option<Nat> {
+        if self.base.is_zero() || self.base.is_one() {
+            return Some(if self.base.is_zero() && !self.exponent.is_zero() {
+                Nat::zero()
+            } else {
+                Nat::one()
+            });
+        }
+        let bits_estimate = self.approx_log2();
+        if !bits_estimate.is_finite() || bits_estimate > max_bits as f64 {
+            return None;
+        }
+        let exp = u64::try_from(&self.exponent).ok()?;
+        Some(self.base.pow(exp))
+    }
+
+    /// Compares two bounds by their logarithms.
+    ///
+    /// The comparison is exact whenever both values expand within 4096 bits
+    /// and otherwise falls back to comparing `f64` logarithms, which is the
+    /// right tool for the doubly-exponential magnitudes of the paper.
+    #[must_use]
+    pub fn approx_cmp(&self, other: &PowerBound) -> std::cmp::Ordering {
+        if let (Some(a), Some(b)) = (self.to_nat(4096), other.to_nat(4096)) {
+            return a.cmp(&b);
+        }
+        self.approx_log2()
+            .partial_cmp(&other.approx_log2())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl From<Nat> for PowerBound {
+    fn from(value: Nat) -> Self {
+        PowerBound::exact(value)
+    }
+}
+
+impl fmt::Display for PowerBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exponent.is_one() {
+            write!(f, "{}", self.base.to_compact_string(12))
+        } else {
+            write!(
+                f,
+                "{}^{}",
+                self.base.to_compact_string(12),
+                self.exponent.to_compact_string(12)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bounds_expand_exactly() {
+        let b = PowerBound::new(Nat::from(3u64), Nat::from(5u64));
+        assert_eq!(b.to_nat(1024), Some(Nat::from(243u64)));
+        assert_eq!(b.base(), &Nat::from(3u64));
+        assert_eq!(b.exponent(), &Nat::from(5u64));
+    }
+
+    #[test]
+    fn trivial_bases() {
+        assert_eq!(
+            PowerBound::new(Nat::one(), Nat::from(10u64).pow(40)).to_nat(64),
+            Some(Nat::one())
+        );
+        assert_eq!(
+            PowerBound::new(Nat::zero(), Nat::from(10u64).pow(40)).to_nat(64),
+            Some(Nat::zero())
+        );
+        assert_eq!(
+            PowerBound::new(Nat::zero(), Nat::zero()).to_nat(64),
+            Some(Nat::one())
+        );
+    }
+
+    #[test]
+    fn huge_bounds_do_not_expand() {
+        let huge = PowerBound::new(Nat::from(2u64), Nat::from(10u64).pow(20));
+        assert_eq!(huge.to_nat(1 << 20), None);
+        assert!((huge.approx_log2() - 1e20).abs() < 1e6);
+    }
+
+    #[test]
+    fn logarithms() {
+        let b = PowerBound::new(Nat::from(10u64), Nat::from(100u64));
+        assert!((b.approx_log10() - 100.0).abs() < 1e-9);
+        let exact = PowerBound::exact(Nat::from(1024u64));
+        assert!((exact.approx_log2() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparisons() {
+        use std::cmp::Ordering;
+        let small = PowerBound::new(Nat::from(2u64), Nat::from(10u64));
+        let big = PowerBound::new(Nat::from(3u64), Nat::from(10u64));
+        assert_eq!(small.approx_cmp(&big), Ordering::Less);
+        assert_eq!(big.approx_cmp(&small), Ordering::Greater);
+        let huge_a = PowerBound::new(Nat::from(2u64), Nat::from(10u64).pow(30));
+        let huge_b = PowerBound::new(Nat::from(4u64), Nat::from(10u64).pow(30));
+        assert_eq!(huge_a.approx_cmp(&huge_b), Ordering::Less);
+        assert_eq!(huge_a.approx_cmp(&huge_a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            PowerBound::exact(Nat::from(42u64)).to_string(),
+            "42"
+        );
+        assert_eq!(
+            PowerBound::new(Nat::from(10u64), Nat::from(384u64)).to_string(),
+            "10^384"
+        );
+    }
+
+    #[test]
+    fn from_nat() {
+        let b: PowerBound = Nat::from(7u64).into();
+        assert_eq!(b.to_nat(64), Some(Nat::from(7u64)));
+    }
+}

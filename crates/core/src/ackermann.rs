@@ -1,0 +1,156 @@
+//! The Ackermann function and its inverse.
+//!
+//! Czerner and Esparza (PODC 2021, \[7\]) proved the previous best lower
+//! bound on the state complexity of counting predicates with leaders:
+//! `Ω(A⁻¹(n))` states, where `A` is an Ackermannian function. The paper under
+//! reproduction improves this to `Ω((log log n)^h)`. Experiment E4 tabulates
+//! both curves; this module provides the Ackermann side.
+
+use pp_bigint::Nat;
+
+/// The two-argument Ackermann–Péter function `A(m, n)`.
+///
+/// Computed iteratively with an explicit stack; intended for the tiny
+/// arguments that are at all computable (`m ≤ 3`, or `m = 4` with `n ≤ 1`).
+///
+/// # Panics
+///
+/// Panics if the result would require more than roughly `2^64` recursion
+/// steps (use [`ackermann_diagonal`] for symbolic reasoning instead).
+#[must_use]
+pub fn ackermann_peter(m: u64, n: u64) -> Nat {
+    // A(m, n) with the classical closed forms for m ≤ 3 and explicit
+    // recursion above; the closed forms keep the function usable for the
+    // experiment tables.
+    match m {
+        0 => Nat::from(n) + Nat::one(),
+        1 => Nat::from(n) + Nat::from(2u64),
+        2 => Nat::from(2 * n + 3),
+        3 => Nat::from(2u64).pow(n + 3).checked_sub(&Nat::from(3u64)).expect("2^(n+3) ≥ 3"),
+        _ => {
+            assert!(
+                m <= 4 && n <= 1,
+                "A({m}, {n}) is far beyond anything representable"
+            );
+            if n == 0 {
+                ackermann_peter(m - 1, 1)
+            } else {
+                // A(4, 1) = A(3, A(4, 0)) = 2^(A(4,0)+3) - 3.
+                let inner = ackermann_peter(m, n - 1);
+                let exp = u64::try_from(&(inner + Nat::from(3u64))).expect("small exponent");
+                Nat::from(2u64)
+                    .pow(exp)
+                    .checked_sub(&Nat::from(3u64))
+                    .expect("2^k ≥ 3")
+            }
+        }
+    }
+}
+
+/// The diagonal Ackermann function `A(k) = A(k, k)`.
+#[must_use]
+pub fn ackermann_diagonal(k: u64) -> Option<Nat> {
+    if k <= 3 {
+        Some(ackermann_peter(k, k))
+    } else if k == 4 {
+        // A(4, 4) has about 10^19728 digits: representable only symbolically.
+        None
+    } else {
+        None
+    }
+}
+
+/// The inverse Ackermann-style function used for the PODC'21 comparison:
+/// the largest `k` with `A(k, k) ≤ n` (clamped to 4, since `A(4, 4)` already
+/// towers over every threshold any table will ever mention).
+#[must_use]
+pub fn inverse_ackermann(n: &Nat) -> u64 {
+    for k in 0..=3u64 {
+        if &ackermann_peter(k, k) > n {
+            return k.saturating_sub(1);
+        }
+    }
+    // A(3,3) = 61 ≤ n < A(4,4): the inverse is 3; beyond that 4.
+    // A(4,4) is astronomically large, so for every representable n the answer
+    // is at most 4; we approximate the cut-off with 2↑↑4 bits.
+    let tower = Nat::from(2u64).pow(65536);
+    if n >= &tower {
+        4
+    } else {
+        3
+    }
+}
+
+/// The Czerner–Esparza lower-bound curve `Ω(A⁻¹(n))`, as a plain value
+/// (the constant factor is taken to be 1, matching how experiment E4 reports
+/// shapes rather than constants).
+#[must_use]
+pub fn czerner_esparza_lower_bound(n: &Nat) -> u64 {
+    inverse_ackermann(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_the_definition() {
+        // Reference values of the Ackermann–Péter function.
+        assert_eq!(ackermann_peter(0, 0), Nat::from(1u64));
+        assert_eq!(ackermann_peter(1, 1), Nat::from(3u64));
+        assert_eq!(ackermann_peter(2, 2), Nat::from(7u64));
+        assert_eq!(ackermann_peter(3, 3), Nat::from(61u64));
+        assert_eq!(ackermann_peter(3, 0), Nat::from(5u64));
+        assert_eq!(ackermann_peter(2, 0), Nat::from(3u64));
+        assert_eq!(ackermann_peter(4, 0), Nat::from(13u64));
+        // A(4, 1) = 2^16 - 3 = 65533.
+        assert_eq!(ackermann_peter(4, 1), Nat::from(65533u64));
+    }
+
+    #[test]
+    fn recursion_identity_holds_for_small_arguments() {
+        // A(m+1, n+1) = A(m, A(m+1, n)).
+        for m in 0..3u64 {
+            for n in 0..5u64 {
+                let lhs = ackermann_peter(m + 1, n + 1);
+                let inner = ackermann_peter(m + 1, n);
+                let rhs = ackermann_peter(m, u64::try_from(&inner).unwrap());
+                assert_eq!(lhs, rhs, "identity fails at ({m}, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_and_inverse() {
+        assert_eq!(ackermann_diagonal(2), Some(Nat::from(7u64)));
+        assert_eq!(ackermann_diagonal(3), Some(Nat::from(61u64)));
+        assert_eq!(ackermann_diagonal(4), None);
+        assert_eq!(inverse_ackermann(&Nat::from(0u64)), 0);
+        assert_eq!(inverse_ackermann(&Nat::from(2u64)), 0);
+        assert_eq!(inverse_ackermann(&Nat::from(3u64)), 1);
+        assert_eq!(inverse_ackermann(&Nat::from(7u64)), 2);
+        assert_eq!(inverse_ackermann(&Nat::from(60u64)), 2);
+        assert_eq!(inverse_ackermann(&Nat::from(61u64)), 3);
+        assert_eq!(inverse_ackermann(&Nat::from(10u64).pow(100)), 3);
+        assert_eq!(inverse_ackermann(&Nat::from(2u64).pow(70000)), 4);
+    }
+
+    #[test]
+    fn new_bound_eventually_dominates_the_old_one() {
+        // The paper's point: (log log n)^h grows without bound while A⁻¹(n)
+        // is still at most 4 for every n below A(5, 5) — i.e. for every n any
+        // table will ever mention. For n = 2^(10^20) the new bound already
+        // exceeds that ceiling.
+        let old_ceiling = 4.0;
+        let new = crate::bounds::corollary_4_4_min_states(1e20, 2, 0.45);
+        assert!(new > old_ceiling);
+        // For moderate n the old bound is simply the constant 3.
+        assert_eq!(czerner_esparza_lower_bound(&Nat::from(10u64).pow(50)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond anything representable")]
+    fn huge_arguments_are_rejected() {
+        let _ = ackermann_peter(5, 5);
+    }
+}

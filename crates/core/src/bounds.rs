@@ -1,0 +1,214 @@
+//! Theorem 4.3, Corollary 4.4 and the comparison curves.
+
+use pp_bigint::{Nat, PowerBound};
+use pp_population::Protocol;
+
+/// The exponent `|P|^((|P|+2)²)` of Theorem 4.3.
+///
+/// ```
+/// use pp_bigint::Nat;
+/// use pp_statecomplexity::theorem_4_3_exponent;
+///
+/// assert_eq!(theorem_4_3_exponent(1), Nat::one());
+/// assert_eq!(theorem_4_3_exponent(2), Nat::from(2u64).pow(16));
+/// ```
+#[must_use]
+pub fn theorem_4_3_exponent(states: u64) -> Nat {
+    Nat::from(states).pow((states + 2) * (states + 2))
+}
+
+/// The bound of Theorem 4.3: for every finite-interaction-width protocol with
+/// `states` states, interaction-width `width` and `leaders` leaders that
+/// stably computes `(i ≥ n)`,
+///
+/// ```text
+/// n ≤ (4 + 4·width + 2·leaders)^(states^((states+2)²)).
+/// ```
+///
+/// The result is returned symbolically because the exponent alone exceeds any
+/// machine integer as soon as `states ≥ 5` or so.
+#[must_use]
+pub fn theorem_4_3_bound(states: u64, width: u64, leaders: u64) -> PowerBound {
+    let base = Nat::from(4 + 4 * width + 2 * leaders);
+    PowerBound::new(base, theorem_4_3_exponent(states))
+}
+
+/// [`theorem_4_3_bound`] instantiated on a concrete protocol.
+#[must_use]
+pub fn theorem_4_3_bound_for_protocol(protocol: &Protocol) -> PowerBound {
+    theorem_4_3_bound(
+        protocol.num_states() as u64,
+        protocol.width(),
+        protocol.num_leaders(),
+    )
+}
+
+/// Corollary 4.4: a lower bound on the number of states of any protocol with
+/// interaction-width and number of leaders at most `m` that stably computes
+/// `(i ≥ n)`, for an exponent `h < 1/2`:
+///
+/// ```text
+/// |P| ≥ ((log log n − log log (10m)) / log 2)^h − 2.
+/// ```
+///
+/// The argument `log2_n` is `log₂ n` (so thresholds far beyond `u64` can be
+/// handled); the result is a real number — the paper's `Ω((log log n)^h)` —
+/// and may be negative or NaN for tiny `n`, in which case the trivial bound 0
+/// is returned.
+///
+/// # Panics
+///
+/// Panics if `m` is zero or `h` is not in `(0, 0.5)`.
+#[must_use]
+pub fn corollary_4_4_min_states(log2_n: f64, m: u64, h: f64) -> f64 {
+    assert!(m >= 1, "width/leader bound must be at least 1");
+    assert!(h > 0.0 && h < 0.5, "the corollary requires 0 < h < 1/2");
+    // log log n, using natural logarithms as in the paper (any fixed base
+    // only shifts the additive constant).
+    let loglog_n = (log2_n * std::f64::consts::LN_2).ln();
+    let loglog_10m = ((10 * m) as f64).ln().ln();
+    let value = ((loglog_n - loglog_10m) / std::f64::consts::LN_2).powf(h) - 2.0;
+    if value.is_finite() && value > 0.0 {
+        value
+    } else {
+        0.0
+    }
+}
+
+/// The `O(log log n)` upper-bound curve of Blondin, Esparza and Jaax \[6\]:
+/// for infinitely many `n` there is a protocol with `≤ c·log log n` states
+/// (interaction-width 2, 2 leaders). The function returns `log₂ log₂ n`, the
+/// curve's shape with `c = 1`; experiment E3 plots it against
+/// [`corollary_4_4_min_states`].
+#[must_use]
+pub fn bej_upper_bound_states(log2_n: f64) -> f64 {
+    if log2_n <= 1.0 {
+        return 1.0;
+    }
+    log2_n.log2().max(1.0)
+}
+
+/// The `O(log n)` leaderless upper-bound curve mentioned in Section 9 (and
+/// realized for powers of two by `pp_protocols::flock::flock_of_birds_doubling`).
+#[must_use]
+pub fn leaderless_upper_bound_states(log2_n: f64) -> f64 {
+    log2_n.max(1.0)
+}
+
+/// Convenience: `log₂ n` of an integer threshold.
+#[must_use]
+pub fn log2_of_threshold(n: u64) -> f64 {
+    (n.max(1) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::leaders_n::example_4_2;
+
+    #[test]
+    fn exponent_small_values() {
+        assert_eq!(theorem_4_3_exponent(1), Nat::one());
+        assert_eq!(theorem_4_3_exponent(2), Nat::from(65536u64));
+        assert_eq!(theorem_4_3_exponent(3), Nat::from(3u64).pow(25));
+    }
+
+    #[test]
+    fn bound_is_monotone_in_every_argument() {
+        let base = theorem_4_3_bound(4, 2, 2);
+        assert_eq!(
+            base.approx_cmp(&theorem_4_3_bound(5, 2, 2)),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            base.approx_cmp(&theorem_4_3_bound(4, 3, 2)),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            base.approx_cmp(&theorem_4_3_bound(4, 2, 3)),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn bound_value_for_one_state() {
+        // One state: exponent 1, bound = 4 + 4w + 2L.
+        let b = theorem_4_3_bound(1, 1, 0);
+        assert_eq!(b.to_nat(64), Some(Nat::from(8u64)));
+    }
+
+    #[test]
+    fn bound_for_example_4_2_exceeds_its_threshold() {
+        // Example 4.2 with n leaders decides (i ≥ n); Theorem 4.3 must allow it.
+        for n in [1u64, 5, 50, 5000] {
+            let protocol = example_4_2(n);
+            let bound = theorem_4_3_bound_for_protocol(&protocol);
+            assert_eq!(
+                PowerBound::exact(Nat::from(n)).approx_cmp(&bound),
+                std::cmp::Ordering::Less,
+                "Theorem 4.3 bound must dominate the protocol's threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_4_4_grows_with_n() {
+        let h = 0.45;
+        let small = corollary_4_4_min_states(log2_of_threshold(1 << 20), 2, h);
+        let large = corollary_4_4_min_states(1e9, 2, h);
+        let huge = corollary_4_4_min_states(1e100, 2, h);
+        assert!(large > small);
+        assert!(huge > large);
+        assert!(huge > 10.0);
+        // Tiny thresholds give the trivial bound.
+        assert_eq!(corollary_4_4_min_states(1.0, 2, h), 0.0);
+    }
+
+    #[test]
+    fn corollary_is_consistent_with_theorem_4_3() {
+        // If a protocol has s states, width ≤ m and leaders ≤ m, Theorem 4.3
+        // caps its threshold at N = (10m)^(s^((s+2)²)); plugging log₂(N) into
+        // the corollary must give back at most s states. (The corollary is an
+        // asymptotic Ω-bound: the inequality `d ≤ 2^((d+2)^ε)` used in its
+        // proof requires `h` comfortably below 1/2 for small state counts, so
+        // the consistency check uses h = 0.3.)
+        let m = 2u64;
+        for s in 2..=10u64 {
+            let bound = theorem_4_3_bound(s, m, m);
+            let log2_n = bound.approx_log2();
+            let lower = corollary_4_4_min_states(log2_n, m, 0.3);
+            assert!(
+                lower <= s as f64 + 1e-6,
+                "corollary ({lower}) exceeds the actual state count ({s})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < h < 1/2")]
+    fn corollary_rejects_h_at_least_half() {
+        let _ = corollary_4_4_min_states(100.0, 2, 0.5);
+    }
+
+    #[test]
+    fn upper_bound_curves() {
+        assert!((bej_upper_bound_states(log2_of_threshold(1 << 16)) - 4.0).abs() < 1e-9);
+        assert_eq!(leaderless_upper_bound_states(log2_of_threshold(1 << 16)), 16.0);
+        assert_eq!(bej_upper_bound_states(0.5), 1.0);
+        assert_eq!(leaderless_upper_bound_states(0.0), 1.0);
+        // The gap of the paper: for huge n the lower bound stays far below the
+        // BEJ upper bound only polynomially (exponent h < 1/2 vs 1).
+        let log2_n = 1e12;
+        let lower = corollary_4_4_min_states(log2_n, 2, 0.49);
+        let upper = bej_upper_bound_states(log2_n);
+        assert!(lower <= upper);
+        assert!(lower >= upper.powf(0.3));
+    }
+
+    #[test]
+    fn log2_of_threshold_handles_edge_cases() {
+        assert_eq!(log2_of_threshold(0), 0.0);
+        assert_eq!(log2_of_threshold(1), 0.0);
+        assert_eq!(log2_of_threshold(1 << 20), 20.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Section 8 analysis pipeline on concrete protocols.
+//!
+//! Section 8 proves Theorem 4.3 by chaining the results of Sections 5–7 on an
+//! arbitrary protocol that stably computes `(i ≥ n)`:
+//!
+//! 1. apply Theorem 6.1 to `T|_{P'}` (with `P' = P \ I`) and the leaders
+//!    `ρ_L|_{P'}`, obtaining a bottom witness `(σ, w, Q, α, β)`;
+//! 2. build the Petri net with control-states whose control-states are the
+//!    `T|_Q`-component of `α|_Q`;
+//! 3. extract a total cycle of that control net (Lemma 7.2);
+//! 4. shrink the resulting multicycles with Lemma 7.3 to pump the input place
+//!    while staying stabilized, contradicting stable computation for large `n`.
+//!
+//! [`analyze_protocol`] executes steps 1–3 (and exercises step 4 when the
+//! control net has cycles) on a *concrete* protocol and reports every
+//! intermediate object, together with the Section 8 constants and the final
+//! Theorem 4.3 bound. It is the "open the hood" entry point used by the
+//! `lower_bound_pipeline` example and experiment E10.
+
+use crate::bounds::theorem_4_3_bound_for_protocol;
+use crate::section8::Section8Constants;
+use pp_bigint::PowerBound;
+use pp_diophantine::HilbertConfig;
+use pp_petri::bottom::{find_bottom_witness, theorem_6_1_bound, BottomWitness};
+use pp_petri::control::ControlNet;
+use pp_petri::cycles::{shrink_multicycle, ShrunkMulticycle};
+use pp_petri::ExplorationLimits;
+use pp_population::{Protocol, StateId};
+use std::collections::BTreeSet;
+
+/// The report produced by [`analyze_protocol`].
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Name of the analyzed protocol.
+    pub protocol_name: String,
+    /// Number of states `|P|`.
+    pub states: u64,
+    /// Interaction-width of the protocol.
+    pub width: u64,
+    /// Number of leaders `|ρ_L|`.
+    pub leaders: u64,
+    /// The Theorem 4.3 bound for this protocol shape.
+    pub theorem_4_3_bound: PowerBound,
+    /// The Theorem 6.1 bound for `T|_{P'}` from `ρ_L|_{P'}`.
+    pub theorem_6_1_bound: PowerBound,
+    /// The Section 8 constants for this protocol shape.
+    pub constants: Section8Constants,
+    /// The bottom witness of step 1, if one was found within the limits.
+    pub witness: Option<BottomWitness<StateId>>,
+    /// Number of control-states of the step-2 control net.
+    pub control_states: Option<usize>,
+    /// Number of edges of the step-2 control net.
+    pub control_edges: Option<usize>,
+    /// Whether the control net is strongly connected.
+    pub strongly_connected: Option<bool>,
+    /// Length of the Lemma 7.2 total cycle, if one exists.
+    pub total_cycle_length: Option<usize>,
+    /// The Lemma 7.3 shrinking of (a small power of) the total cycle, if the
+    /// control net has cycles.
+    pub shrunk: Option<ShrunkMulticycle<StateId>>,
+}
+
+impl PipelineReport {
+    /// Returns `true` when every step that is applicable to this protocol
+    /// produced its object (a witness; and, when the control net has edges, a
+    /// total cycle).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.witness.is_some()
+            && match self.control_edges {
+                Some(edges) if edges > 0 => self.total_cycle_length.is_some(),
+                _ => true,
+            }
+    }
+}
+
+/// Runs the Section 8 pipeline on a concrete protocol.
+///
+/// The exploration `limits` bound the reachability analyses of steps 1 and 2;
+/// the analysis is exact within them and reports `None` for the objects it
+/// could not construct.
+#[must_use]
+pub fn analyze_protocol(protocol: &Protocol, limits: &ExplorationLimits) -> PipelineReport {
+    let net = protocol.net();
+    // P' = P \ I.
+    let non_initial: BTreeSet<StateId> = protocol
+        .states()
+        .filter(|s| !protocol.initial_states().contains(s))
+        .collect();
+    let restricted = net.restrict(&non_initial);
+    let leaders_restricted = protocol.leaders().restrict(&non_initial);
+
+    let witness = find_bottom_witness(&restricted, &leaders_restricted, limits);
+
+    let mut control_states = None;
+    let mut control_edges = None;
+    let mut strongly_connected = None;
+    let mut total_cycle_length = None;
+    let mut shrunk = None;
+    if let Some(witness) = &witness {
+        if let Some(control) =
+            ControlNet::from_component(net, &witness.q_places, &witness.alpha, limits)
+        {
+            control_states = Some(control.num_control_states());
+            control_edges = Some(control.num_edges());
+            strongly_connected = Some(control.is_strongly_connected());
+            if let Some(anchor) = control.control_state_index(&witness.alpha) {
+                if let Some(cycle) = control.total_cycle(anchor) {
+                    total_cycle_length = Some(cycle.len());
+                    // Step 4 (demonstrative): shrink the multicycle made of a
+                    // few copies of the total cycle, requiring sign
+                    // preservation above a small threshold.
+                    let mut parikh = control.parikh(&cycle);
+                    for count in &mut parikh {
+                        *count *= 8;
+                    }
+                    shrunk = shrink_multicycle(
+                        &control,
+                        &parikh,
+                        &BTreeSet::new(),
+                        4,
+                        &HilbertConfig::default(),
+                    )
+                    .ok();
+                }
+            }
+        }
+    }
+
+    PipelineReport {
+        protocol_name: protocol.name().to_owned(),
+        states: protocol.num_states() as u64,
+        width: protocol.width(),
+        leaders: protocol.num_leaders(),
+        theorem_4_3_bound: theorem_4_3_bound_for_protocol(protocol),
+        theorem_6_1_bound: theorem_6_1_bound(&restricted, &leaders_restricted),
+        constants: Section8Constants::for_protocol(protocol),
+        witness,
+        control_states,
+        control_edges,
+        strongly_connected,
+        total_cycle_length,
+        shrunk,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::leaders_n::example_4_2;
+    use pp_protocols::modulo::modulo_with_leader;
+
+    #[test]
+    fn example_4_2_pipeline_reaches_a_terminal_component() {
+        let protocol = example_4_2(2);
+        let report = analyze_protocol(&protocol, &ExplorationLimits::default());
+        assert_eq!(report.states, 6);
+        assert_eq!(report.width, 2);
+        assert_eq!(report.leaders, 2);
+        assert!(report.is_complete());
+        let witness = report.witness.as_ref().expect("witness found");
+        // The leaders-only run of Example 4.2 ends in an all-unbarred bottom
+        // configuration; the control component around it is a single state
+        // with no internal cycle.
+        assert!(witness.pumped_places.is_empty());
+        assert_eq!(report.control_states, Some(1));
+        assert_eq!(report.control_edges, Some(0));
+        assert_eq!(report.total_cycle_length, None);
+        // The Theorem 6.1 bound is for the restricted net on 5 places.
+        assert!(report.theorem_6_1_bound.approx_log2() > 1e10);
+        assert_eq!(
+            report
+                .theorem_4_3_bound
+                .approx_cmp(&report.constants.final_bound),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn modulo_pipeline_finds_a_pumping_witness_and_a_total_cycle() {
+        let protocol = modulo_with_leader(2, 0);
+        let limits = ExplorationLimits::with_max_configurations(800);
+        let report = analyze_protocol(&protocol, &limits);
+        let witness = report.witness.as_ref().expect("witness found");
+        // The leader's residue walk pumps the done-agents: a genuine
+        // Theorem 6.1 witness with a non-trivial Q.
+        assert!(!witness.pumped_places.is_empty());
+        assert!(witness.q_places.len() < 5);
+        // The control net around the leader component has both states and a
+        // total cycle within the Lemma 7.2 bound.
+        let states = report.control_states.unwrap();
+        let edges = report.control_edges.unwrap();
+        assert!(states >= 2);
+        assert!(edges >= 2);
+        assert_eq!(report.strongly_connected, Some(true));
+        let cycle_len = report.total_cycle_length.unwrap();
+        assert!(cycle_len <= states * edges);
+        // Lemma 7.3 shrinking succeeded and preserved signs.
+        let shrunk = report.shrunk.as_ref().expect("shrinking succeeded");
+        assert!(shrunk.signs_preserved(4));
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn leaderless_protocols_are_handled() {
+        // A leaderless protocol: P' exploration starts from the empty
+        // configuration, which is trivially bottom.
+        let protocol = pp_protocols::flock::flock_of_birds_unary(3);
+        let report = analyze_protocol(&protocol, &ExplorationLimits::default());
+        assert_eq!(report.leaders, 0);
+        let witness = report.witness.as_ref().expect("witness found");
+        assert!(witness.alpha.is_empty());
+        assert!(report.is_complete());
+    }
+}

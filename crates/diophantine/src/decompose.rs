@@ -1,0 +1,187 @@
+//! Decomposing solutions into sums of minimal solutions (Pottier's theorem).
+
+/// Expresses `solution` as a non-negative integer combination of the vectors
+/// in `basis`, returning the multiplicities (aligned with `basis`).
+///
+/// By Pottier's theorem every solution of a homogeneous system is such a
+/// combination of the system's minimal solutions, which is exactly how the
+/// proof of Lemma 7.3 rewrites the Parikh image `(f, g)` of a multicycle as a
+/// sum over the finite set `H`. The search is a depth-first enumeration with
+/// memoized failures; on the small systems arising from protocol analyses it
+/// returns instantly.
+///
+/// Returns `None` when no decomposition exists (for instance when `basis` is
+/// not the full Hilbert basis of the system the solution came from).
+///
+/// # Panics
+///
+/// Panics if the basis vectors do not all have the same length as `solution`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_diophantine::{decompose, recompose, LinearSystem};
+///
+/// let system = LinearSystem::from_rows(vec![vec![1, 1, -2]]).unwrap();
+/// let basis = system.hilbert_basis(&Default::default()).unwrap();
+/// let solution = vec![3, 1, 2];
+/// let multiplicities = decompose(&solution, &basis).unwrap();
+/// assert_eq!(recompose(&multiplicities, &basis), solution);
+/// ```
+#[must_use]
+pub fn decompose(solution: &[u64], basis: &[Vec<u64>]) -> Option<Vec<u64>> {
+    for b in basis {
+        assert_eq!(
+            b.len(),
+            solution.len(),
+            "basis vectors must have the same dimension as the solution"
+        );
+    }
+    let mut multiplicities = vec![0u64; basis.len()];
+    let mut failed = std::collections::BTreeSet::new();
+    if search(solution.to_vec(), basis, 0, &mut multiplicities, &mut failed) {
+        Some(multiplicities)
+    } else {
+        None
+    }
+}
+
+/// Recursive helper: try to express `remaining` using `basis[index..]`.
+fn search(
+    remaining: Vec<u64>,
+    basis: &[Vec<u64>],
+    index: usize,
+    multiplicities: &mut Vec<u64>,
+    failed: &mut std::collections::BTreeSet<(usize, Vec<u64>)>,
+) -> bool {
+    if remaining.iter().all(|&v| v == 0) {
+        return true;
+    }
+    if index >= basis.len() {
+        return false;
+    }
+    if failed.contains(&(index, remaining.clone())) {
+        return false;
+    }
+    let b = &basis[index];
+    // Maximum number of times basis[index] fits in the remainder.
+    let max_uses = remaining
+        .iter()
+        .zip(b)
+        .filter(|(_, &bv)| bv > 0)
+        .map(|(&rv, &bv)| rv / bv)
+        .min()
+        .unwrap_or(0);
+    // Try the largest multiplicities first: the decompositions used in the
+    // paper take as many copies of each minimal solution as possible.
+    for uses in (0..=max_uses).rev() {
+        let next: Vec<u64> = remaining
+            .iter()
+            .zip(b)
+            .map(|(&rv, &bv)| rv - bv * uses)
+            .collect();
+        multiplicities[index] = uses;
+        if search(next, basis, index + 1, multiplicities, failed) {
+            return true;
+        }
+    }
+    multiplicities[index] = 0;
+    failed.insert((index, remaining));
+    false
+}
+
+/// Reconstructs `Σ multiplicities[i] · basis[i]`.
+///
+/// # Panics
+///
+/// Panics if `multiplicities` and `basis` have different lengths or the basis
+/// is empty while a positive multiplicity is requested.
+#[must_use]
+pub fn recompose(multiplicities: &[u64], basis: &[Vec<u64>]) -> Vec<u64> {
+    assert_eq!(
+        multiplicities.len(),
+        basis.len(),
+        "one multiplicity per basis vector"
+    );
+    let dim = basis.first().map(|b| b.len()).unwrap_or(0);
+    let mut out = vec![0u64; dim];
+    for (m, b) in multiplicities.iter().zip(basis) {
+        for (o, &v) in out.iter_mut().zip(b) {
+            *o += m * v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HilbertConfig, LinearSystem};
+    use proptest::prelude::*;
+
+    #[test]
+    fn decompose_zero_is_trivial() {
+        let basis = vec![vec![1u64, 1]];
+        assert_eq!(decompose(&[0, 0], &basis), Some(vec![0]));
+    }
+
+    #[test]
+    fn decompose_simple_equality() {
+        let basis = vec![vec![1u64, 1]];
+        assert_eq!(decompose(&[5, 5], &basis), Some(vec![5]));
+        assert_eq!(decompose(&[5, 4], &basis), None);
+    }
+
+    #[test]
+    fn decompose_requires_full_basis() {
+        // (1,1,1) is a solution of x + y = 2z but cannot be written with only
+        // the two "pure" minimal solutions.
+        let partial = vec![vec![2u64, 0, 1], vec![0u64, 2, 1]];
+        assert_eq!(decompose(&[1, 1, 1], &partial), None);
+        assert_eq!(decompose(&[2, 2, 2], &partial), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn decompose_with_full_hilbert_basis() {
+        let system = LinearSystem::from_rows(vec![vec![1, 1, -2]]).unwrap();
+        let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
+        for solution in [vec![1u64, 1, 1], vec![3, 1, 2], vec![7, 3, 5], vec![0, 4, 2]] {
+            assert!(system.is_solution(&solution));
+            let m = decompose(&solution, &basis).expect("solution must decompose");
+            assert_eq!(recompose(&m, &basis), solution);
+        }
+    }
+
+    #[test]
+    fn recompose_empty_basis() {
+        assert_eq!(recompose(&[], &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn decompose_dimension_mismatch_panics() {
+        let _ = decompose(&[1, 2], &[vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one multiplicity per basis vector")]
+    fn recompose_length_mismatch_panics() {
+        let _ = recompose(&[1], &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_combinations_decompose(
+            coeffs in proptest::collection::vec(0u64..5, 3)
+        ) {
+            let system = LinearSystem::from_rows(vec![vec![1, 1, -2]]).unwrap();
+            let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
+            prop_assume!(basis.len() == 3);
+            let solution = recompose(&coeffs, &basis);
+            let m = decompose(&solution, &basis).expect("combination must decompose");
+            prop_assert_eq!(recompose(&m, &basis), solution);
+        }
+    }
+}

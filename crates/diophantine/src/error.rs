@@ -1,0 +1,78 @@
+//! Error types for linear-system construction and Hilbert-basis computation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`LinearSystem`](crate::LinearSystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemError {
+    /// The system has no equations.
+    Empty,
+    /// The coefficient rows do not all have the same (positive) length.
+    RaggedRows,
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Empty => write!(f, "linear system has no equations"),
+            SystemError::RaggedRows => {
+                write!(f, "coefficient rows must all have the same positive length")
+            }
+        }
+    }
+}
+
+impl Error for SystemError {}
+
+/// Error raised when the Hilbert-basis completion exceeds its resource budget.
+///
+/// Hilbert bases can be exponentially large; the Contejean–Devie procedure is
+/// therefore run under an explicit node budget
+/// ([`HilbertConfig`](crate::HilbertConfig)) and reports which limit was hit
+/// rather than running away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HilbertError {
+    /// More frontier nodes were expanded than allowed by the configuration.
+    NodeBudgetExceeded {
+        /// The configured budget that was exhausted.
+        budget: usize,
+    },
+    /// A candidate solution exceeded the configured norm limit.
+    NormBudgetExceeded {
+        /// The configured maximal `ℓ₁` norm.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for HilbertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HilbertError::NodeBudgetExceeded { budget } => {
+                write!(f, "hilbert basis completion exceeded the node budget of {budget}")
+            }
+            HilbertError::NormBudgetExceeded { budget } => {
+                write!(f, "hilbert basis completion exceeded the norm budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for HilbertError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        assert!(SystemError::Empty.to_string().contains("no equations"));
+        assert!(SystemError::RaggedRows.to_string().contains("same positive length"));
+        assert!(HilbertError::NodeBudgetExceeded { budget: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(HilbertError::NormBudgetExceeded { budget: 7 }
+            .to_string()
+            .contains("7"));
+    }
+}

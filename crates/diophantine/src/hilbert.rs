@@ -1,0 +1,329 @@
+//! Hilbert-basis computation via the Contejean–Devie completion procedure.
+
+use crate::error::HilbertError;
+use crate::system::LinearSystem;
+use std::collections::BTreeSet;
+
+/// Resource budget for the Hilbert-basis completion.
+///
+/// Hilbert bases can be exponentially large in the size of the system, so the
+/// completion runs under explicit limits and fails loudly (instead of
+/// silently truncating) when they are exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertConfig {
+    /// Maximum number of frontier nodes expanded before giving up.
+    pub max_nodes: usize,
+    /// Maximum `ℓ₁` norm of candidate vectors before giving up, if any.
+    pub max_norm: Option<u64>,
+}
+
+impl Default for HilbertConfig {
+    fn default() -> Self {
+        HilbertConfig {
+            max_nodes: 5_000_000,
+            max_norm: None,
+        }
+    }
+}
+
+impl HilbertConfig {
+    /// A configuration with the given node budget and default remaining fields.
+    #[must_use]
+    pub fn with_max_nodes(max_nodes: usize) -> Self {
+        HilbertConfig {
+            max_nodes,
+            ..Default::default()
+        }
+    }
+}
+
+/// Returns `true` if `a ≥ b` component-wise.
+fn dominates(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| x >= y)
+}
+
+impl LinearSystem {
+    /// Computes the Hilbert basis of the system: the set of minimal non-zero
+    /// solutions of `A·x = 0` with `x ∈ N^n`.
+    ///
+    /// Uses the Contejean–Devie completion procedure: the frontier is explored
+    /// breadth-first starting from the unit vectors; a frontier vector `t` is
+    /// either recognized as a solution (and recorded if not dominated by an
+    /// already-known solution) or extended by `e_j` for every coordinate `j`
+    /// whose column decreases the defect, i.e. `⟨A·t, a_j⟩ < 0`. Frontier
+    /// vectors dominated by a known minimal solution are pruned. Breadth-first
+    /// order guarantees that solutions are discovered in order of increasing
+    /// `ℓ₁` norm, so every recorded solution is minimal.
+    ///
+    /// The returned basis is sorted lexicographically and free of duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HilbertError`] if the configured node or norm budget is
+    /// exceeded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_diophantine::LinearSystem;
+    ///
+    /// let system = LinearSystem::from_rows(vec![vec![2, -3]]).unwrap();
+    /// let basis = system.hilbert_basis(&Default::default()).unwrap();
+    /// assert_eq!(basis, vec![vec![3, 2]]);
+    /// ```
+    pub fn hilbert_basis(&self, config: &HilbertConfig) -> Result<Vec<Vec<u64>>, HilbertError> {
+        let n = self.cols();
+        let mut basis: Vec<Vec<u64>> = Vec::new();
+        let mut level: Vec<Vec<u64>> = (0..n)
+            .map(|j| {
+                let mut e = vec![0u64; n];
+                e[j] = 1;
+                e
+            })
+            .collect();
+        let mut expanded = 0usize;
+
+        while !level.is_empty() {
+            // Split the level into solutions (candidate minimal solutions) and
+            // non-solutions to extend.
+            let mut next_level: BTreeSet<Vec<u64>> = BTreeSet::new();
+            let mut to_extend: Vec<(Vec<u64>, Vec<i128>)> = Vec::new();
+            for t in level {
+                expanded += 1;
+                if expanded > config.max_nodes {
+                    return Err(HilbertError::NodeBudgetExceeded {
+                        budget: config.max_nodes,
+                    });
+                }
+                if let Some(max_norm) = config.max_norm {
+                    if t.iter().sum::<u64>() > max_norm {
+                        return Err(HilbertError::NormBudgetExceeded { budget: max_norm });
+                    }
+                }
+                if basis.iter().any(|b| dominates(&t, b)) {
+                    continue;
+                }
+                let defect = self.eval(&t);
+                if defect.iter().all(|&v| v == 0) {
+                    // Breadth-first order: nothing smaller can appear later,
+                    // so t is minimal among solutions.
+                    basis.push(t);
+                } else {
+                    to_extend.push((t, defect));
+                }
+            }
+            for (t, defect) in to_extend {
+                if basis.iter().any(|b| dominates(&t, b)) {
+                    continue;
+                }
+                for j in 0..n {
+                    // Contejean–Devie criterion: only move towards the kernel.
+                    let dot: i128 = defect
+                        .iter()
+                        .zip(self.column(j))
+                        .map(|(&d, a)| d * i128::from(a))
+                        .sum();
+                    if dot >= 0 {
+                        continue;
+                    }
+                    let mut next = t.clone();
+                    next[j] += 1;
+                    if basis.iter().any(|b| dominates(&next, b)) {
+                        continue;
+                    }
+                    next_level.insert(next);
+                }
+            }
+            level = next_level.into_iter().collect();
+        }
+
+        basis.sort();
+        basis.dedup();
+        Ok(basis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn basis_of(rows: Vec<Vec<i64>>) -> Vec<Vec<u64>> {
+        LinearSystem::from_rows(rows)
+            .unwrap()
+            .hilbert_basis(&HilbertConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn equality_constraint() {
+        assert_eq!(basis_of(vec![vec![1, -1]]), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn scaled_equality() {
+        assert_eq!(basis_of(vec![vec![2, -3]]), vec![vec![3, 2]]);
+        assert_eq!(basis_of(vec![vec![-2, 3]]), vec![vec![3, 2]]);
+    }
+
+    #[test]
+    fn sum_equals_double() {
+        let basis = basis_of(vec![vec![1, 1, -2]]);
+        assert_eq!(basis, vec![vec![0, 2, 1], vec![1, 1, 1], vec![2, 0, 1]]);
+    }
+
+    #[test]
+    fn no_nontrivial_solution() {
+        // x + y = 0 over naturals has only the zero solution.
+        assert!(basis_of(vec![vec![1, 1]]).is_empty());
+        // A single strictly positive row likewise.
+        assert!(basis_of(vec![vec![3]]).is_empty());
+    }
+
+    #[test]
+    fn unconstrained_column_is_minimal_unit() {
+        // The second unknown does not appear in any equation, so e₂ is minimal.
+        let basis = basis_of(vec![vec![1, 0, -1]]);
+        assert!(basis.contains(&vec![0, 1, 0]));
+        assert!(basis.contains(&vec![1, 0, 1]));
+        assert_eq!(basis.len(), 2);
+    }
+
+    #[test]
+    fn two_equations() {
+        // x = y and y = z: minimal solution (1,1,1).
+        let basis = basis_of(vec![vec![1, -1, 0], vec![0, 1, -1]]);
+        assert_eq!(basis, vec![vec![1, 1, 1]]);
+    }
+
+    #[test]
+    fn frobenius_style_system() {
+        // 3x = y + z over naturals; every minimal solution has x ∈ {0, 1}
+        // except the pure axis combinations.
+        let system = LinearSystem::from_rows(vec![vec![3, -1, -1]]).unwrap();
+        let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
+        assert!(basis.contains(&vec![1, 3, 0]));
+        assert!(basis.contains(&vec![1, 0, 3]));
+        assert!(basis.contains(&vec![1, 1, 2]));
+        assert!(basis.contains(&vec![1, 2, 1]));
+        assert_eq!(basis.len(), 4);
+    }
+
+    #[test]
+    fn every_basis_element_is_a_solution_and_minimal() {
+        let system = LinearSystem::from_rows(vec![vec![1, 2, -3], vec![2, -1, -1]]).unwrap();
+        let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
+        assert!(!basis.is_empty());
+        for (i, b) in basis.iter().enumerate() {
+            assert!(system.is_solution(b), "{b:?} is not a solution");
+            assert!(b.iter().any(|&v| v > 0), "zero vector in basis");
+            for (j, other) in basis.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(b, other), "{b:?} dominates {other:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_variable_system_stays_within_pottier_bound() {
+        use crate::system::pottier_bound;
+        use pp_bigint::Nat;
+        let system =
+            LinearSystem::from_rows(vec![vec![3, -1, -1, 0], vec![0, 1, -2, 1]]).unwrap();
+        let bound = pottier_bound(&system);
+        let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
+        assert!(!basis.is_empty());
+        for b in &basis {
+            assert!(system.is_solution(b));
+            assert!(Nat::from(b.iter().sum::<u64>()) <= bound);
+        }
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let system = LinearSystem::from_rows(vec![vec![5, 7, -3, -11]]).unwrap();
+        let err = system
+            .hilbert_basis(&HilbertConfig::with_max_nodes(3))
+            .unwrap_err();
+        assert_eq!(err, HilbertError::NodeBudgetExceeded { budget: 3 });
+    }
+
+    #[test]
+    fn norm_budget_is_enforced() {
+        let system = LinearSystem::from_rows(vec![vec![97, -89]]).unwrap();
+        let config = HilbertConfig {
+            max_norm: Some(10),
+            ..Default::default()
+        };
+        let err = system.hilbert_basis(&config).unwrap_err();
+        assert_eq!(err, HilbertError::NormBudgetExceeded { budget: 10 });
+    }
+
+    #[test]
+    fn pottier_bound_holds_on_examples() {
+        use crate::system::pottier_bound;
+        use pp_bigint::Nat;
+        for rows in [
+            vec![vec![1, 1, -2]],
+            vec![vec![2, -3]],
+            vec![vec![1, 2, -3], vec![2, -1, -1]],
+        ] {
+            let system = LinearSystem::from_rows(rows).unwrap();
+            let bound = pottier_bound(&system);
+            let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
+            for b in &basis {
+                let norm: u64 = b.iter().sum();
+                assert!(
+                    Nat::from(norm) <= bound,
+                    "basis element {b:?} violates the Pottier bound {bound}"
+                );
+            }
+        }
+    }
+
+    fn arb_system() -> impl Strategy<Value = LinearSystem> {
+        (1usize..=2, 2usize..=4).prop_flat_map(|(rows, cols)| {
+            proptest::collection::vec(
+                proptest::collection::vec(-3i64..=3, cols),
+                rows,
+            )
+            .prop_map(|m| LinearSystem::from_rows(m).unwrap())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn basis_elements_are_minimal_solutions(system in arb_system()) {
+            let config = HilbertConfig::with_max_nodes(500_000);
+            if let Ok(basis) = system.hilbert_basis(&config) {
+                for b in &basis {
+                    prop_assert!(system.is_solution(b));
+                    prop_assert!(b.iter().any(|&v| v > 0));
+                }
+                for (i, a) in basis.iter().enumerate() {
+                    for (j, b) in basis.iter().enumerate() {
+                        if i != j {
+                            prop_assert!(!dominates(a, b));
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn pottier_bound_holds(system in arb_system()) {
+            use crate::system::pottier_bound;
+            use pp_bigint::Nat;
+            let config = HilbertConfig::with_max_nodes(500_000);
+            if let Ok(basis) = system.hilbert_basis(&config) {
+                let bound = pottier_bound(&system);
+                for b in &basis {
+                    prop_assert!(Nat::from(b.iter().sum::<u64>()) <= bound);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`LinearSystem`] type and Pottier's norm bound.
+
+use crate::error::SystemError;
+use pp_bigint::Nat;
+
+/// A homogeneous linear Diophantine system `A·x = 0` with `x ∈ N^n`.
+///
+/// The matrix `A` has `rows()` equations and `cols()` unknowns, stored
+/// row-major with `i64` coefficients. Solutions are non-negative integer
+/// vectors of length `cols()`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_diophantine::LinearSystem;
+///
+/// // 2x = 3y has minimal solution (3, 2).
+/// let system = LinearSystem::from_rows(vec![vec![2, -3]]).unwrap();
+/// assert!(system.is_solution(&[3, 2]));
+/// assert!(!system.is_solution(&[1, 1]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearSystem {
+    rows: Vec<Vec<i64>>,
+    cols: usize,
+}
+
+impl LinearSystem {
+    /// Builds a system from its coefficient rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Empty`] if there are no rows, and
+    /// [`SystemError::RaggedRows`] if the rows do not all have the same
+    /// length (or have length zero).
+    pub fn from_rows(rows: Vec<Vec<i64>>) -> Result<Self, SystemError> {
+        let cols = rows.first().map(Vec::len).ok_or(SystemError::Empty)?;
+        if cols == 0 || rows.iter().any(|r| r.len() != cols) {
+            return Err(SystemError::RaggedRows);
+        }
+        Ok(LinearSystem { rows, cols })
+    }
+
+    /// Number of equations.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of unknowns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The coefficient matrix, row-major.
+    #[must_use]
+    pub fn matrix(&self) -> &[Vec<i64>] {
+        &self.rows
+    }
+
+    /// Evaluates `A·x` (in `i128` to avoid overflow on intermediate values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn eval(&self, x: &[u64]) -> Vec<i128> {
+        assert_eq!(x.len(), self.cols, "vector length must match column count");
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(x)
+                    .map(|(&a, &v)| i128::from(a) * i128::from(v))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Returns `true` if `A·x = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[must_use]
+    pub fn is_solution(&self, x: &[u64]) -> bool {
+        self.eval(x).iter().all(|&v| v == 0)
+    }
+
+    /// The column vector `a_j` of the matrix.
+    pub(crate) fn column(&self, j: usize) -> Vec<i64> {
+        self.rows.iter().map(|row| row[j]).collect()
+    }
+
+    /// `‖a_j‖∞` for column `j`.
+    #[must_use]
+    pub fn column_sup_norm(&self, j: usize) -> u64 {
+        self.rows
+            .iter()
+            .map(|row| row[j].unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest absolute coefficient of the matrix.
+    #[must_use]
+    pub fn sup_norm(&self) -> u64 {
+        (0..self.cols).map(|j| self.column_sup_norm(j)).max().unwrap_or(0)
+    }
+}
+
+/// Pottier's bound on the `ℓ₁` norm of minimal solutions of `A·x = 0`.
+///
+/// Following the bound used in the proof of Lemma 7.3 of the paper (derived
+/// from Pottier \[12\]), every minimal solution `x` satisfies
+/// `‖x‖₁ ≤ (2 + Σ_j ‖a_j‖∞)^d` where the sum ranges over the columns of the
+/// matrix and `d` is the number of equations.
+///
+/// ```
+/// use pp_diophantine::{pottier_bound, LinearSystem};
+/// use pp_bigint::Nat;
+///
+/// let system = LinearSystem::from_rows(vec![vec![1, 1, -2]]).unwrap();
+/// assert_eq!(pottier_bound(&system), Nat::from(6u64)); // (2 + 1 + 1 + 2)^1
+/// ```
+#[must_use]
+pub fn pottier_bound(system: &LinearSystem) -> Nat {
+    let sum: u64 = (0..system.cols()).map(|j| system.column_sup_norm(j)).sum();
+    let base = Nat::from(2u64) + Nat::from(sum);
+    base.pow(system.rows() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validation() {
+        assert_eq!(LinearSystem::from_rows(vec![]), Err(SystemError::Empty));
+        assert_eq!(
+            LinearSystem::from_rows(vec![vec![1], vec![1, 2]]),
+            Err(SystemError::RaggedRows)
+        );
+        assert_eq!(
+            LinearSystem::from_rows(vec![vec![]]),
+            Err(SystemError::RaggedRows)
+        );
+        assert!(LinearSystem::from_rows(vec![vec![1, -1]]).is_ok());
+    }
+
+    #[test]
+    fn eval_and_is_solution() {
+        let s = LinearSystem::from_rows(vec![vec![1, -1, 0], vec![0, 2, -1]]).unwrap();
+        assert_eq!(s.eval(&[1, 1, 2]), vec![0, 0]);
+        assert!(s.is_solution(&[1, 1, 2]));
+        assert!(s.is_solution(&[0, 0, 0]));
+        assert!(!s.is_solution(&[1, 0, 0]));
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 3);
+    }
+
+    #[test]
+    fn eval_does_not_overflow_on_large_counts() {
+        let s = LinearSystem::from_rows(vec![vec![i64::MAX / 2, -1]]).unwrap();
+        let v = s.eval(&[4, 0]);
+        assert_eq!(v[0], i128::from(i64::MAX / 2) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn eval_panics_on_wrong_length() {
+        let s = LinearSystem::from_rows(vec![vec![1, -1]]).unwrap();
+        let _ = s.eval(&[1]);
+    }
+
+    #[test]
+    fn norms() {
+        let s = LinearSystem::from_rows(vec![vec![3, -1, 0], vec![-5, 2, 1]]).unwrap();
+        assert_eq!(s.column_sup_norm(0), 5);
+        assert_eq!(s.column_sup_norm(1), 2);
+        assert_eq!(s.column_sup_norm(2), 1);
+        assert_eq!(s.sup_norm(), 5);
+        assert_eq!(s.column(0), vec![3, -5]);
+    }
+
+    #[test]
+    fn pottier_bound_values() {
+        let s = LinearSystem::from_rows(vec![vec![1, 1, -2]]).unwrap();
+        assert_eq!(pottier_bound(&s), Nat::from(6u64));
+        let s2 = LinearSystem::from_rows(vec![vec![1, -1], vec![2, -3]]).unwrap();
+        // columns sup-norms are 2 and 3, so (2 + 5)² = 49.
+        assert_eq!(pottier_bound(&s2), Nat::from(49u64));
+    }
+}

@@ -1,0 +1,572 @@
+//! The [`Multiset`] type: a configuration `ρ ∈ N^P`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A finite multiset over places of type `P`: a configuration `ρ ∈ N^P`.
+///
+/// Only places with a strictly positive count are stored, so equality,
+/// ordering and hashing are independent of how the multiset was built. The
+/// count type is `u64`; protocols and Petri nets in this suite never need more
+/// agents per state than that.
+///
+/// # Examples
+///
+/// ```
+/// use pp_multiset::Multiset;
+///
+/// let a = Multiset::from_pairs([("p", 2u64), ("q", 1)]);
+/// let b = Multiset::unit("p");
+/// assert!(b.le(&a));
+/// assert_eq!(a.checked_sub(&b), Some(Multiset::from_pairs([("p", 1u64), ("q", 1)])));
+/// assert_eq!((&a + &b).get(&"p"), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Multiset<P: Ord> {
+    counts: BTreeMap<P, u64>,
+}
+
+impl<P: Clone + Ord> Multiset<P> {
+    /// The empty multiset (the zero configuration).
+    #[must_use]
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The multiset containing exactly one occurrence of `place`.
+    ///
+    /// This is the configuration written `p` (or `p|_P`) in the paper.
+    #[must_use]
+    pub fn unit(place: P) -> Self {
+        let mut m = Multiset::new();
+        m.add_to(place, 1);
+        m
+    }
+
+    /// Builds a multiset from `(place, count)` pairs, summing duplicates.
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (P, u64)>>(pairs: I) -> Self {
+        let mut m = Multiset::new();
+        for (place, count) in pairs {
+            m.add_to(place, count);
+        }
+        m
+    }
+
+    /// Number of occurrences of `place` (zero if absent).
+    #[must_use]
+    pub fn get(&self, place: &P) -> u64 {
+        self.counts.get(place).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if `place` occurs at least once.
+    #[must_use]
+    pub fn contains(&self, place: &P) -> bool {
+        self.counts.contains_key(place)
+    }
+
+    /// Sets the count of `place` to `count` (removing it when zero).
+    pub fn set(&mut self, place: P, count: u64) {
+        if count == 0 {
+            self.counts.remove(&place);
+        } else {
+            self.counts.insert(place, count);
+        }
+    }
+
+    /// Adds `count` occurrences of `place`.
+    pub fn add_to(&mut self, place: P, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(place).or_insert(0) += count;
+    }
+
+    /// Removes `count` occurrences of `place`.
+    ///
+    /// Returns `false` (leaving the multiset unchanged) if fewer than `count`
+    /// occurrences are present.
+    pub fn try_remove(&mut self, place: &P, count: u64) -> bool {
+        if count == 0 {
+            return true;
+        }
+        match self.counts.get_mut(place) {
+            Some(existing) if *existing > count => {
+                *existing -= count;
+                true
+            }
+            Some(existing) if *existing == count => {
+                self.counts.remove(place);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the multiset is empty (the zero configuration).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of agents `|ρ| = Σ_p ρ(p)`.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Maximum count `‖ρ‖∞ = max_p ρ(p)` (zero for the empty multiset).
+    #[must_use]
+    pub fn sup_norm(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct places with a positive count.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over the places with a positive count.
+    pub fn support(&self) -> impl Iterator<Item = &P> {
+        self.counts.keys()
+    }
+
+    /// The set of places with a positive count.
+    #[must_use]
+    pub fn support_set(&self) -> BTreeSet<P> {
+        self.counts.keys().cloned().collect()
+    }
+
+    /// Iterates over `(place, count)` pairs in place order.
+    pub fn iter(&self) -> impl Iterator<Item = (&P, u64)> {
+        self.counts.iter().map(|(p, &c)| (p, c))
+    }
+
+    /// The restriction `ρ|_Q`: counts of places in `places`, zero elsewhere.
+    ///
+    /// Note that `places` need not be a subset of the support (Section 2 of
+    /// the paper explicitly allows `Q ⊄ P`).
+    #[must_use]
+    pub fn restrict(&self, places: &BTreeSet<P>) -> Multiset<P> {
+        Multiset {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(p, _)| places.contains(p))
+                .map(|(p, &c)| (p.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// The restriction of `ρ` to the complement of `places`.
+    #[must_use]
+    pub fn restrict_complement(&self, places: &BTreeSet<P>) -> Multiset<P> {
+        Multiset {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(p, _)| !places.contains(p))
+                .map(|(p, &c)| (p.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// Component-wise order: `self ≤ other` iff `self(p) ≤ other(p)` for all `p`.
+    #[must_use]
+    pub fn le(&self, other: &Multiset<P>) -> bool {
+        self.counts.iter().all(|(p, &c)| c <= other.get(p))
+    }
+
+    /// Checked component-wise difference `self - other`.
+    ///
+    /// Returns `None` unless `other ≤ self`.
+    #[must_use]
+    pub fn checked_sub(&self, other: &Multiset<P>) -> Option<Multiset<P>> {
+        if !other.le(self) {
+            return None;
+        }
+        let mut out = self.clone();
+        for (p, c) in other.iter() {
+            let ok = out.try_remove(p, c);
+            debug_assert!(ok, "subtraction failed despite ordering check");
+        }
+        Some(out)
+    }
+
+    /// Component-wise difference saturating at zero.
+    #[must_use]
+    pub fn saturating_sub(&self, other: &Multiset<P>) -> Multiset<P> {
+        let mut out = Multiset::new();
+        for (p, c) in self.iter() {
+            let o = other.get(p);
+            if c > o {
+                out.add_to(p.clone(), c - o);
+            }
+        }
+        out
+    }
+
+    /// Scales every count by `factor`.
+    #[must_use]
+    pub fn scale(&self, factor: u64) -> Multiset<P> {
+        if factor == 0 {
+            return Multiset::new();
+        }
+        Multiset {
+            counts: self.counts.iter().map(|(p, &c)| (p.clone(), c * factor)).collect(),
+        }
+    }
+
+    /// Component-wise maximum of two multisets.
+    #[must_use]
+    pub fn join(&self, other: &Multiset<P>) -> Multiset<P> {
+        let mut out = self.clone();
+        for (p, c) in other.iter() {
+            if c > out.get(p) {
+                out.set(p.clone(), c);
+            }
+        }
+        out
+    }
+
+    /// Component-wise minimum of two multisets.
+    #[must_use]
+    pub fn meet(&self, other: &Multiset<P>) -> Multiset<P> {
+        let mut out = Multiset::new();
+        for (p, c) in self.iter() {
+            let m = c.min(other.get(p));
+            if m > 0 {
+                out.add_to(p.clone(), m);
+            }
+        }
+        out
+    }
+
+    /// Maps every place through `f`, summing counts of places that collide.
+    #[must_use]
+    pub fn map_places<Q: Clone + Ord, F: FnMut(&P) -> Q>(&self, mut f: F) -> Multiset<Q> {
+        let mut out = Multiset::new();
+        for (p, c) in self.iter() {
+            out.add_to(f(p), c);
+        }
+        out
+    }
+}
+
+impl<P: Clone + Ord> Add<&Multiset<P>> for &Multiset<P> {
+    type Output = Multiset<P>;
+    fn add(self, rhs: &Multiset<P>) -> Multiset<P> {
+        let mut out = self.clone();
+        for (p, c) in rhs.iter() {
+            out.add_to(p.clone(), c);
+        }
+        out
+    }
+}
+
+impl<P: Clone + Ord> Add for Multiset<P> {
+    type Output = Multiset<P>;
+    fn add(self, rhs: Multiset<P>) -> Multiset<P> {
+        &self + &rhs
+    }
+}
+
+impl<P: Clone + Ord> Add<&Multiset<P>> for Multiset<P> {
+    type Output = Multiset<P>;
+    fn add(self, rhs: &Multiset<P>) -> Multiset<P> {
+        &self + rhs
+    }
+}
+
+impl<P: Clone + Ord> AddAssign<&Multiset<P>> for Multiset<P> {
+    fn add_assign(&mut self, rhs: &Multiset<P>) {
+        for (p, c) in rhs.iter() {
+            self.add_to(p.clone(), c);
+        }
+    }
+}
+
+impl<P: Clone + Ord> AddAssign for Multiset<P> {
+    fn add_assign(&mut self, rhs: Multiset<P>) {
+        *self += &rhs;
+    }
+}
+
+impl<P: Clone + Ord> Mul<u64> for &Multiset<P> {
+    type Output = Multiset<P>;
+    fn mul(self, rhs: u64) -> Multiset<P> {
+        self.scale(rhs)
+    }
+}
+
+impl<P: Clone + Ord> Mul<u64> for Multiset<P> {
+    type Output = Multiset<P>;
+    fn mul(self, rhs: u64) -> Multiset<P> {
+        self.scale(rhs)
+    }
+}
+
+impl<P: Clone + Ord> FromIterator<(P, u64)> for Multiset<P> {
+    fn from_iter<I: IntoIterator<Item = (P, u64)>>(iter: I) -> Self {
+        Multiset::from_pairs(iter)
+    }
+}
+
+impl<P: Clone + Ord> Extend<(P, u64)> for Multiset<P> {
+    fn extend<I: IntoIterator<Item = (P, u64)>>(&mut self, iter: I) {
+        for (p, c) in iter {
+            self.add_to(p, c);
+        }
+    }
+}
+
+impl<P: Ord + fmt::Debug> fmt::Debug for Multiset<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "{{∅}}");
+        }
+        write!(f, "{{")?;
+        for (i, (p, c)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:?}:{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<P: Ord + fmt::Display> fmt::Display for Multiset<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (p, c)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c == 1 {
+                write!(f, "{p}")?;
+            } else {
+                write!(f, "{c}·{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl<P: Clone + Ord + Serialize> Serialize for Multiset<P> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            self.counts.serialize(serializer)
+        }
+    }
+
+    impl<'de, P: Clone + Ord + Deserialize<'de>> Deserialize<'de> for Multiset<P> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let counts = BTreeMap::<P, u64>::deserialize(deserializer)?;
+            Ok(Multiset::from_pairs(counts))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let mut m = ms(&[("a", 3)]);
+        m.add_to("b", 0);
+        m.set("c", 0);
+        assert_eq!(m.support_size(), 1);
+        assert!(!m.contains(&"b"));
+        assert_eq!(m, ms(&[("a", 3), ("b", 0)]));
+    }
+
+    #[test]
+    fn unit_and_total() {
+        let u = Multiset::unit("x");
+        assert_eq!(u.total(), 1);
+        assert_eq!(u.sup_norm(), 1);
+        assert_eq!(u.get(&"x"), 1);
+        assert_eq!(u.get(&"y"), 0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = ms(&[("p", 2), ("q", 1)]);
+        let b = ms(&[("q", 4), ("r", 1)]);
+        let sum = &a + &b;
+        assert_eq!(sum, ms(&[("p", 2), ("q", 5), ("r", 1)]));
+        assert_eq!(sum.total(), 8);
+        assert_eq!(a.scale(3), ms(&[("p", 6), ("q", 3)]));
+        assert_eq!(a.scale(0), Multiset::new());
+        assert_eq!(&a * 2, ms(&[("p", 4), ("q", 2)]));
+    }
+
+    #[test]
+    fn try_remove_cases() {
+        let mut m = ms(&[("p", 2)]);
+        assert!(m.try_remove(&"p", 1));
+        assert_eq!(m.get(&"p"), 1);
+        assert!(!m.try_remove(&"p", 2));
+        assert_eq!(m.get(&"p"), 1);
+        assert!(m.try_remove(&"p", 1));
+        assert!(m.is_empty());
+        assert!(m.try_remove(&"p", 0));
+        assert!(!m.try_remove(&"q", 1));
+    }
+
+    #[test]
+    fn ordering_and_subtraction() {
+        let small = ms(&[("p", 1), ("q", 1)]);
+        let big = ms(&[("p", 3), ("q", 1), ("r", 2)]);
+        assert!(small.le(&big));
+        assert!(!big.le(&small));
+        assert_eq!(
+            big.checked_sub(&small),
+            Some(ms(&[("p", 2), ("r", 2)]))
+        );
+        assert_eq!(small.checked_sub(&big), None);
+        assert_eq!(small.saturating_sub(&big), Multiset::new());
+        assert_eq!(big.saturating_sub(&small), ms(&[("p", 2), ("r", 2)]));
+    }
+
+    #[test]
+    fn componentwise_order_is_a_partial_order() {
+        // `le` is the paper's component-wise order; the derived `Ord` is only
+        // a structural total order used for indexing and must not be confused
+        // with it.
+        let a = ms(&[("p", 2)]);
+        let b = ms(&[("q", 2)]);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a));
+        assert!(Multiset::new().le(&a));
+        // Structural order is still total (needed for BTree indexing).
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn restriction() {
+        let m = ms(&[("p", 2), ("q", 3), ("r", 1)]);
+        let q_set: BTreeSet<&str> = ["q", "z"].into_iter().collect();
+        assert_eq!(m.restrict(&q_set), ms(&[("q", 3)]));
+        assert_eq!(m.restrict_complement(&q_set), ms(&[("p", 2), ("r", 1)]));
+        // Restricting to a superset of the support is the identity.
+        let all: BTreeSet<&str> = ["p", "q", "r", "s"].into_iter().collect();
+        assert_eq!(m.restrict(&all), m);
+    }
+
+    #[test]
+    fn join_meet() {
+        let a = ms(&[("p", 2), ("q", 1)]);
+        let b = ms(&[("p", 1), ("r", 5)]);
+        assert_eq!(a.join(&b), ms(&[("p", 2), ("q", 1), ("r", 5)]));
+        assert_eq!(a.meet(&b), ms(&[("p", 1)]));
+        assert!(a.meet(&b).le(&a));
+        assert!(a.le(&a.join(&b)));
+    }
+
+    #[test]
+    fn map_places_merges_collisions() {
+        let m = ms(&[("p1", 2), ("p2", 3), ("q", 1)]);
+        let merged = m.map_places(|p| if p.starts_with('p') { "p" } else { "other" });
+        assert_eq!(merged, ms(&[("p", 5), ("other", 1)]));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(ms(&[]).to_string(), "0");
+        assert_eq!(ms(&[("p", 1)]).to_string(), "p");
+        assert_eq!(ms(&[("p", 2), ("q", 1)]).to_string(), "2·p + q");
+        assert!(!format!("{:?}", ms(&[])).is_empty());
+        assert_eq!(format!("{:?}", ms(&[("p", 1)])), "{\"p\":1}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let m: Multiset<&str> = [("a", 1u64), ("b", 2), ("a", 3)].into_iter().collect();
+        assert_eq!(m, ms(&[("a", 4), ("b", 2)]));
+        let mut n = ms(&[("a", 1)]);
+        n.extend([("a", 1u64), ("c", 2)]);
+        assert_eq!(n, ms(&[("a", 2), ("c", 2)]));
+    }
+
+    fn arb_multiset() -> impl Strategy<Value = Multiset<u8>> {
+        proptest::collection::btree_map(0u8..6, 0u64..50, 0..6)
+            .prop_map(Multiset::from_pairs)
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutative(a in arb_multiset(), b in arb_multiset()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+
+        #[test]
+        fn addition_total_is_sum(a in arb_multiset(), b in arb_multiset()) {
+            prop_assert_eq!((&a + &b).total(), a.total() + b.total());
+        }
+
+        #[test]
+        fn sub_inverts_add(a in arb_multiset(), b in arb_multiset()) {
+            let sum = &a + &b;
+            prop_assert_eq!(sum.checked_sub(&b), Some(a.clone()));
+            prop_assert_eq!(sum.checked_sub(&a), Some(b));
+        }
+
+        #[test]
+        fn le_is_reflexive_and_monotone(a in arb_multiset(), b in arb_multiset()) {
+            prop_assert!(a.le(&a));
+            prop_assert!(a.le(&(&a + &b)));
+        }
+
+        #[test]
+        fn restrict_splits_total(a in arb_multiset(), places in proptest::collection::btree_set(0u8..6, 0..6)) {
+            let inside = a.restrict(&places);
+            let outside = a.restrict_complement(&places);
+            prop_assert_eq!(&inside + &outside, a.clone());
+            prop_assert_eq!(inside.total() + outside.total(), a.total());
+        }
+
+        #[test]
+        fn join_is_least_upper_bound(a in arb_multiset(), b in arb_multiset()) {
+            let j = a.join(&b);
+            prop_assert!(a.le(&j));
+            prop_assert!(b.le(&j));
+            // The join never exceeds the sum.
+            prop_assert!(j.le(&(&a + &b)));
+        }
+
+        #[test]
+        fn meet_is_greatest_lower_bound(a in arb_multiset(), b in arb_multiset()) {
+            let m = a.meet(&b);
+            prop_assert!(m.le(&a));
+            prop_assert!(m.le(&b));
+        }
+
+        #[test]
+        fn scale_matches_repeated_addition(a in arb_multiset(), k in 0u64..5) {
+            let mut acc = Multiset::new();
+            for _ in 0..k {
+                acc += &a;
+            }
+            prop_assert_eq!(a.scale(k), acc);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! `T`-components and `T`-bottom configurations (Section 6 of the paper).
+//!
+//! The *`T`-component* of a configuration `ρ` is the set of configurations `β`
+//! with `ρ →* β →* ρ`; `ρ` is *`T`-bottom* when its component is finite and
+//! every configuration reachable from `ρ` can reach back to `ρ`. For
+//! conservative nets (the usual protocol case) the reachability set from `ρ`
+//! is finite, so both notions are decidable by exhaustive exploration; for
+//! general nets the analysis is performed under [`ExplorationLimits`] and
+//! returns `None` when the exploration was truncated.
+
+use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
+use pp_multiset::Multiset;
+
+/// The `T`-component of `config`: all configurations mutually reachable with
+/// it, or `None` if the exploration hit a limit before the answer was certain.
+#[must_use]
+pub fn component_of<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<Vec<Multiset<P>>> {
+    let graph = ReachabilityGraph::build(net, [config.clone()], limits);
+    if !graph.is_complete() {
+        return None;
+    }
+    let id = graph.id_of(config).expect("initial configuration is interned");
+    let scc = graph.scc_of(id);
+    Some(scc.into_iter().map(|i| graph.node(i).clone()).collect())
+}
+
+/// Whether `config` is a `T`-bottom configuration, or `None` if the
+/// exploration hit a limit before the answer was certain.
+///
+/// A configuration is bottom iff its reachability set equals its component:
+/// everything reachable can reach back.
+#[must_use]
+pub fn is_bottom<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<bool> {
+    let graph = ReachabilityGraph::build(net, [config.clone()], limits);
+    if !graph.is_complete() {
+        return None;
+    }
+    let id = graph.id_of(config).expect("initial configuration is interned");
+    Some(graph.scc_of(id).len() == graph.len())
+}
+
+/// The size of the `T`-component of `config`, or `None` on truncation.
+#[must_use]
+pub fn component_size<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<usize> {
+    component_of(net, config, limits).map(|c| c.len())
+}
+
+/// A bottom configuration reachable from `config`, together with a witnessing
+/// word, or `None` on truncation.
+///
+/// Every finite reachability graph has a bottom strongly connected component;
+/// the returned configuration lies in one of them (preferring a closest one in
+/// BFS order), so it is `T`-bottom. This is the building block of the
+/// Theorem 6.1 witness search in [`bottom`](crate::bottom).
+#[must_use]
+pub fn reach_bottom<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<(Multiset<P>, Vec<usize>)> {
+    let graph = ReachabilityGraph::build(net, [config.clone()], limits);
+    if !graph.is_complete() {
+        return None;
+    }
+    let start = graph.id_of(config).expect("initial configuration is interned");
+    // Mark nodes whose SCC is a bottom SCC (no edge leaves the component).
+    let sccs = graph.sccs();
+    let mut component_index = vec![usize::MAX; graph.len()];
+    for (c, scc) in sccs.iter().enumerate() {
+        for &id in scc {
+            component_index[id] = c;
+        }
+    }
+    let mut is_bottom_scc = vec![true; sccs.len()];
+    for id in graph.ids() {
+        for &(_, to) in graph.successors(id) {
+            if component_index[to] != component_index[id] {
+                is_bottom_scc[component_index[id]] = false;
+            }
+        }
+    }
+    let (goal, word) = graph.path_to(start, |id| is_bottom_scc[component_index[id]])?;
+    Some((graph.node(goal).clone(), word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    /// Reversible swap net: a <-> b, plus an irreversible escape 2b -> 2c.
+    fn escape_net() -> PetriNet<&'static str> {
+        PetriNet::from_transitions([
+            Transition::new(ms(&[("a", 1)]), ms(&[("b", 1)])),
+            Transition::new(ms(&[("b", 1)]), ms(&[("a", 1)])),
+            Transition::new(ms(&[("b", 2)]), ms(&[("c", 2)])),
+        ])
+    }
+
+    #[test]
+    fn component_of_reversible_region() {
+        let net = escape_net();
+        let limits = ExplorationLimits::default();
+        // A single agent can only oscillate between a and b.
+        let component = component_of(&net, &ms(&[("a", 1)]), &limits).unwrap();
+        assert_eq!(component.len(), 2);
+        assert!(component.contains(&ms(&[("a", 1)])));
+        assert!(component.contains(&ms(&[("b", 1)])));
+        assert_eq!(component_size(&net, &ms(&[("a", 1)]), &limits), Some(2));
+    }
+
+    #[test]
+    fn single_agent_is_bottom_two_agents_are_not() {
+        let net = escape_net();
+        let limits = ExplorationLimits::default();
+        assert_eq!(is_bottom(&net, &ms(&[("a", 1)]), &limits), Some(true));
+        // With two agents the escape 2b -> 2c can fire, and 2c cannot go back.
+        assert_eq!(is_bottom(&net, &ms(&[("a", 2)]), &limits), Some(false));
+        assert_eq!(is_bottom(&net, &ms(&[("c", 2)]), &limits), Some(true));
+        assert_eq!(is_bottom(&net, &Multiset::new(), &limits), Some(true));
+    }
+
+    #[test]
+    fn truncated_exploration_returns_none() {
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 2)]),
+        )]);
+        let limits = ExplorationLimits::with_max_configurations(3);
+        assert_eq!(is_bottom(&net, &ms(&[("a", 1)]), &limits), None);
+        assert!(component_of(&net, &ms(&[("a", 1)]), &limits).is_none());
+        assert!(reach_bottom(&net, &ms(&[("a", 1)]), &limits).is_none());
+    }
+
+    #[test]
+    fn reach_bottom_finds_a_sink_component() {
+        let net = escape_net();
+        let limits = ExplorationLimits::default();
+        let (bottom, word) = reach_bottom(&net, &ms(&[("a", 2)]), &limits).unwrap();
+        // The only bottom SCC reachable from 2 agents is {2c}.
+        assert_eq!(bottom, ms(&[("c", 2)]));
+        assert_eq!(net.fire_word(&ms(&[("a", 2)]), &word), Some(bottom.clone()));
+        assert_eq!(is_bottom(&net, &bottom, &limits), Some(true));
+    }
+
+    #[test]
+    fn reach_bottom_on_already_bottom_configuration() {
+        let net = escape_net();
+        let (bottom, word) =
+            reach_bottom(&net, &ms(&[("a", 1)]), &ExplorationLimits::default()).unwrap();
+        assert!(word.is_empty());
+        assert_eq!(bottom, ms(&[("a", 1)]));
+    }
+
+    #[test]
+    fn component_of_example_4_2_leaders_only() {
+        // The Example 4.2 net from leaders only (n = 2): no transition is
+        // enabled, so the component is the singleton and it is bottom.
+        let net = PetriNet::from_transitions([
+            Transition::pairwise("i", "i_bar", "p", "q"),
+            Transition::pairwise("p_bar", "i", "p", "i"),
+            Transition::pairwise("p", "i_bar", "p_bar", "i_bar"),
+            Transition::pairwise("q_bar", "i", "q", "i"),
+            Transition::pairwise("q", "i_bar", "q_bar", "i_bar"),
+            Transition::pairwise("p", "q_bar", "p", "q"),
+            Transition::pairwise("q", "p_bar", "q", "p"),
+        ]);
+        let leaders = ms(&[("i_bar", 2)]);
+        let limits = ExplorationLimits::default();
+        assert_eq!(component_size(&net, &leaders, &limits), Some(1));
+        assert_eq!(is_bottom(&net, &leaders, &limits), Some(true));
+    }
+}

@@ -1,0 +1,286 @@
+//! Coverability: forward bounded search and the exact backward algorithm.
+//!
+//! A configuration `ρ` is *`T`-coverable* from `α` if `α →* β ≥ ρ` for some
+//! `β` (Section 5 of the paper). Coverability drives the characterization of
+//! stabilized configurations (Lemma 5.4), so the suite provides two decision
+//! procedures:
+//!
+//! * [`CoverabilityOracle`] — the classical backward algorithm over
+//!   upward-closed sets. It is exact, requires no budget (termination follows
+//!   from Dickson's lemma) and is the workhorse of the
+//!   [`stabilized`](crate::stabilized) module.
+//! * [`shortest_covering_word`] — a forward breadth-first search that returns
+//!   an explicit *shortest* covering word, used by experiment E5 to compare
+//!   actual covering-word lengths against Rackoff's bound (Lemma 5.3).
+
+use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
+use pp_multiset::Multiset;
+use std::collections::VecDeque;
+
+/// Exact coverability decisions via the backward algorithm.
+///
+/// The oracle is built for a fixed net and target configuration; it computes
+/// the finite basis of the upward-closed set `{α : α →* β ≥ target}` once and
+/// then answers [`CoverabilityOracle::is_coverable_from`] queries by a simple
+/// comparison against the basis.
+///
+/// # Examples
+///
+/// ```
+/// use pp_multiset::Multiset;
+/// use pp_petri::cover::CoverabilityOracle;
+/// use pp_petri::{PetriNet, Transition};
+///
+/// // a + a -> a + b: covering one b needs at least two a (or a b already).
+/// let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
+/// let oracle = CoverabilityOracle::build(&net, Multiset::unit("b"));
+/// assert!(oracle.is_coverable_from(&Multiset::from_pairs([("a", 2u64)])));
+/// assert!(!oracle.is_coverable_from(&Multiset::from_pairs([("a", 1u64)])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverabilityOracle<P: Ord> {
+    target: Multiset<P>,
+    basis: Vec<Multiset<P>>,
+}
+
+impl<P: Clone + Ord> CoverabilityOracle<P> {
+    /// Runs the backward coverability algorithm for `target` over `net`.
+    ///
+    /// The returned oracle's [`basis`](Self::basis) is the set of minimal
+    /// configurations from which `target` is coverable.
+    #[must_use]
+    pub fn build(net: &PetriNet<P>, target: Multiset<P>) -> Self {
+        // Minimal basis of the upward closure, grown backwards to fixpoint.
+        let mut basis: Vec<Multiset<P>> = vec![target.clone()];
+        let mut frontier: Vec<Multiset<P>> = vec![target.clone()];
+        while let Some(current) = frontier.pop() {
+            for t in net.transitions() {
+                let predecessor = t.fire_backward_cover(&current);
+                // Keep only minimal elements.
+                if basis.iter().any(|b| b.le(&predecessor)) {
+                    continue;
+                }
+                basis.retain(|b| !predecessor.le(b));
+                basis.push(predecessor.clone());
+                frontier.push(predecessor);
+            }
+        }
+        CoverabilityOracle { target, basis }
+    }
+
+    /// The target configuration of the oracle.
+    #[must_use]
+    pub fn target(&self) -> &Multiset<P> {
+        &self.target
+    }
+
+    /// The minimal configurations from which the target is coverable.
+    #[must_use]
+    pub fn basis(&self) -> &[Multiset<P>] {
+        &self.basis
+    }
+
+    /// Returns `true` if the target is coverable from `config`.
+    #[must_use]
+    pub fn is_coverable_from(&self, config: &Multiset<P>) -> bool {
+        self.basis.iter().any(|b| b.le(config))
+    }
+}
+
+/// Forward coverability: returns `true` if `target` is coverable from `from`.
+///
+/// This is an exact decision (it delegates to the backward algorithm); use
+/// [`shortest_covering_word`] when the witness word itself is needed.
+#[must_use]
+pub fn is_coverable<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    from: &Multiset<P>,
+    target: &Multiset<P>,
+) -> bool {
+    CoverabilityOracle::build(net, target.clone()).is_coverable_from(from)
+}
+
+/// A shortest covering word, found by forward breadth-first search.
+///
+/// Returns the word `σ` (as transition indices) of minimal length such that
+/// `from --σ--> β ≥ target`, or `None` if no such word is found within
+/// `limits`. Lemma 5.3 (Rackoff) bounds the length of the returned word by
+/// `(‖target‖∞ + ‖T‖∞)^(|P|^|P|)`; experiment E5 compares the two.
+///
+/// Exploration prunes configurations already dominated by a visited one only
+/// in the exact sense (identical configurations); for the small nets of the
+/// experiments this is sufficient.
+#[must_use]
+pub fn shortest_covering_word<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    from: &Multiset<P>,
+    target: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<Vec<usize>> {
+    if target.le(from) {
+        return Some(Vec::new());
+    }
+    let mut seen = std::collections::BTreeSet::from([from.clone()]);
+    let mut queue: VecDeque<(Multiset<P>, Vec<usize>)> = VecDeque::from([(from.clone(), Vec::new())]);
+    while let Some((config, word)) = queue.pop_front() {
+        if seen.len() > limits.max_configurations {
+            return None;
+        }
+        if let Some(max_depth) = limits.max_depth {
+            if word.len() >= max_depth {
+                continue;
+            }
+        }
+        if let Some(max_agents) = limits.max_agents {
+            if config.total() > max_agents {
+                continue;
+            }
+        }
+        for (t, successor) in net.successors(&config) {
+            if !seen.insert(successor.clone()) {
+                continue;
+            }
+            let mut next_word = word.clone();
+            next_word.push(t);
+            if target.le(&successor) {
+                return Some(next_word);
+            }
+            queue.push_back((successor, next_word));
+        }
+    }
+    None
+}
+
+/// Covering words found by searching the pre-built reachability graph.
+///
+/// Convenience used by analyses that already hold a [`ReachabilityGraph`]:
+/// returns a word from the graph node `from` to some node covering `target`.
+#[must_use]
+pub fn covering_word_in_graph<P: Clone + Ord>(
+    graph: &ReachabilityGraph<P>,
+    from: usize,
+    target: &Multiset<P>,
+) -> Option<Vec<usize>> {
+    graph
+        .path_to(from, |id| target.le(graph.node(id)))
+        .map(|(_, word)| word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    /// The Petri net of Example 4.2 of the paper (6 places, width 2).
+    fn example_4_2_net() -> PetriNet<&'static str> {
+        PetriNet::from_transitions([
+            Transition::pairwise("i", "i_bar", "p", "q"),
+            Transition::pairwise("p_bar", "i", "p", "i"),
+            Transition::pairwise("p", "i_bar", "p_bar", "i_bar"),
+            Transition::pairwise("q_bar", "i", "q", "i"),
+            Transition::pairwise("q", "i_bar", "q_bar", "i_bar"),
+            Transition::pairwise("p", "q_bar", "p", "q"),
+            Transition::pairwise("q", "p_bar", "q", "p"),
+        ])
+    }
+
+    #[test]
+    fn backward_oracle_simple_net() {
+        let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
+        let oracle = CoverabilityOracle::build(&net, ms(&[("b", 2)]));
+        // Minimal configurations covering 2b: {2b}, {b + 2a}, {3a}.
+        assert!(oracle.is_coverable_from(&ms(&[("a", 3)])));
+        assert!(oracle.is_coverable_from(&ms(&[("a", 2), ("b", 1)])));
+        assert!(oracle.is_coverable_from(&ms(&[("b", 2)])));
+        assert!(!oracle.is_coverable_from(&ms(&[("a", 2)])));
+        assert!(!oracle.is_coverable_from(&ms(&[("a", 1), ("b", 1)])));
+        assert_eq!(oracle.basis().len(), 3);
+        assert_eq!(oracle.target(), &ms(&[("b", 2)]));
+    }
+
+    #[test]
+    fn oracle_handles_unreachable_targets() {
+        let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
+        let oracle = CoverabilityOracle::build(&net, ms(&[("z", 1)]));
+        // z is never produced: only configurations already containing z qualify.
+        assert!(!oracle.is_coverable_from(&ms(&[("a", 100)])));
+        assert!(oracle.is_coverable_from(&ms(&[("z", 1)])));
+        assert_eq!(oracle.basis().len(), 1);
+    }
+
+    #[test]
+    fn forward_and_backward_agree_on_example_4_2() {
+        let net = example_4_2_net();
+        let limits = ExplorationLimits::default();
+        for (start, target) in [
+            (ms(&[("i", 3), ("i_bar", 2)]), ms(&[("p", 1)])),
+            (ms(&[("i", 1), ("i_bar", 2)]), ms(&[("p", 1), ("q", 1)])),
+            (ms(&[("i_bar", 4)]), ms(&[("p", 1)])),
+            (ms(&[("i", 2), ("i_bar", 2)]), ms(&[("p_bar", 1), ("q_bar", 1)])),
+        ] {
+            let backward = is_coverable(&net, &start, &target);
+            let forward = shortest_covering_word(&net, &start, &target, &limits).is_some();
+            assert_eq!(backward, forward, "disagree on {start:?} covering {target:?}");
+        }
+    }
+
+    #[test]
+    fn shortest_word_is_actually_shortest_and_valid() {
+        let net = PetriNet::from_transitions([
+            Transition::pairwise("a", "a", "a", "b"),
+            Transition::pairwise("a", "b", "b", "b"),
+        ]);
+        let word =
+            shortest_covering_word(&net, &ms(&[("a", 3)]), &ms(&[("b", 3)]), &Default::default())
+                .expect("coverable");
+        assert_eq!(word.len(), 3);
+        let reached = net.fire_word(&ms(&[("a", 3)]), &word).unwrap();
+        assert!(ms(&[("b", 3)]).le(&reached));
+    }
+
+    #[test]
+    fn trivially_covered_target_needs_empty_word() {
+        let net = PetriNet::new();
+        let word =
+            shortest_covering_word(&net, &ms(&[("a", 1)]), &ms(&[("a", 1)]), &Default::default());
+        assert_eq!(word, Some(Vec::new()));
+        let none =
+            shortest_covering_word(&net, &ms(&[("a", 1)]), &ms(&[("b", 1)]), &Default::default());
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn covering_word_in_prebuilt_graph() {
+        let net = example_4_2_net();
+        let start = ms(&[("i", 2), ("i_bar", 2)]);
+        let graph = ReachabilityGraph::build(&net, [start.clone()], &Default::default());
+        let from = graph.initial_ids()[0];
+        let word = covering_word_in_graph(&graph, from, &ms(&[("q", 1)])).expect("coverable");
+        let reached = net.fire_word(&start, &word).unwrap();
+        assert!(ms(&[("q", 1)]).le(&reached));
+    }
+
+    #[test]
+    fn non_conservative_net_with_creation() {
+        // A single agent can spawn unboundedly many b's: b^k coverable for all k.
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 1), ("b", 1)]),
+        )]);
+        let oracle = CoverabilityOracle::build(&net, ms(&[("b", 5)]));
+        assert!(oracle.is_coverable_from(&ms(&[("a", 1)])));
+        assert!(!oracle.is_coverable_from(&ms(&[("b", 4)])));
+        let word = shortest_covering_word(
+            &net,
+            &ms(&[("a", 1)]),
+            &ms(&[("b", 5)]),
+            &ExplorationLimits::default(),
+        )
+        .expect("coverable");
+        assert_eq!(word.len(), 5);
+    }
+}

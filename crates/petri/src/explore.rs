@@ -1,0 +1,536 @@
+//! Bounded forward exploration of Petri-net reachability graphs.
+//!
+//! Most analyses of the suite (output-stability, components, bottom
+//! configurations, stable-computation verification) work on the *reachability
+//! graph* of a Petri net from an initial configuration. For conservative nets
+//! — the common case for population protocols — this graph is finite; for
+//! general nets (the paper's model allows agent creation and destruction) the
+//! exploration is truncated by [`ExplorationLimits`] and the result records
+//! whether it is complete.
+
+use crate::PetriNet;
+use pp_multiset::Multiset;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Limits for forward exploration.
+///
+/// An exploration is *complete* when it terminated without hitting any limit;
+/// analyses that need exactness check [`ReachabilityGraph::is_complete`]
+/// before trusting the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorationLimits {
+    /// Maximum number of distinct configurations to store.
+    pub max_configurations: usize,
+    /// Configurations with more agents than this are not expanded.
+    pub max_agents: Option<u64>,
+    /// Maximum BFS depth (number of transition firings), if any.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for ExplorationLimits {
+    fn default() -> Self {
+        ExplorationLimits {
+            max_configurations: 250_000,
+            max_agents: None,
+            max_depth: None,
+        }
+    }
+}
+
+impl ExplorationLimits {
+    /// Limits with the given configuration budget and no other restrictions.
+    #[must_use]
+    pub fn with_max_configurations(max_configurations: usize) -> Self {
+        ExplorationLimits {
+            max_configurations,
+            ..Default::default()
+        }
+    }
+
+    /// Limits suitable for non-conservative nets: configurations with more
+    /// than `max_agents` agents are not expanded.
+    #[must_use]
+    pub fn with_max_agents(max_agents: u64) -> Self {
+        ExplorationLimits {
+            max_agents: Some(max_agents),
+            ..Default::default()
+        }
+    }
+}
+
+/// The (possibly truncated) reachability graph of a Petri net from a set of
+/// initial configurations.
+///
+/// Nodes are configurations, edges are labelled by transition indices of the
+/// underlying net.
+///
+/// # Examples
+///
+/// ```
+/// use pp_multiset::Multiset;
+/// use pp_petri::{ExplorationLimits, PetriNet, ReachabilityGraph, Transition};
+///
+/// let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "b", "b")]);
+/// let start = Multiset::from_pairs([("a", 4u64)]);
+/// let graph = ReachabilityGraph::build(&net, [start], &ExplorationLimits::default());
+/// assert!(graph.is_complete());
+/// assert_eq!(graph.len(), 3); // 4a, 2a+2b, 4b
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph<P: Ord> {
+    configs: Vec<Multiset<P>>,
+    index: BTreeMap<Multiset<P>, usize>,
+    edges: Vec<Vec<(usize, usize)>>,
+    initial: Vec<usize>,
+    complete: bool,
+}
+
+impl<P: Clone + Ord> ReachabilityGraph<P> {
+    /// Explores the reachability graph of `net` from `initial` breadth-first.
+    #[must_use]
+    pub fn build<I: IntoIterator<Item = Multiset<P>>>(
+        net: &PetriNet<P>,
+        initial: I,
+        limits: &ExplorationLimits,
+    ) -> Self {
+        let mut graph = ReachabilityGraph {
+            configs: Vec::new(),
+            index: BTreeMap::new(),
+            edges: Vec::new(),
+            initial: Vec::new(),
+            complete: true,
+        };
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        for config in initial {
+            if let Some(id) = graph.intern(config, limits) {
+                if !graph.initial.contains(&id) {
+                    graph.initial.push(id);
+                    queue.push_back((id, 0));
+                }
+            }
+        }
+        let mut expanded = vec![false; graph.configs.len()];
+        while let Some((id, depth)) = queue.pop_front() {
+            if expanded.get(id).copied().unwrap_or(false) {
+                continue;
+            }
+            if expanded.len() < graph.configs.len() {
+                expanded.resize(graph.configs.len(), false);
+            }
+            expanded[id] = true;
+            if let Some(max_depth) = limits.max_depth {
+                if depth >= max_depth {
+                    graph.complete = false;
+                    continue;
+                }
+            }
+            if let Some(max_agents) = limits.max_agents {
+                if graph.configs[id].total() > max_agents {
+                    graph.complete = false;
+                    continue;
+                }
+            }
+            for (t, successor) in net.successors(&graph.configs[id]) {
+                match graph.intern(successor, limits) {
+                    Some(succ_id) => {
+                        graph.edges[id].push((t, succ_id));
+                        if !expanded.get(succ_id).copied().unwrap_or(false) {
+                            if expanded.len() < graph.configs.len() {
+                                expanded.resize(graph.configs.len(), false);
+                            }
+                            queue.push_back((succ_id, depth + 1));
+                        }
+                    }
+                    None => {
+                        graph.complete = false;
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Interns a configuration, returning its node id, or `None` if the
+    /// configuration budget is exhausted.
+    fn intern(&mut self, config: Multiset<P>, limits: &ExplorationLimits) -> Option<usize> {
+        if let Some(&id) = self.index.get(&config) {
+            return Some(id);
+        }
+        if self.configs.len() >= limits.max_configurations {
+            return None;
+        }
+        let id = self.configs.len();
+        self.index.insert(config.clone(), id);
+        self.configs.push(config);
+        self.edges.push(Vec::new());
+        Some(id)
+    }
+
+    /// Number of stored configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Returns `true` if the graph stores no configuration.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Returns `true` if no exploration limit was hit.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The configuration of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn node(&self, id: usize) -> &Multiset<P> {
+        &self.configs[id]
+    }
+
+    /// The node id of `config`, if it was reached.
+    #[must_use]
+    pub fn id_of(&self, config: &Multiset<P>) -> Option<usize> {
+        self.index.get(config).copied()
+    }
+
+    /// The ids of the initial configurations.
+    #[must_use]
+    pub fn initial_ids(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Outgoing edges of node `id` as `(transition index, successor id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn successors(&self, id: usize) -> &[(usize, usize)] {
+        &self.edges[id]
+    }
+
+    /// Iterates over all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = usize> {
+        0..self.configs.len()
+    }
+
+    /// The reverse adjacency lists (predecessor ids per node).
+    #[must_use]
+    pub fn predecessor_lists(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.configs.len()];
+        for (from, edges) in self.edges.iter().enumerate() {
+            for &(_, to) in edges {
+                preds[to].push(from);
+            }
+        }
+        preds
+    }
+
+    /// The set of nodes reachable from `from` (including `from` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of bounds.
+    #[must_use]
+    pub fn reachable_from(&self, from: usize) -> BTreeSet<usize> {
+        assert!(from < self.configs.len(), "node id out of bounds");
+        let mut seen = BTreeSet::from([from]);
+        let mut queue = VecDeque::from([from]);
+        while let Some(id) = queue.pop_front() {
+            for &(_, to) in &self.edges[id] {
+                if seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of nodes from which some node satisfying `goal` is reachable.
+    #[must_use]
+    pub fn nodes_that_can_reach<F: FnMut(usize) -> bool>(&self, mut goal: F) -> BTreeSet<usize> {
+        let preds = self.predecessor_lists();
+        let mut seen: BTreeSet<usize> = self.ids().filter(|&id| goal(id)).collect();
+        let mut queue: VecDeque<usize> = seen.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            for &p in &preds[id] {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A shortest transition word from node `from` to some node satisfying
+    /// `goal`, if one exists within the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of bounds.
+    #[must_use]
+    pub fn path_to<F: FnMut(usize) -> bool>(
+        &self,
+        from: usize,
+        mut goal: F,
+    ) -> Option<(usize, Vec<usize>)> {
+        assert!(from < self.configs.len(), "node id out of bounds");
+        if goal(from) {
+            return Some((from, Vec::new()));
+        }
+        let mut parents: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(id) = queue.pop_front() {
+            for &(t, to) in &self.edges[id] {
+                if seen.insert(to) {
+                    parents.insert(to, (id, t));
+                    if goal(to) {
+                        // Reconstruct the word.
+                        let mut word = Vec::new();
+                        let mut cur = to;
+                        while cur != from {
+                            let (parent, transition) = parents[&cur];
+                            word.push(transition);
+                            cur = parent;
+                        }
+                        word.reverse();
+                        return Some((to, word));
+                    }
+                    queue.push_back(to);
+                }
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components of the graph, in reverse topological
+    /// order (every edge leaving a component goes to an earlier component in
+    /// the returned list). Uses an iterative Tarjan algorithm.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.configs.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+
+        #[derive(Debug)]
+        struct Frame {
+            node: usize,
+            edge: usize,
+        }
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut call_stack = vec![Frame { node: start, edge: 0 }];
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(frame) = call_stack.last_mut() {
+                let node = frame.node;
+                if frame.edge < self.edges[node].len() {
+                    let (_, to) = self.edges[node][frame.edge];
+                    frame.edge += 1;
+                    if index[to] == usize::MAX {
+                        index[to] = next_index;
+                        low[to] = next_index;
+                        next_index += 1;
+                        stack.push(to);
+                        on_stack[to] = true;
+                        call_stack.push(Frame { node: to, edge: 0 });
+                    } else if on_stack[to] {
+                        low[node] = low[node].min(index[to]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(parent) = call_stack.last() {
+                        low[parent.node] = low[parent.node].min(low[node]);
+                    }
+                    if low[node] == index[node] {
+                        let mut component = Vec::new();
+                        loop {
+                            let v = stack.pop().expect("tarjan stack underflow");
+                            on_stack[v] = false;
+                            component.push(v);
+                            if v == node {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// The strongly connected component containing `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn scc_of(&self, id: usize) -> Vec<usize> {
+        assert!(id < self.configs.len(), "node id out of bounds");
+        self.sccs()
+            .into_iter()
+            .find(|c| c.contains(&id))
+            .expect("every node belongs to a component")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    /// Net over {a, b}: a+a -> a+b (irreversible) and a+b <-> b+a (identity-ish b toggles).
+    fn doubling_net() -> PetriNet<&'static str> {
+        PetriNet::from_transitions([
+            Transition::pairwise("a", "a", "a", "b"),
+            Transition::pairwise("a", "b", "b", "b"),
+        ])
+    }
+
+    #[test]
+    fn conservative_graph_is_complete() {
+        let net = doubling_net();
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &ExplorationLimits::default());
+        assert!(graph.is_complete());
+        // Reachable: 5a, 4a+b, 3a+2b, 2a+3b, a+4b, 5b — a can always convert.
+        assert_eq!(graph.len(), 6);
+        assert_eq!(graph.initial_ids().len(), 1);
+        assert!(graph.id_of(&ms(&[("b", 5)])).is_some());
+        assert!(graph.id_of(&ms(&[("a", 5), ("b", 1)])).is_none());
+    }
+
+    #[test]
+    fn budget_truncation_is_reported() {
+        let net = doubling_net();
+        let limits = ExplorationLimits::with_max_configurations(2);
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &limits);
+        assert!(!graph.is_complete());
+        assert!(graph.len() <= 2);
+    }
+
+    #[test]
+    fn agent_budget_stops_expansion_of_large_configs() {
+        // Non-conservative net: a -> a + a grows without bound.
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 2)]),
+        )]);
+        let limits = ExplorationLimits::with_max_agents(4);
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 1)])], &limits);
+        assert!(!graph.is_complete());
+        // 1, 2, 3, 4 agents are expanded; 5 is stored but not expanded.
+        assert_eq!(graph.len(), 5);
+    }
+
+    #[test]
+    fn depth_budget() {
+        let net = doubling_net();
+        let limits = ExplorationLimits {
+            max_depth: Some(1),
+            ..Default::default()
+        };
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &limits);
+        assert!(!graph.is_complete());
+        assert_eq!(graph.len(), 2);
+    }
+
+    #[test]
+    fn path_search_finds_shortest_word() {
+        let net = doubling_net();
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 4)])], &ExplorationLimits::default());
+        let start = graph.initial_ids()[0];
+        let target = ms(&[("b", 4)]);
+        let (goal, word) = graph
+            .path_to(start, |id| graph.node(id) == &target)
+            .expect("4b is reachable");
+        assert_eq!(graph.node(goal), &target);
+        assert_eq!(word.len(), 4);
+        assert_eq!(net.fire_word(&ms(&[("a", 4)]), &word), Some(target));
+        assert!(graph.path_to(start, |id| graph.node(id).get(&"z") > 0).is_none());
+    }
+
+    #[test]
+    fn reachable_and_coreachable_sets() {
+        let net = doubling_net();
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 3)])], &ExplorationLimits::default());
+        let start = graph.initial_ids()[0];
+        let all = graph.reachable_from(start);
+        assert_eq!(all.len(), graph.len());
+        let sink = graph.id_of(&ms(&[("b", 3)])).unwrap();
+        assert_eq!(graph.reachable_from(sink), BTreeSet::from([sink]));
+        let can_reach_sink = graph.nodes_that_can_reach(|id| id == sink);
+        assert_eq!(can_reach_sink.len(), graph.len());
+    }
+
+    #[test]
+    fn sccs_of_a_dag_are_singletons() {
+        let net = doubling_net();
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 3)])], &ExplorationLimits::default());
+        let sccs = graph.sccs();
+        assert_eq!(sccs.len(), graph.len());
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn sccs_detect_cycles() {
+        // a <-> b reversible plus an escape to c.
+        let net = PetriNet::from_transitions([
+            Transition::new(ms(&[("a", 1)]), ms(&[("b", 1)])),
+            Transition::new(ms(&[("b", 1)]), ms(&[("a", 1)])),
+            Transition::new(ms(&[("a", 2)]), ms(&[("c", 2)])),
+        ]);
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 2)])], &ExplorationLimits::default());
+        let sccs = graph.sccs();
+        // {2a, a+b, 2b} form one component; 2c is its own.
+        let sizes: Vec<usize> = sccs.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3));
+        assert!(sizes.contains(&1));
+        let start = graph.initial_ids()[0];
+        assert_eq!(graph.scc_of(start).len(), 3);
+        // Reverse topological order: the first component has no outgoing edges.
+        let first = &sccs[0];
+        for &id in first {
+            for &(_, to) in graph.successors(id) {
+                assert!(first.contains(&to));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_initial_configurations() {
+        let net = doubling_net();
+        let graph = ReachabilityGraph::build(
+            &net,
+            [ms(&[("a", 2)]), ms(&[("b", 2)])],
+            &ExplorationLimits::default(),
+        );
+        assert_eq!(graph.initial_ids().len(), 2);
+        assert!(graph.id_of(&ms(&[("b", 2)])).is_some());
+        assert!(graph.id_of(&ms(&[("a", 1), ("b", 1)])).is_some());
+    }
+}

@@ -1,0 +1,303 @@
+//! Karp–Miller coverability trees.
+//!
+//! The Karp–Miller tree finitely represents the (downward closure of the)
+//! coverability set of a Petri net using ω-markings: places that can be pumped
+//! unboundedly are accelerated to ω. The suite uses it as an alternative
+//! coverability/boundedness procedure next to the backward algorithm of
+//! [`cover`](crate::cover) — experiment E5's ablation compares the two — and
+//! to detect unbounded places of non-conservative protocols.
+
+use crate::PetriNet;
+use pp_multiset::Multiset;
+use std::collections::BTreeMap;
+
+/// A marking value: a finite count or ω (unbounded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OmegaValue {
+    /// A finite number of agents.
+    Finite(u64),
+    /// Unboundedly many agents (the ω of Karp–Miller acceleration).
+    Omega,
+}
+
+impl OmegaValue {
+    fn at_least(self, needed: u64) -> bool {
+        match self {
+            OmegaValue::Finite(v) => v >= needed,
+            OmegaValue::Omega => true,
+        }
+    }
+
+    fn add(self, delta: i64) -> OmegaValue {
+        match self {
+            OmegaValue::Finite(v) => {
+                let new = i64::try_from(v).expect("count fits i64") + delta;
+                OmegaValue::Finite(u64::try_from(new).expect("marking stays non-negative"))
+            }
+            OmegaValue::Omega => OmegaValue::Omega,
+        }
+    }
+}
+
+/// An ω-marking: a configuration whose counts may be ω.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OmegaMarking<P: Ord> {
+    values: BTreeMap<P, OmegaValue>,
+}
+
+impl<P: Clone + Ord> OmegaMarking<P> {
+    /// The ω-marking corresponding to a plain configuration.
+    #[must_use]
+    pub fn from_config(config: &Multiset<P>) -> Self {
+        OmegaMarking {
+            values: config
+                .iter()
+                .map(|(p, c)| (p.clone(), OmegaValue::Finite(c)))
+                .collect(),
+        }
+    }
+
+    /// The value of `place` (zero if absent).
+    #[must_use]
+    pub fn get(&self, place: &P) -> OmegaValue {
+        self.values
+            .get(place)
+            .copied()
+            .unwrap_or(OmegaValue::Finite(0))
+    }
+
+    fn set(&mut self, place: P, value: OmegaValue) {
+        if value == OmegaValue::Finite(0) {
+            self.values.remove(&place);
+        } else {
+            self.values.insert(place, value);
+        }
+    }
+
+    /// Returns `true` if no place carries ω.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.values.values().all(|v| *v != OmegaValue::Omega)
+    }
+
+    /// Returns `true` if this marking covers `config` (ω covers anything).
+    #[must_use]
+    pub fn covers(&self, config: &Multiset<P>) -> bool {
+        config.iter().all(|(p, c)| self.get(p).at_least(c))
+    }
+
+    /// Component-wise order on ω-markings.
+    #[must_use]
+    pub fn le(&self, other: &OmegaMarking<P>) -> bool {
+        let places: std::collections::BTreeSet<&P> =
+            self.values.keys().chain(other.values.keys()).collect();
+        places.into_iter().all(|p| match (self.get(p), other.get(p)) {
+            (OmegaValue::Omega, OmegaValue::Omega) => true,
+            (OmegaValue::Omega, OmegaValue::Finite(_)) => false,
+            (OmegaValue::Finite(_), OmegaValue::Omega) => true,
+            (OmegaValue::Finite(a), OmegaValue::Finite(b)) => a <= b,
+        })
+    }
+
+    /// Fires transition `t` if enabled (ω satisfies any precondition).
+    #[must_use]
+    fn fire(&self, pre: &Multiset<P>, post: &Multiset<P>) -> Option<OmegaMarking<P>> {
+        if !self.covers(pre) {
+            return None;
+        }
+        let mut next = self.clone();
+        for (p, c) in pre.iter() {
+            let value = next.get(p).add(-(i64::try_from(c).expect("count fits i64")));
+            next.set(p.clone(), value);
+        }
+        for (p, c) in post.iter() {
+            let value = next.get(p).add(i64::try_from(c).expect("count fits i64"));
+            next.set(p.clone(), value);
+        }
+        Some(next)
+    }
+
+    /// Accelerates against a strictly smaller ancestor: places where this
+    /// marking strictly exceeds the ancestor become ω.
+    fn accelerate(&mut self, ancestor: &OmegaMarking<P>) {
+        let places: Vec<P> = self.values.keys().cloned().collect();
+        for p in places {
+            if let (OmegaValue::Finite(mine), OmegaValue::Finite(theirs)) =
+                (self.get(&p), ancestor.get(&p))
+            {
+                if mine > theirs {
+                    self.set(p, OmegaValue::Omega);
+                }
+            }
+        }
+    }
+}
+
+/// A Karp–Miller coverability tree, stored as its set of ω-markings.
+#[derive(Debug, Clone)]
+pub struct KarpMillerTree<P: Ord> {
+    markings: Vec<OmegaMarking<P>>,
+    complete: bool,
+}
+
+impl<P: Clone + Ord> KarpMillerTree<P> {
+    /// Builds the tree from `initial`, exploring at most `max_nodes` nodes.
+    #[must_use]
+    pub fn build(net: &PetriNet<P>, initial: &Multiset<P>, max_nodes: usize) -> Self {
+        let root = OmegaMarking::from_config(initial);
+        let mut markings: Vec<OmegaMarking<P>> = Vec::new();
+        let mut complete = true;
+        // Each work item carries its branch (ancestor chain) for acceleration.
+        let mut stack: Vec<(OmegaMarking<P>, Vec<OmegaMarking<P>>)> = vec![(root, Vec::new())];
+        while let Some((marking, ancestors)) = stack.pop() {
+            if markings.len() >= max_nodes {
+                complete = false;
+                break;
+            }
+            // Stop expanding when an ancestor is ≥ this marking (subsumption
+            // on the branch, the classical termination rule).
+            if ancestors.iter().any(|a| marking.le(a)) {
+                continue;
+            }
+            markings.push(marking.clone());
+            for t in net.transitions() {
+                if let Some(mut next) = marking.fire(t.pre(), t.post()) {
+                    for ancestor in ancestors.iter().chain(std::iter::once(&marking)) {
+                        if ancestor.le(&next) && ancestor != &next {
+                            next.accelerate(ancestor);
+                        }
+                    }
+                    let mut branch = ancestors.clone();
+                    branch.push(marking.clone());
+                    stack.push((next, branch));
+                }
+            }
+        }
+        KarpMillerTree { markings, complete }
+    }
+
+    /// The ω-markings of the tree.
+    #[must_use]
+    pub fn markings(&self) -> &[OmegaMarking<P>] {
+        &self.markings
+    }
+
+    /// Returns `true` if the tree was fully built within the node budget.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Returns `true` if some marking of the tree covers `config`.
+    ///
+    /// When the tree is complete this decides coverability from the initial
+    /// configuration.
+    #[must_use]
+    pub fn covers(&self, config: &Multiset<P>) -> bool {
+        self.markings.iter().any(|m| m.covers(config))
+    }
+
+    /// Returns `true` if the net is bounded from the initial configuration
+    /// (no ω appears). Meaningful only when the tree is complete.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.markings.iter().all(OmegaMarking::is_finite)
+    }
+
+    /// Returns `true` if the given place stays bounded (never accelerates to ω).
+    #[must_use]
+    pub fn place_is_bounded(&self, place: &P) -> bool {
+        self.markings.iter().all(|m| m.get(place) != OmegaValue::Omega)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::is_coverable;
+    use crate::Transition;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn conservative_net_is_bounded() {
+        let net = PetriNet::from_transitions([
+            Transition::pairwise("a", "a", "a", "b"),
+            Transition::pairwise("a", "b", "b", "b"),
+        ]);
+        let tree = KarpMillerTree::build(&net, &ms(&[("a", 3)]), 10_000);
+        assert!(tree.is_complete());
+        assert!(tree.is_bounded());
+        assert!(tree.covers(&ms(&[("b", 3)])));
+        assert!(!tree.covers(&ms(&[("b", 4)])));
+    }
+
+    #[test]
+    fn creation_net_accelerates_to_omega() {
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 1), ("b", 1)]),
+        )]);
+        let tree = KarpMillerTree::build(&net, &ms(&[("a", 1)]), 10_000);
+        assert!(tree.is_complete());
+        assert!(!tree.is_bounded());
+        assert!(tree.place_is_bounded(&"a"));
+        assert!(!tree.place_is_bounded(&"b"));
+        // Any number of b's is coverable.
+        assert!(tree.covers(&ms(&[("b", 1_000_000), ("a", 1)])));
+        assert!(!tree.covers(&ms(&[("a", 2)])));
+    }
+
+    #[test]
+    fn karp_miller_agrees_with_backward_coverability() {
+        let net = PetriNet::from_transitions([
+            Transition::pairwise("i", "i_bar", "p", "q"),
+            Transition::pairwise("p_bar", "i", "p", "i"),
+            Transition::pairwise("p", "i_bar", "p_bar", "i_bar"),
+            Transition::pairwise("q_bar", "i", "q", "i"),
+            Transition::pairwise("q", "i_bar", "q_bar", "i_bar"),
+            Transition::pairwise("p", "q_bar", "p", "q"),
+            Transition::pairwise("q", "p_bar", "q", "p"),
+        ]);
+        let start = ms(&[("i", 2), ("i_bar", 2)]);
+        let tree = KarpMillerTree::build(&net, &start, 100_000);
+        assert!(tree.is_complete());
+        for target in [
+            ms(&[("p", 1)]),
+            ms(&[("p", 1), ("q", 1)]),
+            ms(&[("p_bar", 1), ("q_bar", 1)]),
+            ms(&[("p", 3)]),
+            ms(&[("i", 3)]),
+        ] {
+            assert_eq!(
+                tree.covers(&target),
+                is_coverable(&net, &start, &target),
+                "karp-miller and backward coverability disagree on {target:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_budget_reported() {
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 1), ("b", 1)]),
+        )]);
+        let tree = KarpMillerTree::build(&net, &ms(&[("a", 1)]), 1);
+        assert!(!tree.is_complete());
+    }
+
+    #[test]
+    fn omega_marking_order_and_cover() {
+        let finite = OmegaMarking::from_config(&ms(&[("a", 2)]));
+        let mut omega = finite.clone();
+        omega.set("a", OmegaValue::Omega);
+        assert!(finite.le(&omega));
+        assert!(!omega.le(&finite));
+        assert!(omega.covers(&ms(&[("a", 1_000)])));
+        assert!(!finite.covers(&ms(&[("a", 3)])));
+        assert!(omega.is_finite() == false && finite.is_finite());
+    }
+}

@@ -1,0 +1,56 @@
+//! Petri-net substrate for *State Complexity of Protocols With Leaders*.
+//!
+//! Section 3 of the paper observes that additive preorders of finite
+//! interaction-width are exactly Petri-net reachability relations, which makes
+//! Petri nets the computational substrate of every later section:
+//!
+//! * Section 5 characterizes `(T, F)`-stabilized configurations using
+//!   Rackoff's coverability bounds ([`stabilized`], [`rackoff`], [`cover`]);
+//! * Section 6 reaches *bottom* configurations along short executions
+//!   ([`component`], [`bottom`]);
+//! * Section 7 analyses Petri nets *with control-states*: Euler cycles, total
+//!   cycles and the Pottier-based multicycle shrinking of Lemma 7.3
+//!   ([`control`], [`euler`], [`cycles`]).
+//!
+//! The crate provides all of these as reusable algorithms over
+//! [`PetriNet`]/[`Transition`] built on [`pp_multiset::Multiset`]
+//! configurations, together with bounded forward exploration
+//! ([`explore::ReachabilityGraph`]), exact backward coverability
+//! ([`cover::CoverabilityOracle`]) and a Karp–Miller tree ([`karp_miller`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_multiset::Multiset;
+//! use pp_petri::{PetriNet, Transition};
+//!
+//! // The Petri net of Example 4.2 restricted to two of its transitions.
+//! let mut net = PetriNet::new();
+//! net.add_transition(Transition::new(
+//!     Multiset::from_pairs([("i", 1u64), ("i_bar", 1)]),
+//!     Multiset::from_pairs([("p", 1u64), ("q", 1)]),
+//! ));
+//! assert_eq!(net.max_width(), 2);
+//! assert_eq!(net.sup_norm(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottom;
+pub mod component;
+pub mod control;
+pub mod cover;
+pub mod cycles;
+pub mod euler;
+pub mod explore;
+pub mod karp_miller;
+pub mod rackoff;
+pub mod stabilized;
+
+mod net;
+mod transition;
+
+pub use explore::{ExplorationLimits, ReachabilityGraph};
+pub use net::PetriNet;
+pub use transition::Transition;

@@ -1,0 +1,228 @@
+//! Petri-net transitions: pairs of configurations.
+
+use pp_multiset::{Multiset, SignedVec};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A `P`-transition `t = (α_t, β_t)`: a pair of configurations.
+///
+/// Firing `t` in a configuration `α` requires `α ≥ α_t` and produces
+/// `α - α_t + β_t`; this is the minimal additive relation containing the pair
+/// (Section 3 of the paper). The *interaction-width* `|t|` is
+/// `max(|α_t|, |β_t|)` — the number of agents taking part in the interaction.
+///
+/// # Examples
+///
+/// ```
+/// use pp_multiset::Multiset;
+/// use pp_petri::Transition;
+///
+/// // t = (i + ī, p + q): a leader meets an input agent.
+/// let t = Transition::new(
+///     Multiset::from_pairs([("i", 1u64), ("i_bar", 1)]),
+///     Multiset::from_pairs([("p", 1u64), ("q", 1)]),
+/// );
+/// assert_eq!(t.width(), 2);
+/// let from = Multiset::from_pairs([("i", 2u64), ("i_bar", 1)]);
+/// let to = t.fire(&from).unwrap();
+/// assert_eq!(to, Multiset::from_pairs([("i", 1u64), ("p", 1), ("q", 1)]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Transition<P: Ord> {
+    pre: Multiset<P>,
+    post: Multiset<P>,
+}
+
+impl<P: Clone + Ord> Transition<P> {
+    /// Creates the transition `(pre, post)`.
+    #[must_use]
+    pub fn new(pre: Multiset<P>, post: Multiset<P>) -> Self {
+        Transition { pre, post }
+    }
+
+    /// Creates a classical pairwise interaction `(a, b) ↦ (c, d)`.
+    ///
+    /// This is the interaction format of standard population protocols: two
+    /// agents in states `a` and `b` meet and move to states `c` and `d`.
+    #[must_use]
+    pub fn pairwise(a: P, b: P, c: P, d: P) -> Self {
+        Transition::new(
+            Multiset::from_pairs([(a, 1), (b, 1)]),
+            Multiset::from_pairs([(c, 1), (d, 1)]),
+        )
+    }
+
+    /// The configuration consumed by the transition (`α_t`).
+    #[must_use]
+    pub fn pre(&self) -> &Multiset<P> {
+        &self.pre
+    }
+
+    /// The configuration produced by the transition (`β_t`).
+    #[must_use]
+    pub fn post(&self) -> &Multiset<P> {
+        &self.post
+    }
+
+    /// The interaction-width `|t| = max(|α_t|, |β_t|)`.
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.pre.total().max(self.post.total())
+    }
+
+    /// The norm `‖t‖∞ = max(‖α_t‖∞, ‖β_t‖∞)`.
+    #[must_use]
+    pub fn sup_norm(&self) -> u64 {
+        self.pre.sup_norm().max(self.post.sup_norm())
+    }
+
+    /// The displacement `Δ(t) = β_t - α_t`.
+    #[must_use]
+    pub fn displacement(&self) -> SignedVec<P> {
+        SignedVec::displacement(&self.pre, &self.post)
+    }
+
+    /// Returns `true` if the transition preserves the number of agents.
+    #[must_use]
+    pub fn is_conservative(&self) -> bool {
+        self.pre.total() == self.post.total()
+    }
+
+    /// Returns `true` if the transition can fire in `config` (`config ≥ α_t`).
+    #[must_use]
+    pub fn is_enabled(&self, config: &Multiset<P>) -> bool {
+        self.pre.le(config)
+    }
+
+    /// Fires the transition in `config`, or returns `None` if it is disabled.
+    #[must_use]
+    pub fn fire(&self, config: &Multiset<P>) -> Option<Multiset<P>> {
+        let remainder = config.checked_sub(&self.pre)?;
+        Some(remainder + &self.post)
+    }
+
+    /// Fires the transition backwards: returns the smallest `α` with
+    /// `α --t--> β + γ` for some `γ`, i.e. the backward image used by the
+    /// backward coverability algorithm.
+    #[must_use]
+    pub fn fire_backward_cover(&self, target: &Multiset<P>) -> Multiset<P> {
+        target.saturating_sub(&self.post) + &self.pre
+    }
+
+    /// The reversed transition `(β_t, α_t)`.
+    #[must_use]
+    pub fn reversed(&self) -> Transition<P> {
+        Transition::new(self.post.clone(), self.pre.clone())
+    }
+
+    /// The restriction `t|_Q = (α_t|_Q, β_t|_Q)`.
+    #[must_use]
+    pub fn restrict(&self, places: &BTreeSet<P>) -> Transition<P> {
+        Transition::new(self.pre.restrict(places), self.post.restrict(places))
+    }
+
+    /// All places mentioned by the transition.
+    #[must_use]
+    pub fn places(&self) -> BTreeSet<P> {
+        let mut places = self.pre.support_set();
+        places.extend(self.post.support_set());
+        places
+    }
+}
+
+impl<P: Ord + fmt::Debug> fmt::Debug for Transition<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} -> {:?})", self.pre, self.post)
+    }
+}
+
+impl<P: Ord + fmt::Display> fmt::Display for Transition<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.pre, self.post)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn width_and_norm() {
+        let t = Transition::new(ms(&[("a", 2)]), ms(&[("b", 1)]));
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.sup_norm(), 2);
+        assert!(!t.is_conservative());
+        let u = Transition::pairwise("a", "b", "c", "c");
+        assert_eq!(u.width(), 2);
+        assert_eq!(u.sup_norm(), 2.min(2)); // c appears twice in the post
+        assert!(u.is_conservative());
+    }
+
+    #[test]
+    fn firing() {
+        let t = Transition::pairwise("a", "b", "c", "d");
+        assert!(t.is_enabled(&ms(&[("a", 1), ("b", 1), ("z", 5)])));
+        assert!(!t.is_enabled(&ms(&[("a", 2)])));
+        assert_eq!(
+            t.fire(&ms(&[("a", 1), ("b", 2)])),
+            Some(ms(&[("b", 1), ("c", 1), ("d", 1)]))
+        );
+        assert_eq!(t.fire(&ms(&[("a", 1)])), None);
+    }
+
+    #[test]
+    fn fire_preserves_extra_context() {
+        // Additivity: firing in α_t + ρ yields β_t + ρ.
+        let t = Transition::new(ms(&[("a", 1)]), ms(&[("b", 2)]));
+        let context = ms(&[("a", 3), ("z", 7)]);
+        let from = &context + &ms(&[("a", 1)]);
+        assert_eq!(t.fire(&from), Some(&context + &ms(&[("b", 2)])));
+    }
+
+    #[test]
+    fn displacement_and_reverse() {
+        let t = Transition::new(ms(&[("a", 1), ("b", 1)]), ms(&[("a", 1), ("c", 1)]));
+        let d = t.displacement();
+        assert_eq!(d.get(&"b"), -1);
+        assert_eq!(d.get(&"c"), 1);
+        assert_eq!(d.get(&"a"), 0);
+        assert_eq!(t.reversed().displacement(), -d);
+    }
+
+    #[test]
+    fn backward_cover_image() {
+        let t = Transition::new(ms(&[("a", 1)]), ms(&[("b", 2)]));
+        // To cover 3·b after firing t we need 1·b before plus the precondition.
+        assert_eq!(
+            t.fire_backward_cover(&ms(&[("b", 3)])),
+            ms(&[("a", 1), ("b", 1)])
+        );
+        // To cover something t fully provides we only need the precondition.
+        assert_eq!(t.fire_backward_cover(&ms(&[("b", 1)])), ms(&[("a", 1)]));
+        // Forward soundness: firing from the backward image covers the target.
+        let back = t.fire_backward_cover(&ms(&[("b", 3), ("c", 1)]));
+        let forward = t.fire(&back).unwrap();
+        assert!(ms(&[("b", 3), ("c", 1)]).le(&forward));
+    }
+
+    #[test]
+    fn restriction() {
+        let t = Transition::new(ms(&[("a", 1), ("b", 1)]), ms(&[("c", 2)]));
+        let q: BTreeSet<&str> = ["a", "c"].into_iter().collect();
+        let r = t.restrict(&q);
+        assert_eq!(r.pre(), &ms(&[("a", 1)]));
+        assert_eq!(r.post(), &ms(&[("c", 2)]));
+        assert_eq!(t.places().len(), 3);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let t = Transition::pairwise("a", "b", "c", "d");
+        assert!(t.to_string().contains('→'));
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Incremental construction of protocols.
+
+use crate::error::ProtocolError;
+use crate::output::Output;
+use crate::protocol::{Protocol, StateId};
+use pp_multiset::Multiset;
+use pp_petri::{PetriNet, Transition};
+use std::collections::BTreeSet;
+
+/// Builder for [`Protocol`] values.
+///
+/// # Examples
+///
+/// ```
+/// use pp_population::{Output, ProtocolBuilder};
+///
+/// // Example 4.1 of the paper for n = 2, as a width-2 Petri net: two input
+/// // agents meet and one converts; a converted agent converts the rest.
+/// let mut builder = ProtocolBuilder::new("demo");
+/// let i = builder.state("i", Output::Zero);
+/// let p = builder.state("p", Output::One);
+/// builder.initial(i);
+/// builder.pairwise(i, i, i, p);
+/// builder.pairwise(p, i, p, p);
+/// let protocol = builder.build().unwrap();
+/// assert_eq!(protocol.num_states(), 2);
+/// assert_eq!(protocol.width(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolBuilder {
+    name: String,
+    state_names: Vec<String>,
+    outputs: Vec<Output>,
+    net: PetriNet<StateId>,
+    leaders: Multiset<StateId>,
+    initial_states: BTreeSet<StateId>,
+    error: Option<ProtocolError>,
+}
+
+impl ProtocolBuilder {
+    /// Starts building a protocol with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ProtocolBuilder {
+            name: name.into(),
+            state_names: Vec::new(),
+            outputs: Vec::new(),
+            net: PetriNet::new(),
+            leaders: Multiset::new(),
+            initial_states: BTreeSet::new(),
+            error: None,
+        }
+    }
+
+    /// Declares a state with the given name and output, returning its id.
+    ///
+    /// Declaring two states with the same name is recorded as an error that
+    /// is reported by [`build`](Self::build).
+    pub fn state(&mut self, name: impl Into<String>, output: Output) -> StateId {
+        let name = name.into();
+        if self.state_names.contains(&name) && self.error.is_none() {
+            self.error = Some(ProtocolError::DuplicateState(name.clone()));
+        }
+        let id = StateId(self.state_names.len());
+        self.state_names.push(name);
+        self.outputs.push(output);
+        self.net.add_place(id);
+        id
+    }
+
+    /// Marks a state as initial.
+    pub fn initial(&mut self, state: StateId) -> &mut Self {
+        self.check_state(state);
+        self.initial_states.insert(state);
+        self
+    }
+
+    /// Adds `count` leaders in the given state.
+    pub fn leaders(&mut self, state: StateId, count: u64) -> &mut Self {
+        self.check_state(state);
+        self.leaders.add_to(state, count);
+        self
+    }
+
+    /// Adds a general transition from multiset `pre` to multiset `post`
+    /// (given as `(state, count)` slices).
+    pub fn transition(&mut self, pre: &[(StateId, u64)], post: &[(StateId, u64)]) -> &mut Self {
+        for (s, _) in pre.iter().chain(post) {
+            self.check_state(*s);
+        }
+        let pre = Multiset::from_pairs(pre.iter().copied());
+        let post = Multiset::from_pairs(post.iter().copied());
+        if pre.is_empty() && post.is_empty() && self.error.is_none() {
+            self.error = Some(ProtocolError::EmptyTransition);
+        }
+        self.net.add_transition(Transition::new(pre, post));
+        self
+    }
+
+    /// Adds the classical pairwise interaction `(a, b) ↦ (c, d)`.
+    pub fn pairwise(&mut self, a: StateId, b: StateId, c: StateId, d: StateId) -> &mut Self {
+        self.transition(&[(a, 1), (b, 1)], &[(c, 1), (d, 1)])
+    }
+
+    fn check_state(&mut self, state: StateId) {
+        if state.0 >= self.state_names.len() && self.error.is_none() {
+            self.error = Some(ProtocolError::UnknownState(state.0));
+        }
+    }
+
+    /// Finishes the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error encountered: duplicate or unknown
+    /// states, empty transitions, no states, or no initial state.
+    pub fn build(&self) -> Result<Protocol, ProtocolError> {
+        if let Some(error) = &self.error {
+            return Err(error.clone());
+        }
+        if self.state_names.is_empty() {
+            return Err(ProtocolError::NoStates);
+        }
+        if self.initial_states.is_empty() {
+            return Err(ProtocolError::NoInitialStates);
+        }
+        Ok(Protocol {
+            name: self.name.clone(),
+            state_names: self.state_names.clone(),
+            net: self.net.clone(),
+            leaders: self.leaders.clone(),
+            initial_states: self.initial_states.clone(),
+            outputs: self.outputs.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_minimal_protocol() {
+        let mut b = ProtocolBuilder::new("minimal");
+        let a = b.state("a", Output::One);
+        b.initial(a);
+        let protocol = b.build().unwrap();
+        assert_eq!(protocol.num_states(), 1);
+        assert_eq!(protocol.width(), 0);
+        assert!(protocol.is_leaderless());
+    }
+
+    #[test]
+    fn duplicate_state_is_reported() {
+        let mut b = ProtocolBuilder::new("dup");
+        let a = b.state("a", Output::One);
+        let _ = b.state("a", Output::Zero);
+        b.initial(a);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ProtocolError::DuplicateState("a".into())
+        );
+    }
+
+    #[test]
+    fn missing_states_or_initials_are_reported() {
+        let b = ProtocolBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), ProtocolError::NoStates);
+        let mut b = ProtocolBuilder::new("no-initial");
+        let _ = b.state("a", Output::One);
+        assert_eq!(b.build().unwrap_err(), ProtocolError::NoInitialStates);
+    }
+
+    #[test]
+    fn unknown_state_is_reported() {
+        let mut b = ProtocolBuilder::new("unknown");
+        let a = b.state("a", Output::One);
+        b.initial(a);
+        b.leaders(StateId(12), 1);
+        assert_eq!(b.build().unwrap_err(), ProtocolError::UnknownState(12));
+    }
+
+    #[test]
+    fn empty_transition_is_reported() {
+        let mut b = ProtocolBuilder::new("empty-transition");
+        let a = b.state("a", Output::One);
+        b.initial(a);
+        b.transition(&[], &[]);
+        assert_eq!(b.build().unwrap_err(), ProtocolError::EmptyTransition);
+    }
+
+    #[test]
+    fn non_conservative_transitions_are_allowed() {
+        // The paper's model allows agent creation and destruction.
+        let mut b = ProtocolBuilder::new("spawner");
+        let a = b.state("a", Output::One);
+        let t = b.state("t", Output::Zero);
+        b.initial(a);
+        b.transition(&[(a, 1)], &[(a, 1), (t, 1)]);
+        b.transition(&[(t, 2)], &[]);
+        let protocol = b.build().unwrap();
+        assert!(!protocol.is_conservative());
+        assert_eq!(protocol.net().num_transitions(), 2);
+        assert_eq!(protocol.width(), 2);
+    }
+
+    #[test]
+    fn leaders_accumulate() {
+        let mut b = ProtocolBuilder::new("leaders");
+        let a = b.state("a", Output::One);
+        let l = b.state("l", Output::Zero);
+        b.initial(a);
+        b.leaders(l, 2);
+        b.leaders(l, 1);
+        let protocol = b.build().unwrap();
+        assert_eq!(protocol.num_leaders(), 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors raised while building or using protocols.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building or validating a [`Protocol`](crate::Protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The protocol declares no state.
+    NoStates,
+    /// The protocol declares no initial state.
+    NoInitialStates,
+    /// Two states were declared with the same name.
+    DuplicateState(String),
+    /// A state id used in a transition, the leaders or the initial states does
+    /// not belong to the protocol.
+    UnknownState(usize),
+    /// A transition touches no agent at all (empty pre and post).
+    EmptyTransition,
+    /// An input configuration mentions a state that is not an initial state.
+    NotAnInitialState(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NoStates => write!(f, "protocol has no state"),
+            ProtocolError::NoInitialStates => write!(f, "protocol has no initial state"),
+            ProtocolError::DuplicateState(name) => {
+                write!(f, "state {name:?} is declared twice")
+            }
+            ProtocolError::UnknownState(id) => write!(f, "state id {id} is not declared"),
+            ProtocolError::EmptyTransition => {
+                write!(f, "transition with empty pre- and post-configuration")
+            }
+            ProtocolError::NotAnInitialState(name) => {
+                write!(f, "input mentions {name:?} which is not an initial state")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ProtocolError::NoStates.to_string().contains("no state"));
+        assert!(ProtocolError::DuplicateState("x".into())
+            .to_string()
+            .contains("\"x\""));
+        assert!(ProtocolError::UnknownState(7).to_string().contains('7'));
+        assert!(ProtocolError::NotAnInitialState("y".into())
+            .to_string()
+            .contains("initial"));
+        assert!(ProtocolError::EmptyTransition.to_string().contains("empty"));
+        assert!(ProtocolError::NoInitialStates
+            .to_string()
+            .contains("no initial state"));
+    }
+}

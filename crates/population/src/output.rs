@@ -1,0 +1,73 @@
+//! The output alphabet `{0, ★, 1}` of protocols with leaders.
+
+use std::fmt;
+
+/// The output value of a state: `0`, `★` (undetermined) or `1`.
+///
+/// The paper extends the classical `{0, 1}` output alphabet with `★`, an
+/// undetermined output that is allowed in transient configurations but in no
+/// output-stable configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Output {
+    /// The state votes for rejecting (`0`).
+    Zero,
+    /// The state has no opinion (`★`).
+    Star,
+    /// The state votes for accepting (`1`).
+    One,
+}
+
+impl Output {
+    /// All three output values, in order.
+    pub const ALL: [Output; 3] = [Output::Zero, Output::Star, Output::One];
+
+    /// Returns `true` for [`Output::Zero`].
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Output::Zero
+    }
+
+    /// Returns `true` for [`Output::One`].
+    #[must_use]
+    pub fn is_one(self) -> bool {
+        self == Output::One
+    }
+
+    /// The output corresponding to a Boolean verdict.
+    #[must_use]
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            Output::One
+        } else {
+            Output::Zero
+        }
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Output::Zero => write!(f, "0"),
+            Output::Star => write!(f, "★"),
+            Output::One => write!(f, "1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_predicates() {
+        assert_eq!(Output::Zero.to_string(), "0");
+        assert_eq!(Output::Star.to_string(), "★");
+        assert_eq!(Output::One.to_string(), "1");
+        assert!(Output::Zero.is_zero());
+        assert!(!Output::Star.is_zero());
+        assert!(Output::One.is_one());
+        assert_eq!(Output::from_bool(true), Output::One);
+        assert_eq!(Output::from_bool(false), Output::Zero);
+        assert_eq!(Output::ALL.len(), 3);
+    }
+}

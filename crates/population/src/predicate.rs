@@ -1,0 +1,249 @@
+//! Predicates over input configurations.
+
+use pp_multiset::Multiset;
+use std::fmt;
+
+/// A predicate `φ : N^I → {0, 1}` over input configurations.
+///
+/// Input configurations are given over *state names* (strings), so the same
+/// predicate value can be compared against protocols that use different
+/// internal state identifiers. The variants cover the Presburger-definable
+/// building blocks relevant to the paper: counting (the paper's focus),
+/// linear thresholds, modulo constraints and Boolean combinations.
+///
+/// # Examples
+///
+/// ```
+/// use pp_multiset::Multiset;
+/// use pp_population::Predicate;
+///
+/// let at_least_3 = Predicate::counting("i", 3);
+/// assert!(!at_least_3.eval(&Multiset::from_pairs([("i".to_string(), 2u64)])));
+/// assert!(at_least_3.eval(&Multiset::from_pairs([("i".to_string(), 3u64)])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// The counting predicate `(state ≥ threshold)` — the paper's predicate.
+    Counting {
+        /// The observed initial state.
+        state: String,
+        /// The threshold `n`.
+        threshold: u64,
+    },
+    /// A linear threshold `Σ coeffs[s]·x_s ≥ constant`.
+    Threshold {
+        /// Coefficients per initial state (absent states count zero).
+        coeffs: Vec<(String, i64)>,
+        /// The right-hand side constant.
+        constant: i64,
+    },
+    /// A modulo constraint `Σ coeffs[s]·x_s ≡ remainder (mod modulus)`.
+    Modulo {
+        /// Coefficients per initial state.
+        coeffs: Vec<(String, u64)>,
+        /// The modulus (must be positive).
+        modulus: u64,
+        /// The expected remainder.
+        remainder: u64,
+    },
+    /// Conjunction of two predicates.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction of two predicates.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation of a predicate.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// The counting predicate `(state ≥ threshold)`.
+    #[must_use]
+    pub fn counting(state: impl Into<String>, threshold: u64) -> Self {
+        Predicate::Counting {
+            state: state.into(),
+            threshold,
+        }
+    }
+
+    /// The majority-style predicate `x_a ≥ x_b`.
+    #[must_use]
+    pub fn at_least_as_many(a: impl Into<String>, b: impl Into<String>) -> Self {
+        Predicate::Threshold {
+            coeffs: vec![(a.into(), 1), (b.into(), -1)],
+            constant: 0,
+        }
+    }
+
+    /// The congruence predicate `x_state ≡ remainder (mod modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    #[must_use]
+    pub fn modulo(state: impl Into<String>, modulus: u64, remainder: u64) -> Self {
+        assert!(modulus > 0, "modulus must be positive");
+        Predicate::Modulo {
+            coeffs: vec![(state.into(), 1)],
+            modulus,
+            remainder: remainder % modulus,
+        }
+    }
+
+    /// Evaluates the predicate on an input configuration.
+    #[must_use]
+    pub fn eval(&self, input: &Multiset<String>) -> bool {
+        match self {
+            Predicate::Counting { state, threshold } => input.get(state) >= *threshold,
+            Predicate::Threshold { coeffs, constant } => {
+                let sum: i128 = coeffs
+                    .iter()
+                    .map(|(s, c)| i128::from(*c) * i128::from(input.get(s)))
+                    .sum();
+                sum >= i128::from(*constant)
+            }
+            Predicate::Modulo {
+                coeffs,
+                modulus,
+                remainder,
+            } => {
+                let sum: u128 = coeffs
+                    .iter()
+                    .map(|(s, c)| u128::from(*c) * u128::from(input.get(s)))
+                    .sum();
+                sum % u128::from(*modulus) == u128::from(*remainder)
+            }
+            Predicate::And(a, b) => a.eval(input) && b.eval(input),
+            Predicate::Or(a, b) => a.eval(input) || b.eval(input),
+            Predicate::Not(a) => !a.eval(input),
+        }
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Counting { state, threshold } => write!(f, "({state} ≥ {threshold})"),
+            Predicate::Threshold { coeffs, constant } => {
+                for (i, (s, c)) in coeffs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{c}·{s}")?;
+                }
+                write!(f, " ≥ {constant}")
+            }
+            Predicate::Modulo {
+                coeffs,
+                modulus,
+                remainder,
+            } => {
+                for (i, (s, c)) in coeffs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{c}·{s}")?;
+                }
+                write!(f, " ≡ {remainder} (mod {modulus})")
+            }
+            Predicate::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Predicate::Not(a) => write!(f, "¬{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn input(pairs: &[(&str, u64)]) -> Multiset<String> {
+        Multiset::from_pairs(pairs.iter().map(|(s, c)| (s.to_string(), *c)))
+    }
+
+    #[test]
+    fn counting_predicate() {
+        let p = Predicate::counting("i", 4);
+        assert!(!p.eval(&input(&[])));
+        assert!(!p.eval(&input(&[("i", 3)])));
+        assert!(p.eval(&input(&[("i", 4)])));
+        assert!(p.eval(&input(&[("i", 100), ("j", 1)])));
+        assert_eq!(p.to_string(), "(i ≥ 4)");
+    }
+
+    #[test]
+    fn threshold_predicate() {
+        let p = Predicate::at_least_as_many("a", "b");
+        assert!(p.eval(&input(&[("a", 3), ("b", 3)])));
+        assert!(p.eval(&input(&[("a", 4), ("b", 3)])));
+        assert!(!p.eval(&input(&[("a", 2), ("b", 3)])));
+        assert!(p.eval(&input(&[])));
+        assert!(p.to_string().contains('≥'));
+    }
+
+    #[test]
+    fn modulo_predicate() {
+        let p = Predicate::modulo("x", 3, 1);
+        assert!(p.eval(&input(&[("x", 1)])));
+        assert!(p.eval(&input(&[("x", 4)])));
+        assert!(!p.eval(&input(&[("x", 3)])));
+        assert!(!p.eval(&input(&[])));
+        assert!(p.to_string().contains("mod 3"));
+        // Remainder is normalized.
+        assert_eq!(Predicate::modulo("x", 3, 4), Predicate::modulo("x", 3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn zero_modulus_panics() {
+        let _ = Predicate::modulo("x", 0, 0);
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let p = Predicate::counting("i", 2).and(Predicate::counting("j", 1));
+        assert!(p.eval(&input(&[("i", 2), ("j", 1)])));
+        assert!(!p.eval(&input(&[("i", 2)])));
+        let q = Predicate::counting("i", 2).or(Predicate::counting("j", 1));
+        assert!(q.eval(&input(&[("j", 1)])));
+        assert!(!q.eval(&input(&[])));
+        let n = Predicate::counting("i", 2).negate();
+        assert!(n.eval(&input(&[("i", 1)])));
+        assert!(!n.eval(&input(&[("i", 2)])));
+        assert!(p.to_string().contains('∧'));
+        assert!(q.to_string().contains('∨'));
+        assert!(n.to_string().contains('¬'));
+    }
+
+    proptest! {
+        #[test]
+        fn counting_matches_direct_comparison(count in 0u64..200, threshold in 0u64..200) {
+            let p = Predicate::counting("i", threshold);
+            prop_assert_eq!(p.eval(&input(&[("i", count)])), count >= threshold);
+        }
+
+        #[test]
+        fn negation_is_involutive(count in 0u64..50, threshold in 0u64..50) {
+            let p = Predicate::counting("i", threshold);
+            let double_neg = p.clone().negate().negate();
+            prop_assert_eq!(p.eval(&input(&[("i", count)])), double_neg.eval(&input(&[("i", count)])));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The [`Protocol`] type: population protocols with leaders.
+
+use crate::error::ProtocolError;
+use crate::output::Output;
+use pp_multiset::Multiset;
+use pp_petri::PetriNet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a protocol state (an index into the protocol's state table).
+///
+/// State ids are only meaningful relative to the protocol that created them;
+/// they are used as Petri-net places throughout the analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A population protocol with leaders `(P, →*, ρ_L, I, γ)`.
+///
+/// The additive preorder is represented by a Petri net over [`StateId`]
+/// places (Section 3 of the paper shows the two views are equivalent for
+/// finite interaction-width). Protocols are built with
+/// [`ProtocolBuilder`](crate::ProtocolBuilder).
+#[derive(Debug, Clone)]
+pub struct Protocol {
+    pub(crate) name: String,
+    pub(crate) state_names: Vec<String>,
+    pub(crate) net: PetriNet<StateId>,
+    pub(crate) leaders: Multiset<StateId>,
+    pub(crate) initial_states: BTreeSet<StateId>,
+    pub(crate) outputs: Vec<Output>,
+}
+
+impl Protocol {
+    /// The protocol's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states `|P|`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not belong to this protocol.
+    #[must_use]
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.state_names[state.0]
+    }
+
+    /// The id of the state named `name`, if any.
+    #[must_use]
+    pub fn state_id(&self, name: &str) -> Option<StateId> {
+        self.state_names.iter().position(|n| n == name).map(StateId)
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.state_names.len()).map(StateId)
+    }
+
+    /// The Petri net realizing the protocol's additive preorder.
+    #[must_use]
+    pub fn net(&self) -> &PetriNet<StateId> {
+        &self.net
+    }
+
+    /// The configuration of leaders `ρ_L`.
+    #[must_use]
+    pub fn leaders(&self) -> &Multiset<StateId> {
+        &self.leaders
+    }
+
+    /// The number of leaders `|ρ_L|`.
+    #[must_use]
+    pub fn num_leaders(&self) -> u64 {
+        self.leaders.total()
+    }
+
+    /// Returns `true` if the protocol has no leader.
+    #[must_use]
+    pub fn is_leaderless(&self) -> bool {
+        self.leaders.is_empty()
+    }
+
+    /// The set of initial states `I`.
+    #[must_use]
+    pub fn initial_states(&self) -> &BTreeSet<StateId> {
+        &self.initial_states
+    }
+
+    /// The output `γ(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not belong to this protocol.
+    #[must_use]
+    pub fn output(&self, state: StateId) -> Output {
+        self.outputs[state.0]
+    }
+
+    /// The interaction-width of the protocol (the width of its Petri net).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.net.max_width()
+    }
+
+    /// Returns `true` if every transition preserves the number of agents.
+    #[must_use]
+    pub fn is_conservative(&self) -> bool {
+        self.net.is_conservative()
+    }
+
+    /// The states with the given output value.
+    #[must_use]
+    pub fn states_with_output(&self, output: Output) -> BTreeSet<StateId> {
+        self.states().filter(|s| self.output(*s) == output).collect()
+    }
+
+    /// The output set `γ(ρ)` of a configuration: the outputs of the states
+    /// populated by at least one agent.
+    #[must_use]
+    pub fn output_set(&self, config: &Multiset<StateId>) -> BTreeSet<Output> {
+        config.iter().map(|(s, _)| self.output(*s)).collect()
+    }
+
+    /// Returns `true` if every agent of `config` outputs `value` and there is
+    /// at least one agent (the consensus condition of stable computation).
+    #[must_use]
+    pub fn has_consensus(&self, config: &Multiset<StateId>, value: Output) -> bool {
+        if value == Output::One && config.is_empty() {
+            return false;
+        }
+        config.iter().all(|(s, _)| self.output(*s) == value)
+    }
+
+    /// Translates an input configuration (over initial state *names*) into a
+    /// configuration over state ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::NotAnInitialState`] if the input populates a
+    /// state that is not an initial state of the protocol.
+    pub fn input_config(&self, input: &Multiset<String>) -> Result<Multiset<StateId>, ProtocolError> {
+        let mut config = Multiset::new();
+        for (name, count) in input.iter() {
+            let id = self
+                .state_id(name)
+                .filter(|id| self.initial_states.contains(id))
+                .ok_or_else(|| ProtocolError::NotAnInitialState(name.clone()))?;
+            config.add_to(id, count);
+        }
+        Ok(config)
+    }
+
+    /// The initial configuration `ρ_L + ρ|_P` for the given input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::NotAnInitialState`] if the input populates a
+    /// state that is not an initial state of the protocol.
+    pub fn initial_config(&self, input: &Multiset<String>) -> Result<Multiset<StateId>, ProtocolError> {
+        Ok(&self.leaders + &self.input_config(input)?)
+    }
+
+    /// Convenience for single-initial-state protocols: the initial
+    /// configuration with `count` input agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol does not have exactly one initial state.
+    #[must_use]
+    pub fn initial_config_with_count(&self, count: u64) -> Multiset<StateId> {
+        assert_eq!(
+            self.initial_states.len(),
+            1,
+            "initial_config_with_count requires exactly one initial state"
+        );
+        let state = *self.initial_states.iter().next().expect("one initial state");
+        let mut config = self.leaders.clone();
+        config.add_to(state, count);
+        config
+    }
+
+    /// Pretty-prints a configuration using state names.
+    #[must_use]
+    pub fn display_config(&self, config: &Multiset<StateId>) -> String {
+        if config.is_empty() {
+            return "0".to_owned();
+        }
+        config
+            .iter()
+            .map(|(s, c)| {
+                if c == 1 {
+                    self.state_name(*s).to_owned()
+                } else {
+                    format!("{c}·{}", self.state_name(*s))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProtocolBuilder;
+
+    fn example_4_2(n: u64) -> Protocol {
+        let mut b = ProtocolBuilder::new("example-4.2");
+        let i = b.state("i", Output::One);
+        let i_bar = b.state("i_bar", Output::Zero);
+        let p = b.state("p", Output::One);
+        let p_bar = b.state("p_bar", Output::Zero);
+        let q = b.state("q", Output::One);
+        let q_bar = b.state("q_bar", Output::Zero);
+        b.initial(i);
+        b.leaders(i_bar, n);
+        b.pairwise(i, i_bar, p, q);
+        b.pairwise(p_bar, i, p, i);
+        b.pairwise(p, i_bar, p_bar, i_bar);
+        b.pairwise(q_bar, i, q, i);
+        b.pairwise(q, i_bar, q_bar, i_bar);
+        b.pairwise(p, q_bar, p, q);
+        b.pairwise(q, p_bar, q, p);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let protocol = example_4_2(3);
+        assert_eq!(protocol.name(), "example-4.2");
+        assert_eq!(protocol.num_states(), 6);
+        assert_eq!(protocol.width(), 2);
+        assert_eq!(protocol.num_leaders(), 3);
+        assert!(!protocol.is_leaderless());
+        assert!(protocol.is_conservative());
+        assert_eq!(protocol.states().count(), 6);
+        let i = protocol.state_id("i").unwrap();
+        assert_eq!(protocol.state_name(i), "i");
+        assert_eq!(protocol.output(i), Output::One);
+        assert!(protocol.initial_states().contains(&i));
+        assert_eq!(protocol.state_id("nope"), None);
+        assert_eq!(protocol.states_with_output(Output::Zero).len(), 3);
+        assert_eq!(protocol.states_with_output(Output::Star).len(), 0);
+    }
+
+    #[test]
+    fn initial_configurations() {
+        let protocol = example_4_2(2);
+        let input = Multiset::from_pairs([("i".to_string(), 5u64)]);
+        let initial = protocol.initial_config(&input).unwrap();
+        assert_eq!(initial.total(), 7);
+        let i = protocol.state_id("i").unwrap();
+        let i_bar = protocol.state_id("i_bar").unwrap();
+        assert_eq!(initial.get(&i), 5);
+        assert_eq!(initial.get(&i_bar), 2);
+        assert_eq!(protocol.initial_config_with_count(5), initial);
+        // Inputs on non-initial states are rejected.
+        let bad = Multiset::from_pairs([("p".to_string(), 1u64)]);
+        assert!(matches!(
+            protocol.initial_config(&bad),
+            Err(ProtocolError::NotAnInitialState(_))
+        ));
+        let unknown = Multiset::from_pairs([("zzz".to_string(), 1u64)]);
+        assert!(protocol.initial_config(&unknown).is_err());
+    }
+
+    #[test]
+    fn output_sets_and_consensus() {
+        let protocol = example_4_2(1);
+        let i = protocol.state_id("i").unwrap();
+        let i_bar = protocol.state_id("i_bar").unwrap();
+        let p = protocol.state_id("p").unwrap();
+        let mixed = Multiset::from_pairs([(i, 1u64), (i_bar, 1)]);
+        assert_eq!(
+            protocol.output_set(&mixed),
+            BTreeSet::from([Output::Zero, Output::One])
+        );
+        assert!(!protocol.has_consensus(&mixed, Output::One));
+        let ones = Multiset::from_pairs([(i, 2u64), (p, 1)]);
+        assert!(protocol.has_consensus(&ones, Output::One));
+        assert!(protocol.has_consensus(&Multiset::new(), Output::Zero));
+        assert!(!protocol.has_consensus(&Multiset::new(), Output::One));
+    }
+
+    #[test]
+    fn display_config_uses_names() {
+        let protocol = example_4_2(1);
+        let i = protocol.state_id("i").unwrap();
+        let i_bar = protocol.state_id("i_bar").unwrap();
+        let config = Multiset::from_pairs([(i, 2u64), (i_bar, 1)]);
+        assert_eq!(protocol.display_config(&config), "2·i + i_bar");
+        assert_eq!(protocol.display_config(&Multiset::new()), "0");
+    }
+
+    #[test]
+    fn state_id_display() {
+        assert_eq!(StateId(3).to_string(), "s3");
+    }
+}

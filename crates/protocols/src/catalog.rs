@@ -1,0 +1,156 @@
+//! The protocol catalog used by the experiments.
+
+use crate::{flock, leaders_n, majority, modulo, threshold, width_n};
+use pp_population::{Predicate, Protocol};
+
+/// A named protocol together with the predicate it computes.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Short identifier used in tables (e.g. `"example-4.2"`).
+    pub family: &'static str,
+    /// Human-readable description of the construction.
+    pub description: &'static str,
+    /// The protocol instance.
+    pub protocol: Protocol,
+    /// The predicate the protocol claims to stably compute.
+    pub predicate: Predicate,
+    /// The counting threshold `n`, when the predicate is a counting predicate.
+    pub threshold: Option<u64>,
+}
+
+impl CatalogEntry {
+    /// Number of states of the protocol.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.protocol.num_states()
+    }
+}
+
+/// All counting-predicate constructions of the catalog instantiated for the
+/// threshold `n` (the doubling protocol is included only when `n` is a power
+/// of two, since that family only covers those thresholds).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let entries = pp_protocols::counting_entries(8);
+/// assert!(entries.len() >= 4);
+/// assert!(entries.iter().any(|e| e.family == "flock-doubling"));
+/// ```
+#[must_use]
+pub fn counting_entries(n: u64) -> Vec<CatalogEntry> {
+    assert!(n >= 1, "counting thresholds are positive");
+    let mut entries = vec![
+        CatalogEntry {
+            family: "example-4.1",
+            description: "2 states, width n, leaderless (paper Example 4.1)",
+            protocol: width_n::example_4_1(n),
+            predicate: Predicate::counting("i", n),
+            threshold: Some(n),
+        },
+        CatalogEntry {
+            family: "example-4.2",
+            description: "6 states, width 2, n leaders (paper Example 4.2)",
+            protocol: leaders_n::example_4_2(n),
+            predicate: Predicate::counting("i", n),
+            threshold: Some(n),
+        },
+        CatalogEntry {
+            family: "flock-unary",
+            description: "n+1 states, width 2, leaderless (classical flock of birds)",
+            protocol: flock::flock_of_birds_unary(n),
+            predicate: Predicate::counting("a1", n),
+            threshold: Some(n),
+        },
+        CatalogEntry {
+            family: "binary-threshold",
+            description: "Θ(log n) states, width 2, 1 leader, creation/destruction",
+            protocol: threshold::binary_threshold_with_leader(n),
+            predicate: threshold::binary_threshold_predicate(n),
+            threshold: Some(n),
+        },
+    ];
+    if n.is_power_of_two() {
+        entries.push(CatalogEntry {
+            family: "flock-doubling",
+            description: "log₂(n)+2 states, width 2, leaderless (power-of-two thresholds)",
+            protocol: flock::flock_of_birds_doubling(n.trailing_zeros()),
+            predicate: Predicate::counting("v0", n),
+            threshold: Some(n),
+        });
+    }
+    entries
+}
+
+/// The non-counting entries of the catalog (majority and a congruence).
+#[must_use]
+pub fn other_entries() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            family: "majority",
+            description: "4 states, width 2, leaderless, decides x_A ≥ x_B on non-empty inputs",
+            protocol: majority::majority(),
+            predicate: majority::majority_predicate(),
+            threshold: None,
+        },
+        CatalogEntry {
+            family: "modulo-3",
+            description: "7 states, width 2, 1 leader, decides x ≡ 1 (mod 3)",
+            protocol: modulo::modulo_with_leader(3, 1),
+            predicate: modulo::modulo_predicate(3, 1),
+            threshold: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_catalog_has_consistent_metadata() {
+        for n in [1u64, 2, 3, 8] {
+            let entries = counting_entries(n);
+            assert!(entries.len() >= 4);
+            for entry in &entries {
+                assert_eq!(entry.threshold, Some(n));
+                assert!(entry.states() >= 2);
+                assert!(!entry.description.is_empty());
+                assert!(entry.protocol.width() >= 1);
+            }
+            assert_eq!(
+                entries.iter().any(|e| e.family == "flock-doubling"),
+                n.is_power_of_two()
+            );
+        }
+    }
+
+    #[test]
+    fn state_counts_follow_the_expected_growth() {
+        let n = 16u64;
+        let entries = counting_entries(n);
+        let states_of = |family: &str| {
+            entries
+                .iter()
+                .find(|e| e.family == family)
+                .map(CatalogEntry::states)
+                .unwrap()
+        };
+        assert_eq!(states_of("example-4.1"), 2);
+        assert_eq!(states_of("example-4.2"), 6);
+        assert_eq!(states_of("flock-unary") as u64, n + 1);
+        assert_eq!(states_of("flock-doubling") as u64, 4 + 2);
+        assert!(states_of("binary-threshold") <= 2 * 5 + 2);
+    }
+
+    #[test]
+    fn other_entries_are_present() {
+        let entries = other_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.threshold.is_none()));
+    }
+}

@@ -1,0 +1,207 @@
+//! Flock-of-birds protocols: the classical unary construction and the
+//! doubling (binary) construction.
+
+use pp_population::{Output, Protocol, ProtocolBuilder, StateId};
+
+/// The classical flock-of-birds protocol for `(i ≥ n)`: `n + 1` states,
+/// interaction-width 2, leaderless.
+///
+/// Agents carry a saturating value in `{1, …, n}` (state `a_j` carries `j`;
+/// the initial state is `a_1`, the state `a_0` marks an agent whose value was
+/// absorbed). Two carriers add their values, saturating at `n`; a saturated
+/// agent recruits everyone else. This is the textbook `Θ(n)`-state baseline
+/// of the state-complexity landscape.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let protocol = pp_protocols::flock::flock_of_birds_unary(5);
+/// assert_eq!(protocol.num_states(), 6);
+/// assert_eq!(protocol.width(), 2);
+/// ```
+#[must_use]
+pub fn flock_of_birds_unary(n: u64) -> Protocol {
+    assert!(n >= 1, "counting thresholds are positive");
+    let mut builder = ProtocolBuilder::new(format!("flock-unary(n={n})"));
+    // States a_0 .. a_n; output 1 only for the saturated state a_n.
+    let states: Vec<StateId> = (0..=n)
+        .map(|j| {
+            builder.state(
+                format!("a{j}"),
+                if j == n { Output::One } else { Output::Zero },
+            )
+        })
+        .collect();
+    let a = |j: u64| states[j as usize];
+    builder.initial(a(1));
+    // Combine: (a_j, a_k) -> (a_{min(j+k,n)}, a_0) for 1 ≤ j ≤ k < n.
+    for j in 1..n {
+        for k in j..n {
+            builder.pairwise(a(j), a(k), a((j + k).min(n)), a(0));
+        }
+    }
+    // Recruit: (a_n, a_j) -> (a_n, a_n) for j < n.
+    for j in 0..n {
+        builder.pairwise(a(n), a(j), a(n), a(n));
+    }
+    builder.build().expect("flock-of-birds is well-formed")
+}
+
+/// The doubling protocol for `(i ≥ 2^k)`: `k + 2` states, width 2, leaderless.
+///
+/// Agents carry a power-of-two value (state `v_j` carries `2^j`, the initial
+/// state is `v_0`, the state `z` carries nothing); two equal carriers merge
+/// into the next power, and a carrier that reaches `2^k` recruits everyone.
+/// For the thresholds `n = 2^k` this realizes the `O(log n)` leaderless upper
+/// bound discussed in Section 9 of the paper, and it is the family whose state
+/// count is plotted against the paper's `Ω((log log n)^h)` lower bound in
+/// experiment E3/E11.
+///
+/// # Examples
+///
+/// ```
+/// // 6 states decide (i ≥ 16).
+/// let protocol = pp_protocols::flock::flock_of_birds_doubling(4);
+/// assert_eq!(protocol.num_states(), 6);
+/// assert_eq!(protocol.width(), 2);
+/// ```
+#[must_use]
+pub fn flock_of_birds_doubling(k: u32) -> Protocol {
+    let n: u64 = 1u64 << k;
+    let mut builder = ProtocolBuilder::new(format!("flock-doubling(n=2^{k}={n})"));
+    let zero = builder.state("z", Output::Zero);
+    let levels: Vec<StateId> = (0..=k)
+        .map(|j| {
+            builder.state(
+                format!("v{j}"),
+                if j == k { Output::One } else { Output::Zero },
+            )
+        })
+        .collect();
+    builder.initial(levels[0]);
+    // Merge equal powers: (v_j, v_j) -> (v_{j+1}, z) for j < k.
+    for j in 0..k as usize {
+        builder.pairwise(levels[j], levels[j], levels[j + 1], zero);
+    }
+    // Recruit: (v_k, s) -> (v_k, v_k) for every other state s.
+    let top = levels[k as usize];
+    builder.pairwise(top, zero, top, top);
+    for j in 0..k as usize {
+        builder.pairwise(top, levels[j], top, top);
+    }
+    builder.build().expect("doubling protocol is well-formed")
+}
+
+/// Number of states of [`flock_of_birds_unary`] without building it.
+#[must_use]
+pub fn unary_state_count(n: u64) -> u64 {
+    n + 1
+}
+
+/// Number of states of [`flock_of_birds_doubling`] without building it.
+#[must_use]
+pub fn doubling_state_count(k: u32) -> u64 {
+    u64::from(k) + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_petri::ExplorationLimits;
+    use pp_population::verify::verify_counting_inputs;
+    use pp_population::Predicate;
+
+    #[test]
+    fn unary_shape() {
+        for n in 1..=6 {
+            let protocol = flock_of_birds_unary(n);
+            assert_eq!(protocol.num_states() as u64, unary_state_count(n));
+            assert_eq!(protocol.width(), 2);
+            assert!(protocol.is_leaderless());
+            assert!(protocol.is_conservative());
+        }
+    }
+
+    #[test]
+    fn unary_stably_computes_counting() {
+        for n in 1..=4u64 {
+            let protocol = flock_of_birds_unary(n);
+            let predicate = Predicate::counting("a1", n);
+            let report = verify_counting_inputs(
+                &protocol,
+                &predicate,
+                n + 2,
+                &ExplorationLimits::default(),
+            );
+            assert!(
+                report.all_correct(),
+                "flock-unary n={n} failed: {:?}",
+                report.failures()
+            );
+        }
+    }
+
+    #[test]
+    fn unary_rejects_wrong_threshold() {
+        let protocol = flock_of_birds_unary(3);
+        let report = verify_counting_inputs(
+            &protocol,
+            &Predicate::counting("a1", 2),
+            4,
+            &ExplorationLimits::default(),
+        );
+        assert!(!report.all_correct());
+    }
+
+    #[test]
+    fn doubling_shape() {
+        for k in 0..=5 {
+            let protocol = flock_of_birds_doubling(k);
+            assert_eq!(protocol.num_states() as u64, doubling_state_count(k));
+            assert_eq!(protocol.width(), 2);
+            assert!(protocol.is_leaderless());
+        }
+    }
+
+    #[test]
+    fn doubling_stably_computes_powers_of_two() {
+        for k in 0..=2u32 {
+            let n = 1u64 << k;
+            let protocol = flock_of_birds_doubling(k);
+            let predicate = Predicate::counting("v0", n);
+            let report = verify_counting_inputs(
+                &protocol,
+                &predicate,
+                n + 2,
+                &ExplorationLimits::default(),
+            );
+            assert!(
+                report.all_correct(),
+                "doubling k={k} failed: {:?}",
+                report.failures()
+            );
+        }
+    }
+
+    #[test]
+    fn doubling_k3_handles_boundary_inputs() {
+        // n = 8: check the boundary inputs 7 (reject) and 8 (accept) directly
+        // rather than every input, to keep the reachability graphs small.
+        let protocol = flock_of_birds_doubling(3);
+        let predicate = Predicate::counting("v0", 8);
+        let inputs = [7u64, 8]
+            .into_iter()
+            .map(|c| pp_multiset::Multiset::from_pairs([("v0".to_string(), c)]));
+        let report = pp_population::verify::verify_inputs(
+            &protocol,
+            &predicate,
+            inputs,
+            &ExplorationLimits::default(),
+        );
+        assert!(report.all_correct(), "failures: {:?}", report.failures());
+    }
+}

@@ -1,0 +1,109 @@
+//! Example 4.2 of the paper: six states, interaction-width 2, `n` leaders.
+
+use pp_population::{Output, Protocol, ProtocolBuilder};
+
+/// The protocol of Example 4.2: it stably computes `(i ≥ n)` with six states
+/// and interaction-width 2 by using `n` leaders in state `ī`.
+///
+/// The transitions are exactly those of the paper:
+///
+/// ```text
+/// t   = (i + ī,  p + q)      t_p = (p̄ + i,  p + i)     t̄_p = (p + ī,  p̄ + ī)
+/// t_q = (q̄ + i,  q + i)      t̄_q = (q + ī,  q̄ + ī)
+/// t_q̄ = (p + q̄,  p + q)      t_p̄ = (q + p̄,  q + p)
+/// ```
+///
+/// Intuitively each input agent must "pair up" with a leader through `t`; if
+/// any leader stays unmatched it drags the flags `p`, `q` back to their barred
+/// (rejecting) versions, otherwise the unbarred flags win.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let protocol = pp_protocols::leaders_n::example_4_2(5);
+/// assert_eq!(protocol.num_states(), 6);
+/// assert_eq!(protocol.width(), 2);
+/// assert_eq!(protocol.num_leaders(), 5);
+/// ```
+#[must_use]
+pub fn example_4_2(n: u64) -> Protocol {
+    assert!(n >= 1, "counting thresholds are positive");
+    let mut builder = ProtocolBuilder::new(format!("example-4.2(n={n})"));
+    let i = builder.state("i", Output::One);
+    let i_bar = builder.state("i_bar", Output::Zero);
+    let p = builder.state("p", Output::One);
+    let p_bar = builder.state("p_bar", Output::Zero);
+    let q = builder.state("q", Output::One);
+    let q_bar = builder.state("q_bar", Output::Zero);
+    builder.initial(i);
+    builder.leaders(i_bar, n);
+    builder.pairwise(i, i_bar, p, q); // t
+    builder.pairwise(p_bar, i, p, i); // t_p
+    builder.pairwise(p, i_bar, p_bar, i_bar); // t̄_p
+    builder.pairwise(q_bar, i, q, i); // t_q
+    builder.pairwise(q, i_bar, q_bar, i_bar); // t̄_q
+    builder.pairwise(p, q_bar, p, q); // t_q̄
+    builder.pairwise(q, p_bar, q, p); // t_p̄
+    builder.build().expect("example 4.2 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_petri::ExplorationLimits;
+    use pp_population::verify::verify_counting_inputs;
+    use pp_population::Predicate;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        for n in 1..=5 {
+            let protocol = example_4_2(n);
+            assert_eq!(protocol.num_states(), 6);
+            assert_eq!(protocol.width(), 2);
+            assert_eq!(protocol.num_leaders(), n);
+            assert!(protocol.is_conservative());
+            assert_eq!(protocol.net().num_transitions(), 7);
+        }
+    }
+
+    #[test]
+    fn stably_computes_counting_predicates() {
+        for n in 1..=3u64 {
+            let protocol = example_4_2(n);
+            let predicate = Predicate::counting("i", n);
+            let report = verify_counting_inputs(
+                &protocol,
+                &predicate,
+                n + 2,
+                &ExplorationLimits::default(),
+            );
+            assert!(
+                report.all_correct(),
+                "example 4.2 with n={n} failed: {:?}",
+                report.failures()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_threshold_is_rejected() {
+        let protocol = example_4_2(2);
+        let report = verify_counting_inputs(
+            &protocol,
+            &Predicate::counting("i", 1),
+            3,
+            &ExplorationLimits::default(),
+        );
+        assert!(!report.all_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_is_rejected() {
+        let _ = example_4_2(0);
+    }
+}

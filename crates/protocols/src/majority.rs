@@ -1,0 +1,103 @@
+//! The classical four-state majority protocol.
+
+use pp_population::{Output, Predicate, Protocol, ProtocolBuilder};
+
+/// The four-state majority protocol deciding `x_A ≥ x_B` on non-empty inputs.
+///
+/// States `A`, `B` are the "strong" input states, `a`, `b` the "weak"
+/// opinions. Strong agents cancel pairwise, surviving strong agents convert
+/// weak opponents, and the tie-breaking rule `(a, b) ↦ (a, a)` resolves the
+/// equal case towards acceptance (so the computed predicate is the non-strict
+/// comparison `x_A ≥ x_B`).
+///
+/// The empty input is the usual corner case of majority protocols: with no
+/// agent at all the output is 0 by the paper's convention although `0 ≥ 0`
+/// holds, so the protocol computes the predicate on inputs with at least one
+/// agent (which is how it is verified in the tests and used in the examples).
+///
+/// # Examples
+///
+/// ```
+/// let protocol = pp_protocols::majority::majority();
+/// assert_eq!(protocol.num_states(), 4);
+/// assert_eq!(protocol.width(), 2);
+/// assert!(protocol.is_leaderless());
+/// ```
+#[must_use]
+pub fn majority() -> Protocol {
+    let mut builder = ProtocolBuilder::new("majority");
+    let big_a = builder.state("A", Output::One);
+    let big_b = builder.state("B", Output::Zero);
+    let small_a = builder.state("a", Output::One);
+    let small_b = builder.state("b", Output::Zero);
+    builder.initial(big_a);
+    builder.initial(big_b);
+    builder.pairwise(big_a, big_b, small_a, small_b); // cancellation
+    builder.pairwise(big_a, small_b, big_a, small_a); // A converts b
+    builder.pairwise(big_b, small_a, big_b, small_b); // B converts a
+    builder.pairwise(small_a, small_b, small_a, small_a); // tie-break towards 1
+    builder.build().expect("majority protocol is well-formed")
+}
+
+/// The predicate computed by [`majority`] (on non-empty inputs): `x_A ≥ x_B`.
+#[must_use]
+pub fn majority_predicate() -> Predicate {
+    Predicate::at_least_as_many("A", "B")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_multiset::Multiset;
+    use pp_petri::ExplorationLimits;
+    use pp_population::verify::verify_inputs;
+
+    #[test]
+    fn shape() {
+        let protocol = majority();
+        assert_eq!(protocol.num_states(), 4);
+        assert_eq!(protocol.width(), 2);
+        assert!(protocol.is_conservative());
+        assert!(protocol.is_leaderless());
+        assert_eq!(protocol.initial_states().len(), 2);
+    }
+
+    #[test]
+    fn stably_computes_majority_on_nonempty_inputs() {
+        let protocol = majority();
+        let predicate = majority_predicate();
+        let inputs = (0..=4u64).flat_map(|a| {
+            (0..=4u64).filter_map(move |b| {
+                if a + b == 0 {
+                    None
+                } else {
+                    Some(Multiset::from_pairs([
+                        ("A".to_string(), a),
+                        ("B".to_string(), b),
+                    ]))
+                }
+            })
+        });
+        let report = verify_inputs(&protocol, &predicate, inputs, &ExplorationLimits::default());
+        assert!(
+            report.all_correct(),
+            "majority failed on: {:?}",
+            report.failures()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_the_known_corner_case() {
+        let protocol = majority();
+        let predicate = majority_predicate();
+        let report = verify_inputs(
+            &protocol,
+            &predicate,
+            [Multiset::new()],
+            &ExplorationLimits::default(),
+        );
+        // 0 ≥ 0 holds but the empty configuration outputs 0 by convention, so
+        // the verifier correctly reports the mismatch.
+        assert!(!report.all_correct());
+    }
+}

@@ -1,0 +1,130 @@
+//! A one-leader protocol for congruence predicates `x ≡ r (mod m)`.
+
+use pp_population::{Output, Predicate, Protocol, ProtocolBuilder, StateId};
+
+/// A protocol with one leader and `2m + 1` states deciding `x ≡ r (mod m)`.
+///
+/// The leader walks through the residues `L_0, …, L_{m−1}`, absorbing one
+/// uncounted input agent at a time (and turning it into a "done" agent that
+/// remembers the leader's residue at that moment); the leader then repeatedly
+/// refreshes the beliefs of done agents so that eventually every agent agrees
+/// with the leader's final residue. Input agents start in the undetermined
+/// state `x` (output `★`), which demonstrates the paper's three-valued output
+/// alphabet: configurations still containing uncounted agents are never
+/// output-stable.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let protocol = pp_protocols::modulo::modulo_with_leader(3, 1);
+/// assert_eq!(protocol.num_states(), 7); // x, L_0..L_2, D_0..D_2
+/// assert_eq!(protocol.num_leaders(), 1);
+/// ```
+#[must_use]
+pub fn modulo_with_leader(modulus: u64, remainder: u64) -> Protocol {
+    assert!(modulus > 0, "modulus must be positive");
+    let remainder = remainder % modulus;
+    let mut builder = ProtocolBuilder::new(format!("modulo(m={modulus}, r={remainder})"));
+    let x = builder.state("x", Output::Star);
+    let leader_states: Vec<StateId> = (0..modulus)
+        .map(|s| {
+            builder.state(
+                format!("L{s}"),
+                Output::from_bool(s == remainder),
+            )
+        })
+        .collect();
+    let done_states: Vec<StateId> = (0..modulus)
+        .map(|s| {
+            builder.state(
+                format!("D{s}"),
+                Output::from_bool(s == remainder),
+            )
+        })
+        .collect();
+    builder.initial(x);
+    builder.leaders(leader_states[0], 1);
+    for s in 0..modulus as usize {
+        let next = (s + 1) % modulus as usize;
+        // The leader counts one more input agent.
+        builder.pairwise(leader_states[s], x, leader_states[next], done_states[next]);
+        // The leader refreshes stale beliefs.
+        for t in 0..modulus as usize {
+            if t != s {
+                builder.pairwise(leader_states[s], done_states[t], leader_states[s], done_states[s]);
+            }
+        }
+    }
+    builder.build().expect("modulo protocol is well-formed")
+}
+
+/// The predicate computed by [`modulo_with_leader`]: `x ≡ remainder (mod modulus)`.
+#[must_use]
+pub fn modulo_predicate(modulus: u64, remainder: u64) -> Predicate {
+    Predicate::modulo("x", modulus, remainder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_petri::ExplorationLimits;
+    use pp_population::verify::verify_counting_inputs;
+
+    #[test]
+    fn shape() {
+        for m in 1..=4u64 {
+            let protocol = modulo_with_leader(m, 0);
+            assert_eq!(protocol.num_states() as u64, 2 * m + 1);
+            assert_eq!(protocol.num_leaders(), 1);
+            assert_eq!(protocol.width(), 2);
+            assert!(protocol.is_conservative());
+        }
+    }
+
+    #[test]
+    fn stably_computes_congruences() {
+        for (m, r) in [(2u64, 0u64), (2, 1), (3, 0), (3, 2)] {
+            let protocol = modulo_with_leader(m, r);
+            let predicate = modulo_predicate(m, r);
+            let report = verify_counting_inputs(
+                &protocol,
+                &predicate,
+                2 * m + 1,
+                &ExplorationLimits::default(),
+            );
+            assert!(
+                report.all_correct(),
+                "modulo m={m} r={r} failed: {:?}",
+                report.failures()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_remainder_is_rejected() {
+        let protocol = modulo_with_leader(3, 1);
+        let report = verify_counting_inputs(
+            &protocol,
+            &modulo_predicate(3, 2),
+            4,
+            &ExplorationLimits::default(),
+        );
+        assert!(!report.all_correct());
+    }
+
+    #[test]
+    fn remainder_is_normalized() {
+        let protocol = modulo_with_leader(3, 4);
+        assert!(protocol.name().contains("r=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn zero_modulus_panics() {
+        let _ = modulo_with_leader(0, 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! A succinct leader-based threshold protocol using agent creation/destruction.
+//!
+//! The paper's protocol model (following Angluin, Aspnes and Eisenstat \[3\])
+//! allows transitions that create or destroy agents. This module exploits
+//! that freedom to decide `(i ≥ n)` for *arbitrary* `n` with `Θ(log n)`
+//! states and a single leader: input agents carry power-of-two values that
+//! can be merged (destroying an agent) and split (creating one), and the
+//! leader collects the binary decomposition of `n` bit by bit, from the most
+//! significant one down.
+
+use pp_population::{Output, Predicate, Protocol, ProtocolBuilder, StateId};
+
+/// Number of states of [`binary_threshold_with_leader`] for threshold `n`.
+///
+/// The protocol has one value state per bit position `0..=⌊log₂ n⌋` and one
+/// leader state per collected prefix of the binary decomposition of `n`
+/// (including the final accepting state).
+#[must_use]
+pub fn binary_threshold_state_count(n: u64) -> u64 {
+    assert!(n >= 1, "counting thresholds are positive");
+    let bits = 64 - n.leading_zeros() as u64; // ⌊log₂ n⌋ + 1 value states
+    let ones = n.count_ones() as u64 + 1; // leader stages, including "accept"
+    bits + ones
+}
+
+/// A protocol with one leader and `Θ(log n)` states deciding `(i ≥ n)`.
+///
+/// * Value states `v_0, …, v_K` (with `K = ⌊log₂ n⌋`): an agent in `v_j`
+///   carries the value `2^j`. Input agents start in `v_0`.
+/// * Merge `(v_j, v_j) ↦ (v_{j+1})` and split `(v_{j+1}) ↦ (v_j, v_j)`:
+///   the carried total is preserved while the number of agents changes —
+///   this is where the model's agent creation/destruction is used.
+/// * Leader states `L_0, …, L_m`: the binary decomposition
+///   `n = 2^{k_1} + ⋯ + 2^{k_m}` (with `k_1 > ⋯ > k_m`) is collected in
+///   order; `(L_{j}, v_{k_{j+1}}) ↦ (L_{j+1})` destroys the collected agent.
+/// * Acceptance: once in `L_m` the leader recruits every remaining agent:
+///   `(L_m, v_j) ↦ (L_m, L_m)`.
+///
+/// Only `L_m` outputs 1; value states output 0. The total carried value is
+/// invariant, so the leader can complete its collection exactly when the
+/// input was at least `n`; conversely merges and splits let any sufficient
+/// population rearrange itself into the exact powers the leader needs, so
+/// every reachable configuration keeps the correct outcome reachable.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pp_protocols::threshold::{binary_threshold_state_count, binary_threshold_with_leader};
+///
+/// let protocol = binary_threshold_with_leader(6); // 6 = 2² + 2¹
+/// assert_eq!(protocol.num_states() as u64, binary_threshold_state_count(6));
+/// assert_eq!(protocol.num_leaders(), 1);
+/// assert!(!protocol.is_conservative()); // merges destroy agents, splits create them
+/// ```
+#[must_use]
+pub fn binary_threshold_with_leader(n: u64) -> Protocol {
+    assert!(n >= 1, "counting thresholds are positive");
+    let top_bit = 63 - n.leading_zeros(); // K = ⌊log₂ n⌋
+    let mut builder = ProtocolBuilder::new(format!("binary-threshold(n={n})"));
+    let values: Vec<StateId> = (0..=top_bit)
+        .map(|j| builder.state(format!("v{j}"), Output::Zero))
+        .collect();
+    // Bits of n in decreasing order of position.
+    let bits: Vec<u32> = (0..=top_bit).rev().filter(|j| n & (1 << j) != 0).collect();
+    let leader_states: Vec<StateId> = (0..=bits.len())
+        .map(|stage| {
+            builder.state(
+                format!("L{stage}"),
+                if stage == bits.len() {
+                    Output::One
+                } else {
+                    Output::Zero
+                },
+            )
+        })
+        .collect();
+    builder.initial(values[0]);
+    builder.leaders(leader_states[0], 1);
+    // Merge and split between adjacent levels.
+    for j in 0..top_bit as usize {
+        builder.transition(&[(values[j], 2)], &[(values[j + 1], 1)]);
+        builder.transition(&[(values[j + 1], 1)], &[(values[j], 2)]);
+    }
+    // Leader collects the bits of n from the most significant down.
+    for (stage, &bit) in bits.iter().enumerate() {
+        builder.transition(
+            &[(leader_states[stage], 1), (values[bit as usize], 1)],
+            &[(leader_states[stage + 1], 1)],
+        );
+    }
+    // Acceptance broadcast.
+    let accept = leader_states[bits.len()];
+    for &v in &values {
+        builder.pairwise(accept, v, accept, accept);
+    }
+    builder.build().expect("binary threshold protocol is well-formed")
+}
+
+/// The predicate computed by [`binary_threshold_with_leader`]: `(v0 ≥ n)`.
+#[must_use]
+pub fn binary_threshold_predicate(n: u64) -> Predicate {
+    Predicate::counting("v0", n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_petri::ExplorationLimits;
+    use pp_population::verify::verify_counting_inputs;
+
+    #[test]
+    fn state_count_is_logarithmic() {
+        assert_eq!(binary_threshold_state_count(1), 3); // v0, L0, L1
+        assert_eq!(binary_threshold_state_count(2), 4); // v0, v1, L0, L1
+        assert_eq!(binary_threshold_state_count(6), 6); // v0..v2, L0..L2
+        assert_eq!(binary_threshold_state_count(255), 17);
+        assert_eq!(binary_threshold_state_count(256), 11);
+        for n in 1..=64u64 {
+            let protocol = binary_threshold_with_leader(n);
+            assert_eq!(protocol.num_states() as u64, binary_threshold_state_count(n));
+            assert_eq!(protocol.width(), 2);
+            assert_eq!(protocol.num_leaders(), 1);
+        }
+    }
+
+    #[test]
+    fn uses_creation_and_destruction() {
+        let protocol = binary_threshold_with_leader(4);
+        assert!(!protocol.is_conservative());
+    }
+
+    #[test]
+    fn stably_computes_small_thresholds() {
+        for n in 1..=5u64 {
+            let protocol = binary_threshold_with_leader(n);
+            let predicate = binary_threshold_predicate(n);
+            let report = verify_counting_inputs(
+                &protocol,
+                &predicate,
+                n + 2,
+                &ExplorationLimits::default(),
+            );
+            assert!(
+                report.all_correct(),
+                "binary threshold n={n} failed: {:?}",
+                report.failures()
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_inputs_for_a_non_power_of_two() {
+        let n = 6u64;
+        let protocol = binary_threshold_with_leader(n);
+        let predicate = binary_threshold_predicate(n);
+        let inputs = [5u64, 6, 7]
+            .into_iter()
+            .map(|c| pp_multiset::Multiset::from_pairs([("v0".to_string(), c)]));
+        let report = pp_population::verify::verify_inputs(
+            &protocol,
+            &predicate,
+            inputs,
+            &ExplorationLimits::default(),
+        );
+        assert!(report.all_correct(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn wrong_threshold_is_rejected() {
+        let protocol = binary_threshold_with_leader(3);
+        let report = verify_counting_inputs(
+            &protocol,
+            &binary_threshold_predicate(4),
+            5,
+            &ExplorationLimits::default(),
+        );
+        assert!(!report.all_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_is_rejected() {
+        let _ = binary_threshold_with_leader(0);
+    }
+}

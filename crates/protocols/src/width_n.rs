@@ -1,0 +1,92 @@
+//! Example 4.1 of the paper: two states, interaction-width `n`, leaderless.
+
+use pp_population::{Output, Protocol, ProtocolBuilder};
+
+/// The protocol of Example 4.1: it stably computes `(i ≥ n)` with only two
+/// states by paying an interaction-width of `n`.
+///
+/// The additive preorder of the example is the reachability relation of the
+/// Petri net `{(ρ + i, ρ + p) : |ρ| = n − 1}`: one agent flips from `i` to `p`
+/// whenever `n` agents are present. The example shows why state complexity is
+/// only meaningful once the interaction-width is bounded (Section 4).
+///
+/// # Panics
+///
+/// Panics if `n` is zero (the paper's counting predicates have `n ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// let protocol = pp_protocols::width_n::example_4_1(4);
+/// assert_eq!(protocol.num_states(), 2);
+/// assert_eq!(protocol.width(), 4);
+/// assert_eq!(protocol.num_leaders(), 0);
+/// ```
+#[must_use]
+pub fn example_4_1(n: u64) -> Protocol {
+    assert!(n >= 1, "counting thresholds are positive");
+    let mut builder = ProtocolBuilder::new(format!("example-4.1(n={n})"));
+    let i = builder.state("i", Output::Zero);
+    let p = builder.state("p", Output::One);
+    builder.initial(i);
+    // One transition per context ρ = a·i + b·p with a + b = n − 1.
+    for a in 0..n {
+        let b = n - 1 - a;
+        builder.transition(&[(i, a + 1), (p, b)], &[(i, a), (p, b + 1)]);
+    }
+    builder.build().expect("example 4.1 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_petri::ExplorationLimits;
+    use pp_population::verify::verify_counting_inputs;
+    use pp_population::Predicate;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        for n in 1..=6 {
+            let protocol = example_4_1(n);
+            assert_eq!(protocol.num_states(), 2);
+            assert_eq!(protocol.width(), n);
+            assert!(protocol.is_leaderless());
+            assert!(protocol.is_conservative());
+            assert_eq!(protocol.net().num_transitions() as u64, n);
+        }
+    }
+
+    #[test]
+    fn stably_computes_counting_predicates() {
+        for n in 1..=4u64 {
+            let protocol = example_4_1(n);
+            let predicate = Predicate::counting("i", n);
+            let report = verify_counting_inputs(
+                &protocol,
+                &predicate,
+                n + 3,
+                &ExplorationLimits::default(),
+            );
+            assert!(
+                report.all_correct(),
+                "example 4.1 with n={n} failed: {:?}",
+                report.failures()
+            );
+        }
+    }
+
+    #[test]
+    fn does_not_compute_a_different_threshold() {
+        let protocol = example_4_1(3);
+        let wrong = Predicate::counting("i", 4);
+        let report =
+            verify_counting_inputs(&protocol, &wrong, 5, &ExplorationLimits::default());
+        assert!(!report.all_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_is_rejected() {
+        let _ = example_4_1(0);
+    }
+}

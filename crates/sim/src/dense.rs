@@ -1,0 +1,227 @@
+//! Dense configurations and a precompiled transition table.
+
+use pp_multiset::Multiset;
+use pp_population::{Protocol, StateId};
+
+/// A configuration stored as one counter per protocol state.
+///
+/// The dense layout avoids the allocation and tree walks of the sparse
+/// [`Multiset`] during simulation; experiment E12's ablation bench compares
+/// the two representations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DenseConfig {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DenseConfig {
+    /// Builds a dense configuration from a sparse one.
+    #[must_use]
+    pub fn from_multiset(num_states: usize, config: &Multiset<StateId>) -> Self {
+        let mut counts = vec![0u64; num_states];
+        for (state, count) in config.iter() {
+            counts[state.0] += count;
+        }
+        DenseConfig {
+            total: counts.iter().sum(),
+            counts,
+        }
+    }
+
+    /// Converts back to a sparse configuration.
+    #[must_use]
+    pub fn to_multiset(&self) -> Multiset<StateId> {
+        Multiset::from_pairs(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(s, &c)| (StateId(s), c)),
+        )
+    }
+
+    /// Count of agents in `state`.
+    #[must_use]
+    pub fn get(&self, state: StateId) -> u64 {
+        self.counts[state.0]
+    }
+
+    /// Total number of agents.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-state counters.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// One precompiled transition: sparse pre/post lists over dense state indices.
+#[derive(Debug, Clone)]
+pub struct DenseTransition {
+    pre: Vec<(usize, u64)>,
+    post: Vec<(usize, u64)>,
+}
+
+impl DenseTransition {
+    /// Returns `true` if the transition is enabled in `config`.
+    #[must_use]
+    pub fn is_enabled(&self, config: &DenseConfig) -> bool {
+        self.pre.iter().all(|&(s, c)| config.counts[s] >= c)
+    }
+
+    /// Number of distinct unordered agent tuples able to play this transition
+    /// in `config` (the product of binomial coefficients over its
+    /// precondition), used by the instance-weighted scheduler.
+    #[must_use]
+    pub fn instances(&self, config: &DenseConfig) -> u128 {
+        self.pre
+            .iter()
+            .map(|&(s, c)| binomial(config.counts[s], c))
+            .product()
+    }
+
+    /// Fires the transition in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the transition is not enabled.
+    pub fn fire(&self, config: &mut DenseConfig) {
+        for &(s, c) in &self.pre {
+            debug_assert!(config.counts[s] >= c, "transition fired while disabled");
+            config.counts[s] -= c;
+            config.total -= c;
+        }
+        for &(s, c) in &self.post {
+            config.counts[s] += c;
+            config.total += c;
+        }
+    }
+}
+
+/// Binomial coefficient `C(n, k)` saturating in `u128`.
+fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(u128::from(n - i)) / u128::from(i + 1);
+    }
+    result
+}
+
+/// A protocol's Petri net precompiled for dense simulation.
+#[derive(Debug, Clone)]
+pub struct DenseNet {
+    transitions: Vec<DenseTransition>,
+    num_states: usize,
+}
+
+impl DenseNet {
+    /// Compiles the protocol's transitions.
+    #[must_use]
+    pub fn compile(protocol: &Protocol) -> Self {
+        let transitions = protocol
+            .net()
+            .transitions()
+            .iter()
+            .map(|t| DenseTransition {
+                pre: t.pre().iter().map(|(s, c)| (s.0, c)).collect(),
+                post: t.post().iter().map(|(s, c)| (s.0, c)).collect(),
+            })
+            .collect();
+        DenseNet {
+            transitions,
+            num_states: protocol.num_states(),
+        }
+    }
+
+    /// Number of protocol states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The precompiled transitions.
+    #[must_use]
+    pub fn transitions(&self) -> &[DenseTransition] {
+        &self.transitions
+    }
+
+    /// Indices of the transitions enabled in `config`.
+    #[must_use]
+    pub fn enabled(&self, config: &DenseConfig) -> Vec<usize> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_enabled(config))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::leaders_n::example_4_2;
+
+    #[test]
+    fn dense_round_trip_matches_sparse() {
+        let protocol = example_4_2(2);
+        let initial = protocol.initial_config_with_count(3);
+        let dense = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        assert_eq!(dense.total(), 5);
+        assert_eq!(dense.to_multiset(), initial);
+        let i = protocol.state_id("i").unwrap();
+        assert_eq!(dense.get(i), 3);
+    }
+
+    #[test]
+    fn dense_firing_matches_sparse_firing() {
+        let protocol = example_4_2(2);
+        let net = DenseNet::compile(&protocol);
+        assert_eq!(net.num_states(), 6);
+        let initial = protocol.initial_config_with_count(3);
+        let mut dense = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        let enabled = net.enabled(&dense);
+        assert!(!enabled.is_empty());
+        let t = enabled[0];
+        net.transitions()[t].fire(&mut dense);
+        let sparse_next = protocol.net().transition(t).fire(&initial).unwrap();
+        assert_eq!(dense.to_multiset(), sparse_next);
+        assert_eq!(dense.total(), 5);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(10, 10), 1);
+    }
+
+    #[test]
+    fn instance_counts() {
+        let protocol = example_4_2(2);
+        let net = DenseNet::compile(&protocol);
+        let initial = protocol.initial_config_with_count(3);
+        let dense = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        // Transition t = (i + ī -> p + q) has 3·2 = 6 unordered instances.
+        assert_eq!(net.transitions()[0].instances(&dense), 6);
+    }
+
+    #[test]
+    fn enabled_set_matches_sparse_net() {
+        let protocol = example_4_2(1);
+        let net = DenseNet::compile(&protocol);
+        let initial = protocol.initial_config_with_count(2);
+        let dense = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        let sparse_enabled = protocol.net().enabled_transitions(&initial);
+        assert_eq!(net.enabled(&dense), sparse_enabled);
+    }
+}

@@ -1,0 +1,29 @@
+//! Random-scheduler simulation of population protocols.
+//!
+//! Stable computation (Section 2 of the paper) is defined over all fair
+//! executions; this crate complements the exact verification of
+//! `pp-population` with *empirical* convergence measurements under the
+//! classical uniform random scheduler: at every step a transition instance is
+//! chosen uniformly at random among the enabled ones (for width-2 protocols
+//! this coincides with the usual "pick an ordered pair of agents uniformly"
+//! scheduler, conditioned on the pair interacting).
+//!
+//! The simulator works on a dense representation of configurations
+//! ([`dense::DenseConfig`]) for speed, detects convergence *exactly* (a
+//! configuration is converged when it is output-stable for its consensus
+//! value, checked with the coverability oracles of `pp-population`) and runs
+//! repeated trials on multiple threads ([`convergence`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod dense;
+pub mod scheduler;
+pub mod simulation;
+pub mod stats;
+
+pub use convergence::{ConvergenceExperiment, ConvergenceStats};
+pub use dense::{DenseConfig, DenseNet};
+pub use scheduler::SchedulerKind;
+pub use simulation::{RunOutcome, Simulation, StepOutcome};

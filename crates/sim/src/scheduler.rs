@@ -1,0 +1,115 @@
+//! Schedulers: how the next interaction is chosen.
+
+use crate::dense::{DenseConfig, DenseNet};
+use rand::Rng;
+
+/// The random scheduler driving a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Pick uniformly among the *enabled transitions* of the net.
+    ///
+    /// Cheap and adequate for measuring convergence shapes; this is the
+    /// default.
+    #[default]
+    UniformEnabledTransition,
+    /// Pick a transition with probability proportional to the number of ways
+    /// it can fire in the current configuration (its number of *instances*).
+    ///
+    /// For classical width-2 protocols this is the textbook "pick an ordered
+    /// pair of distinct agents uniformly at random" scheduler conditioned on
+    /// the pair being able to interact.
+    InstanceWeighted,
+}
+
+impl SchedulerKind {
+    /// Chooses the next transition to fire, or `None` if no transition is
+    /// enabled (the configuration is silent).
+    #[must_use]
+    pub fn choose<R: Rng>(
+        self,
+        net: &DenseNet,
+        config: &DenseConfig,
+        rng: &mut R,
+    ) -> Option<usize> {
+        match self {
+            SchedulerKind::UniformEnabledTransition => {
+                let enabled = net.enabled(config);
+                if enabled.is_empty() {
+                    None
+                } else {
+                    Some(enabled[rng.gen_range(0..enabled.len())])
+                }
+            }
+            SchedulerKind::InstanceWeighted => {
+                let weights: Vec<u128> = net
+                    .transitions()
+                    .iter()
+                    .map(|t| {
+                        if t.is_enabled(config) {
+                            t.instances(config)
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let total: u128 = weights.iter().sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut draw = rng.gen_range(0..total);
+                for (index, &w) in weights.iter().enumerate() {
+                    if draw < w {
+                        return Some(index);
+                    }
+                    draw -= w;
+                }
+                unreachable!("draw is below the total weight")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseConfig;
+    use pp_protocols::leaders_n::example_4_2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_schedulers_only_pick_enabled_transitions() {
+        let protocol = example_4_2(2);
+        let net = DenseNet::compile(&protocol);
+        let initial = protocol.initial_config_with_count(4);
+        let config = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in [
+            SchedulerKind::UniformEnabledTransition,
+            SchedulerKind::InstanceWeighted,
+        ] {
+            for _ in 0..50 {
+                let choice = kind.choose(&net, &config, &mut rng).expect("enabled");
+                assert!(net.transitions()[choice].is_enabled(&config));
+            }
+        }
+    }
+
+    #[test]
+    fn silent_configuration_yields_none() {
+        let protocol = example_4_2(1);
+        let net = DenseNet::compile(&protocol);
+        // Only leaders: nothing can interact.
+        let initial = protocol.initial_config_with_count(0);
+        let config = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(
+            SchedulerKind::UniformEnabledTransition.choose(&net, &config, &mut rng),
+            None
+        );
+        assert_eq!(
+            SchedulerKind::InstanceWeighted.choose(&net, &config, &mut rng),
+            None
+        );
+    }
+}

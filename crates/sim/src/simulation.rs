@@ -1,0 +1,291 @@
+//! A single protocol execution under a random scheduler.
+
+use crate::dense::{DenseConfig, DenseNet};
+use crate::scheduler::SchedulerKind;
+use pp_multiset::Multiset;
+use pp_petri::ExplorationLimits;
+use pp_population::stable::ProtocolStability;
+use pp_population::{Output, Protocol, StateId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The result of one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The scheduler fired the transition with this index.
+    Fired(usize),
+    /// No transition is enabled: the configuration is silent.
+    Silent,
+}
+
+/// The outcome of running a simulation until convergence or a step budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The execution reached a configuration that is output-stable for the
+    /// given consensus value after the reported number of steps.
+    Converged {
+        /// Consensus output value of the stable configuration.
+        consensus: Output,
+        /// Number of scheduler steps taken.
+        steps: u64,
+    },
+    /// The step budget was exhausted before convergence was detected.
+    Exhausted {
+        /// The step budget that was spent.
+        steps: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Steps taken by the run (whether or not it converged).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        match self {
+            RunOutcome::Converged { steps, .. } | RunOutcome::Exhausted { steps } => *steps,
+        }
+    }
+
+    /// Returns the consensus value if the run converged.
+    #[must_use]
+    pub fn consensus(&self) -> Option<Output> {
+        match self {
+            RunOutcome::Converged { consensus, .. } => Some(*consensus),
+            RunOutcome::Exhausted { .. } => None,
+        }
+    }
+}
+
+/// A single execution of a protocol under a random scheduler.
+///
+/// Convergence is detected *exactly*: whenever the current configuration has
+/// an output consensus, the simulator asks the protocol's stability oracle
+/// whether the configuration is output-stable for that value (results are
+/// memoized per configuration). This removes the usual guesswork of
+/// "has it stopped changing?" heuristics.
+///
+/// # Examples
+///
+/// ```
+/// use pp_protocols::leaders_n::example_4_2;
+/// use pp_sim::Simulation;
+///
+/// let protocol = example_4_2(2);
+/// let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(5), 42);
+/// let outcome = sim.run(100_000);
+/// assert!(outcome.consensus().is_some());
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'p> {
+    protocol: &'p Protocol,
+    net: DenseNet,
+    stability: ProtocolStability,
+    scheduler: SchedulerKind,
+    config: DenseConfig,
+    rng: StdRng,
+    steps: u64,
+    stability_cache: HashMap<Multiset<StateId>, bool>,
+}
+
+impl<'p> Simulation<'p> {
+    /// Creates a simulation of `protocol` from the configuration `initial`
+    /// with the given random seed.
+    #[must_use]
+    pub fn new(protocol: &'p Protocol, initial: &Multiset<StateId>, seed: u64) -> Self {
+        Simulation {
+            net: DenseNet::compile(protocol),
+            stability: ProtocolStability::new(protocol),
+            scheduler: SchedulerKind::default(),
+            config: DenseConfig::from_multiset(protocol.num_states(), initial),
+            rng: StdRng::seed_from_u64(seed),
+            steps: 0,
+            stability_cache: HashMap::new(),
+            protocol,
+        }
+    }
+
+    /// Selects the scheduler (default: uniform over enabled transitions).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The current configuration (sparse view).
+    #[must_use]
+    pub fn config(&self) -> Multiset<StateId> {
+        self.config.to_multiset()
+    }
+
+    /// Number of steps taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Performs one scheduler step.
+    pub fn step(&mut self) -> StepOutcome {
+        match self.scheduler.choose(&self.net, &self.config, &mut self.rng) {
+            Some(t) => {
+                self.net.transitions()[t].fire(&mut self.config);
+                self.steps += 1;
+                StepOutcome::Fired(t)
+            }
+            None => StepOutcome::Silent,
+        }
+    }
+
+    /// The consensus output of the current configuration, if all populated
+    /// states agree (the empty configuration has consensus `0`).
+    #[must_use]
+    pub fn consensus(&self) -> Option<Output> {
+        let mut value = None;
+        for (state, &count) in self.config.counts().iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let output = self.protocol.output(StateId(state));
+            match value {
+                None => value = Some(output),
+                Some(v) if v == output => {}
+                Some(_) => return None,
+            }
+        }
+        Some(value.unwrap_or(Output::Zero))
+    }
+
+    /// Returns `true` if the current configuration is output-stable for its
+    /// consensus value (memoized exact check).
+    pub fn is_converged(&mut self) -> Option<Output> {
+        let consensus = self.consensus()?;
+        let value = match consensus {
+            Output::Zero => false,
+            Output::One => true,
+            Output::Star => return None,
+        };
+        let sparse = self.config.to_multiset();
+        let stable = match self.stability_cache.get(&sparse) {
+            Some(&cached) => cached,
+            None => {
+                let result = self
+                    .stability
+                    .is_output_stable(
+                        self.protocol,
+                        &sparse,
+                        value,
+                        &ExplorationLimits::default(),
+                    )
+                    .unwrap_or(false);
+                self.stability_cache.insert(sparse, result);
+                result
+            }
+        };
+        stable.then_some(consensus)
+    }
+
+    /// Runs until convergence or until `max_steps` scheduler steps.
+    ///
+    /// Convergence is checked whenever the configuration is silent and
+    /// otherwise every `n` steps (with `n` the number of agents), so the
+    /// reported step count overestimates the true convergence time by at most
+    /// one such window.
+    pub fn run(&mut self, max_steps: u64) -> RunOutcome {
+        let window = self.config.total().max(1);
+        loop {
+            if let Some(consensus) = self.is_converged() {
+                return RunOutcome::Converged {
+                    consensus,
+                    steps: self.steps,
+                };
+            }
+            if self.steps >= max_steps {
+                return RunOutcome::Exhausted { steps: self.steps };
+            }
+            let mut fired_any = false;
+            for _ in 0..window {
+                match self.step() {
+                    StepOutcome::Fired(_) => {
+                        fired_any = true;
+                        if self.steps >= max_steps {
+                            break;
+                        }
+                    }
+                    StepOutcome::Silent => break,
+                }
+            }
+            if !fired_any {
+                // Silent but not output-stable (e.g. a stuck mixed-output
+                // configuration of an ill-specified protocol): report the
+                // budget as exhausted rather than spinning forever.
+                return RunOutcome::Exhausted { steps: self.steps };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::flock::flock_of_birds_unary;
+    use pp_protocols::leaders_n::example_4_2;
+    use pp_protocols::majority::majority;
+
+    #[test]
+    fn example_4_2_converges_to_the_right_consensus() {
+        let protocol = example_4_2(2);
+        // 5 ≥ 2: must converge to consensus 1.
+        let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(5), 1);
+        match sim.run(1_000_000) {
+            RunOutcome::Converged { consensus, steps } => {
+                assert_eq!(consensus, Output::One);
+                assert!(steps > 0);
+            }
+            RunOutcome::Exhausted { .. } => panic!("simulation did not converge"),
+        }
+        // 1 < 2: must converge to consensus 0.
+        let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(1), 2);
+        assert_eq!(sim.run(1_000_000).consensus(), Some(Output::Zero));
+    }
+
+    #[test]
+    fn silent_initial_configuration_converges_immediately() {
+        let protocol = example_4_2(3);
+        // Only the three leaders: already 0-output stable.
+        let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(0), 3);
+        let outcome = sim.run(10);
+        assert_eq!(outcome, RunOutcome::Converged { consensus: Output::Zero, steps: 0 });
+    }
+
+    #[test]
+    fn flock_of_birds_detects_threshold() {
+        let protocol = flock_of_birds_unary(4);
+        let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(6), 11);
+        assert_eq!(sim.run(1_000_000).consensus(), Some(Output::One));
+        let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(3), 12);
+        assert_eq!(sim.run(1_000_000).consensus(), Some(Output::Zero));
+    }
+
+    #[test]
+    fn majority_simulation_with_instance_weighted_scheduler() {
+        let protocol = majority();
+        let a = protocol.state_id("A").unwrap();
+        let b = protocol.state_id("B").unwrap();
+        let initial = Multiset::from_pairs([(a, 7u64), (b, 3)]);
+        let mut sim = Simulation::new(&protocol, &initial, 5)
+            .with_scheduler(SchedulerKind::InstanceWeighted);
+        assert_eq!(sim.run(1_000_000).consensus(), Some(Output::One));
+        let initial = Multiset::from_pairs([(a, 3u64), (b, 7)]);
+        let mut sim = Simulation::new(&protocol, &initial, 6)
+            .with_scheduler(SchedulerKind::InstanceWeighted);
+        assert_eq!(sim.run(1_000_000).consensus(), Some(Output::Zero));
+    }
+
+    #[test]
+    fn exhausted_budget_is_reported() {
+        let protocol = example_4_2(2);
+        let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(6), 9);
+        let outcome = sim.run(0);
+        assert_eq!(outcome, RunOutcome::Exhausted { steps: 0 });
+        assert_eq!(outcome.consensus(), None);
+        assert_eq!(outcome.steps(), 0);
+    }
+}

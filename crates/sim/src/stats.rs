@@ -1,0 +1,107 @@
+//! Small summary statistics over samples of step counts.
+
+/// Summary statistics of a sample of `u64` measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of the two middle samples for even counts).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// Returns `None` for an empty sample.
+    #[must_use]
+    pub fn of(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        let mean = sum as f64 / count as f64;
+        let median = if count % 2 == 1 {
+            sorted[count / 2] as f64
+        } else {
+            (sorted[count / 2 - 1] as f64 + sorted[count / 2] as f64) / 2.0
+        };
+        let p95_rank = ((count as f64) * 0.95).ceil() as usize;
+        let p95 = sorted[p95_rank.clamp(1, count) - 1];
+        let variance = if count > 1 {
+            sorted
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            median,
+            p95,
+            std_dev: variance.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+        assert!((s.median - 5.5).abs() < 1e-12);
+        assert_eq!(s.p95, 10);
+        assert!((s.std_dev - 3.0276503540974917).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Summary::of(&[5, 1, 4, 2, 3]).unwrap();
+        let b = Summary::of(&[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.median, 3.0);
+    }
+}

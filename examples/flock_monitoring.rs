@@ -1,0 +1,58 @@
+//! Domain scenario: threshold monitoring in a sensor flock.
+//!
+//! The motivating story of counting predicates (Blondin–Esparza–Jaax call it
+//! "large flocks of small birds"): anonymous sensors must raise an alarm
+//! exactly when at least `n` of them observed an event. This example compares
+//! the catalog's constructions for the same threshold — their state counts,
+//! their verification, and their empirical convergence speed — which is the
+//! trade-off the paper's lower bound is about.
+//!
+//! Run with: `cargo run --example flock_monitoring`
+
+use pp_petri::ExplorationLimits;
+use pp_population::verify::verify_counting_inputs;
+use pp_protocols::counting_entries;
+use pp_sim::ConvergenceExperiment;
+
+fn main() {
+    let threshold = 4u64;
+    let flock_size = 60u64;
+    println!("Scenario: raise an alarm iff at least {threshold} of {flock_size} sensors fire.\n");
+
+    for entry in counting_entries(threshold) {
+        let protocol = &entry.protocol;
+        // Correctness: exact verification on small populations.
+        let report = verify_counting_inputs(
+            protocol,
+            &entry.predicate,
+            threshold + 2,
+            &ExplorationLimits::default(),
+        );
+        // Speed: convergence of a larger flock under the random scheduler.
+        let initial_state = *protocol.initial_states().iter().next().unwrap();
+        let mut initial = protocol.leaders().clone();
+        initial.add_to(initial_state, flock_size);
+        let stats = ConvergenceExperiment::new(protocol, &initial)
+            .trials(10)
+            .max_steps(5_000_000)
+            .seed(42)
+            .run();
+        println!(
+            "{:<18} {:>2} states, width {:>1}, {:>1} leaders | verified: {} | {} sensors converge to {:?} in ~{:.0} steps",
+            entry.family,
+            entry.states(),
+            protocol.width(),
+            protocol.num_leaders(),
+            if report.all_correct() { "yes" } else { "NO" },
+            flock_size,
+            stats.consensus,
+            stats.steps.as_ref().map_or(f64::NAN, |s| s.mean),
+        );
+    }
+
+    println!(
+        "\nThe paper's result: with width and leaders bounded, no construction can beat \
+         Ω((log log n)^h) states — the catalog's best bounded-width construction above uses \
+         Θ(log n)."
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the State Complexity Suite.
+//!
+//! Re-exports the public APIs of all member crates so that the examples and
+//! integration tests can use a single dependency. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use pp_bigint as bigint;
+pub use pp_diophantine as diophantine;
+pub use pp_multiset as multiset;
+pub use pp_petri as petri;
+pub use pp_population as population;
+pub use pp_protocols as protocols;
+pub use pp_sim as sim;
+pub use pp_statecomplexity as statecomplexity;

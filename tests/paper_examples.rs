@@ -1,0 +1,82 @@
+//! Integration test: the paper's two running examples behave exactly as
+//! Section 4 describes, and the main theorem's bound is consistent with them.
+
+use pp_bigint::{Nat, PowerBound};
+use pp_petri::ExplorationLimits;
+use pp_population::verify::verify_counting_inputs;
+use pp_population::Predicate;
+use pp_protocols::{leaders_n, width_n};
+use pp_statecomplexity::theorem_4_3_bound_for_protocol;
+
+#[test]
+fn example_4_1_trades_width_for_states() {
+    for n in 1..=5u64 {
+        let protocol = width_n::example_4_1(n);
+        assert_eq!(protocol.num_states(), 2, "Example 4.1 always has 2 states");
+        assert_eq!(protocol.width(), n, "Example 4.1 has interaction-width n");
+        assert!(protocol.is_leaderless());
+        let report = verify_counting_inputs(
+            &protocol,
+            &Predicate::counting("i", n),
+            n + 2,
+            &ExplorationLimits::default(),
+        );
+        assert!(report.all_correct(), "n = {n}: {:?}", report.failures());
+    }
+}
+
+#[test]
+fn example_4_2_trades_leaders_for_states() {
+    for n in 1..=3u64 {
+        let protocol = leaders_n::example_4_2(n);
+        assert_eq!(protocol.num_states(), 6, "Example 4.2 always has 6 states");
+        assert_eq!(protocol.width(), 2, "Example 4.2 has interaction-width 2");
+        assert_eq!(protocol.num_leaders(), n, "Example 4.2 has n leaders");
+        let report = verify_counting_inputs(
+            &protocol,
+            &Predicate::counting("i", n),
+            n + 2,
+            &ExplorationLimits::default(),
+        );
+        assert!(report.all_correct(), "n = {n}: {:?}", report.failures());
+    }
+}
+
+#[test]
+fn theorem_4_3_is_consistent_with_both_examples() {
+    // Theorem 4.3 only applies to *bounded* width and leaders; for any fixed
+    // instance it must still dominate the threshold that instance decides.
+    for n in [1u64, 2, 3, 10, 1000] {
+        for protocol in [width_n::example_4_1(n), leaders_n::example_4_2(n)] {
+            let bound = theorem_4_3_bound_for_protocol(&protocol);
+            assert_eq!(
+                PowerBound::exact(Nat::from(n)).approx_cmp(&bound),
+                std::cmp::Ordering::Less,
+                "Theorem 4.3 bound must exceed the decided threshold {n} for {}",
+                protocol.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn examples_reject_shifted_thresholds() {
+    // Sanity of the verifier itself: the protocol for n does not compute the
+    // predicate for n+1 (and vice versa).
+    let protocol = leaders_n::example_4_2(2);
+    let too_high = verify_counting_inputs(
+        &protocol,
+        &Predicate::counting("i", 3),
+        4,
+        &ExplorationLimits::default(),
+    );
+    assert!(!too_high.all_correct());
+    let protocol = width_n::example_4_1(3);
+    let too_low = verify_counting_inputs(
+        &protocol,
+        &Predicate::counting("i", 2),
+        4,
+        &ExplorationLimits::default(),
+    );
+    assert!(!too_low.all_correct());
+}

@@ -1,0 +1,54 @@
+//! Integration test: the random-scheduler simulation converges to the same
+//! verdict as the predicate (and hence as the exact verifier) on the catalog.
+
+use pp_multiset::Multiset;
+use pp_population::Output;
+use pp_protocols::{counting_entries, majority};
+use pp_sim::ConvergenceExperiment;
+
+#[test]
+fn simulated_consensus_matches_the_counting_predicate() {
+    let n = 4u64;
+    for entry in counting_entries(n) {
+        let protocol = &entry.protocol;
+        let initial_state = *protocol.initial_states().iter().next().unwrap();
+        for input in [n - 1, n, 3 * n] {
+            let mut initial = protocol.leaders().clone();
+            initial.add_to(initial_state, input);
+            let stats = ConvergenceExperiment::new(protocol, &initial)
+                .trials(5)
+                .max_steps(5_000_000)
+                .seed(1234)
+                .run();
+            assert_eq!(stats.exhausted, 0, "{} did not converge", entry.family);
+            let expected = Output::from_bool(input >= n);
+            assert_eq!(
+                stats.consensus,
+                Some(expected),
+                "{} with input {input} converged to the wrong consensus",
+                entry.family
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_majority_matches_the_comparison() {
+    let protocol = majority::majority();
+    let a = protocol.state_id("A").unwrap();
+    let b = protocol.state_id("B").unwrap();
+    for (count_a, count_b) in [(10u64, 3u64), (3, 10), (7, 7), (1, 0), (0, 1)] {
+        let initial = Multiset::from_pairs([(a, count_a), (b, count_b)]);
+        let stats = ConvergenceExperiment::new(&protocol, &initial)
+            .trials(5)
+            .max_steps(5_000_000)
+            .seed(99)
+            .run();
+        assert_eq!(stats.exhausted, 0);
+        assert_eq!(
+            stats.consensus,
+            Some(Output::from_bool(count_a >= count_b)),
+            "majority({count_a}, {count_b})"
+        );
+    }
+}
