@@ -1,11 +1,14 @@
 //! Criterion bench: coverability procedures (experiment E5 ablation —
-//! backward algorithm vs forward search vs Karp–Miller).
+//! backward algorithm vs forward search vs Karp–Miller) and the
+//! sparse-vs-dense exploration ablation feeding `BENCH_sparse_dense.json`
+//! (see the `bench_sparse_dense` binary for the tracked numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_multiset::Multiset;
 use pp_petri::cover::{shortest_covering_word, CoverabilityOracle};
+use pp_petri::explore::sparse_reference_exploration;
 use pp_petri::karp_miller::KarpMillerTree;
-use pp_petri::ExplorationLimits;
+use pp_petri::{ExplorationLimits, ReachabilityGraph};
 use pp_protocols::leaders_n::example_4_2;
 
 fn bench_coverability(c: &mut Criterion) {
@@ -36,5 +39,44 @@ fn bench_coverability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coverability);
+fn bench_exploration_representation(c: &mut Criterion) {
+    // Ablation: full reachability-graph construction on the dense interned
+    // engine vs the sparse BTreeMap reference path. The flock protocol at
+    // 20+ agents yields graphs of thousands of nodes — the regime where
+    // the interning representation dominates the cost (≥3× expected; see
+    // BENCH_sparse_dense.json for tracked numbers).
+    let protocol = pp_protocols::flock::flock_of_birds_unary(5);
+    let net = protocol.net().clone();
+    let limits = ExplorationLimits::default();
+    let mut group = c.benchmark_group("exploration_representation");
+    group.sample_size(10);
+    for agents in [15u64, 20] {
+        let start = protocol.initial_config_with_count(agents);
+        group.bench_with_input(
+            BenchmarkId::new("dense_engine", agents),
+            &start,
+            |b, start| {
+                b.iter(|| ReachabilityGraph::build(&net, [start.clone()], &limits).len());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_reference", agents),
+            &start,
+            |b, start| {
+                b.iter(|| {
+                    sparse_reference_exploration(&net, [start.clone()], &limits)
+                        .0
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coverability,
+    bench_exploration_representation
+);
 criterion_main!(benches);

@@ -14,9 +14,13 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("section8_pipeline");
     group.sample_size(10);
     for (name, protocol) in entries {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &protocol, |b, protocol| {
-            b.iter(|| analyze_protocol(protocol, &limits));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| analyze_protocol(protocol, &limits));
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_protocols::leaders_n::example_4_2;
-use pp_sim::{DenseConfig, DenseNet, Simulation};
+use pp_sim::{compile_protocol, Simulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -12,15 +12,19 @@ fn bench_simulation_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_to_convergence");
     group.sample_size(20);
     for agents in [20u64, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(agents), &agents, |b, &agents| {
-            let initial = protocol.initial_config_with_count(agents);
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut sim = Simulation::new(&protocol, &initial, seed);
-                sim.run(10_000_000)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(agents),
+            &agents,
+            |b, &agents| {
+                let initial = protocol.initial_config_with_count(agents);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sim = Simulation::new(&protocol, &initial, seed);
+                    sim.run(10_000_000)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -29,13 +33,13 @@ fn bench_step_representation(c: &mut Criterion) {
     // Ablation: dense firing vs sparse firing of the same random transitions.
     let protocol = example_4_2(2);
     let net = protocol.net().clone();
-    let dense_net = DenseNet::compile(&protocol);
+    let dense_net = compile_protocol(&protocol);
     let initial = protocol.initial_config_with_count(100);
     let mut group = c.benchmark_group("firing_representation");
     group.bench_function("dense", |b| {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
-            let mut config = DenseConfig::from_multiset(protocol.num_states(), &initial);
+            let mut config = dense_net.dense_config(&initial);
             for _ in 0..1_000 {
                 let enabled = dense_net.enabled(&config);
                 if enabled.is_empty() {

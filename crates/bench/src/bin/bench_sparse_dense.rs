@@ -1,0 +1,121 @@
+//! Sparse-vs-dense exploration ablation (E12 companion).
+//!
+//! Times full reachability-graph construction on the dense interned engine
+//! against the sparse `BTreeMap` reference path for catalog protocols,
+//! prints the comparison table and writes the numbers to
+//! `BENCH_sparse_dense.json` so the speedup is tracked across PRs.
+
+use pp_bench::{fmt_f64, Table};
+use pp_petri::explore::sparse_reference_exploration;
+use pp_petri::{ExplorationLimits, ReachabilityGraph};
+use pp_protocols::{flock, leaders_n, threshold};
+use std::time::Instant;
+
+struct Row {
+    family: &'static str,
+    agents: u64,
+    nodes: usize,
+    sparse_ns: u128,
+    dense_ns: u128,
+}
+
+/// Median wall-clock nanoseconds of `runs` executions of `f`.
+fn median_ns<F: FnMut() -> usize>(runs: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let limits = ExplorationLimits::default();
+    let runs = 5;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Instances sized so the graphs have hundreds to tens of thousands of
+    // nodes — the regime the verifier and the experiments actually run in,
+    // where interning rather than constant overhead dominates.
+    let instances: [(&'static str, pp_population::Protocol, [u64; 2]); 3] = [
+        ("example-4.2(n=3)", leaders_n::example_4_2(3), [20, 40]),
+        ("flock-unary(n=5)", flock::flock_of_birds_unary(5), [20, 30]),
+        (
+            "binary-threshold(n=6)",
+            threshold::binary_threshold_with_leader(6),
+            [20, 30],
+        ),
+    ];
+    for (family, protocol, agent_counts) in instances {
+        for agents in agent_counts {
+            let initial = protocol.initial_config_with_count(agents);
+            let net = protocol.net();
+            let dense_nodes = ReachabilityGraph::build(net, [initial.clone()], &limits).len();
+            let sparse_nodes = sparse_reference_exploration(net, [initial.clone()], &limits)
+                .0
+                .len();
+            assert_eq!(
+                dense_nodes, sparse_nodes,
+                "representations disagree on {family}"
+            );
+            let dense_ns = median_ns(runs, || {
+                ReachabilityGraph::build(net, [initial.clone()], &limits).len()
+            });
+            let sparse_ns = median_ns(runs, || {
+                sparse_reference_exploration(net, [initial.clone()], &limits)
+                    .0
+                    .len()
+            });
+            rows.push(Row {
+                family,
+                agents,
+                nodes: dense_nodes,
+                sparse_ns,
+                dense_ns,
+            });
+        }
+    }
+
+    let mut table = Table::new([
+        "protocol",
+        "agents",
+        "nodes",
+        "sparse (ms)",
+        "dense (ms)",
+        "speedup",
+    ]);
+    for row in &rows {
+        table.row([
+            row.family.to_owned(),
+            row.agents.to_string(),
+            row.nodes.to_string(),
+            fmt_f64(row.sparse_ns as f64 / 1e6),
+            fmt_f64(row.dense_ns as f64 / 1e6),
+            fmt_f64(row.sparse_ns as f64 / row.dense_ns.max(1) as f64),
+        ]);
+    }
+    table.print("Sparse vs dense exploration (reachability graph construction)");
+
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"sparse_ns\": {}, \"dense_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            row.family,
+            row.agents,
+            row.nodes,
+            row.sparse_ns,
+            row.dense_ns,
+            row.sparse_ns as f64 / row.dense_ns.max(1) as f64,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    let path = "BENCH_sparse_dense.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(error) => eprintln!("could not write {path}: {error}"),
+    }
+}

@@ -27,7 +27,10 @@ fn main() {
         ("flock-unary(n=3)", flock::flock_of_birds_unary(3)),
         ("flock-doubling(k=2)", flock::flock_of_birds_doubling(2)),
         ("modulo(m=2,r=0)", modulo::modulo_with_leader(2, 0)),
-        ("binary-threshold(n=5)", threshold::binary_threshold_with_leader(5)),
+        (
+            "binary-threshold(n=5)",
+            threshold::binary_threshold_with_leader(5),
+        ),
     ];
     for (name, protocol) in entries {
         let report = analyze_protocol(&protocol, &limits);
@@ -36,7 +39,12 @@ fn main() {
             report.states.to_string(),
             report.width.to_string(),
             report.leaders.to_string(),
-            if report.witness.is_some() { "found" } else { "—" }.to_owned(),
+            if report.witness.is_some() {
+                "found"
+            } else {
+                "—"
+            }
+            .to_owned(),
             report
                 .witness
                 .as_ref()

@@ -32,13 +32,8 @@ fn main() {
             stats.agents.to_string(),
             trials.to_string(),
             stats.converged.to_string(),
-            stats
-                .consensus
-                .map_or("—".into(), |c| c.to_string()),
-            stats
-                .steps
-                .as_ref()
-                .map_or("—".into(), |s| fmt_f64(s.mean)),
+            stats.consensus.map_or("—".into(), |c| c.to_string()),
+            stats.steps.as_ref().map_or("—".into(), |s| fmt_f64(s.mean)),
             stats.parallel_time().map_or("—".into(), fmt_f64),
         ]);
     };

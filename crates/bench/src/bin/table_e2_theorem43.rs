@@ -4,7 +4,13 @@ use pp_bench::{fmt_f64, Table};
 use pp_statecomplexity::theorem_4_3_bound;
 
 fn main() {
-    let mut table = Table::new(["|P|", "width", "leaders", "bound (symbolic)", "log10(bound)"]);
+    let mut table = Table::new([
+        "|P|",
+        "width",
+        "leaders",
+        "bound (symbolic)",
+        "log10(bound)",
+    ]);
     for states in 2..=10u64 {
         for &(width, leaders) in &[(1u64, 1u64), (2, 2), (4, 4)] {
             let bound = theorem_4_3_bound(states, width, leaders);

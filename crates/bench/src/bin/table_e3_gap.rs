@@ -2,7 +2,9 @@
 //! and the paper's Ω((log log n)^h) lower bound.
 
 use pp_bench::{fmt_f64, Table};
-use pp_statecomplexity::{bej_upper_bound_states, corollary_4_4_min_states, leaderless_upper_bound_states};
+use pp_statecomplexity::{
+    bej_upper_bound_states, corollary_4_4_min_states, leaderless_upper_bound_states,
+};
 
 fn main() {
     let mut table = Table::new([

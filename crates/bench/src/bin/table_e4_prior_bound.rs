@@ -19,12 +19,28 @@ fn main() {
         "this paper, h = 0.49",
     ]);
     let cases: Vec<(String, Nat, f64)> = vec![
-        ("10^3".into(), Nat::from(10u64).pow(3), (10f64).powi(3).log2()),
-        ("10^9".into(), Nat::from(10u64).pow(9), (10f64).powi(9).log2()),
+        (
+            "10^3".into(),
+            Nat::from(10u64).pow(3),
+            (10f64).powi(3).log2(),
+        ),
+        (
+            "10^9".into(),
+            Nat::from(10u64).pow(9),
+            (10f64).powi(9).log2(),
+        ),
         ("2^256".into(), Nat::from(2u64).pow(256), 256.0),
         ("2^65536".into(), Nat::from(2u64).pow(65536), 65536.0),
-        ("2^(2^30)".into(), Nat::from(2u64).pow(1 << 30), (1u64 << 30) as f64),
-        ("2^(2^50)".into(), Nat::from(2u64).pow(1 << 20), (1u64 << 50) as f64),
+        (
+            "2^(2^30)".into(),
+            Nat::from(2u64).pow(1 << 30),
+            (1u64 << 30) as f64,
+        ),
+        (
+            "2^(2^50)".into(),
+            Nat::from(2u64).pow(1 << 20),
+            (1u64 << 50) as f64,
+        ),
     ];
     for (label, n, log2_n) in &cases {
         table.row([

@@ -40,8 +40,10 @@ fn main() {
     configs.sort();
     configs.dedup();
 
-    let stabilized: Vec<&Multiset<StateId>> =
-        configs.iter().filter(|c| checker.is_stabilized(c)).collect();
+    let stabilized: Vec<&Multiset<StateId>> = configs
+        .iter()
+        .filter(|c| checker.is_stabilized(c))
+        .collect();
 
     let mut table = Table::new([
         "empirical threshold",

@@ -27,7 +27,10 @@ fn main() {
         ("flock-doubling(k=2)", flock::flock_of_birds_doubling(2)),
         ("modulo(m=2,r=0)", modulo::modulo_with_leader(2, 0)),
         ("modulo(m=3,r=1)", modulo::modulo_with_leader(3, 1)),
-        ("binary-threshold(n=5)", threshold::binary_threshold_with_leader(5)),
+        (
+            "binary-threshold(n=5)",
+            threshold::binary_threshold_with_leader(5),
+        ),
     ];
     for (name, protocol) in entries {
         let non_initial: BTreeSet<StateId> = protocol

@@ -34,9 +34,13 @@ fn main() {
             name.to_owned(),
             states.map_or("—".into(), |v| v.to_string()),
             edges.map_or("—".into(), |v| v.to_string()),
-            report
-                .strongly_connected
-                .map_or("—".into(), |v| if v { "yes".into() } else { "no".to_string() }),
+            report.strongly_connected.map_or("—".into(), |v| {
+                if v {
+                    "yes".into()
+                } else {
+                    "no".to_string()
+                }
+            }),
             report
                 .total_cycle_length
                 .map_or("—".into(), |v| v.to_string()),

@@ -2,11 +2,11 @@
 
 use pp_bench::Table;
 use pp_diophantine::{pottier_bound, HilbertConfig, LinearSystem};
+use pp_multiset::Multiset;
 use pp_petri::control::ControlNet;
 use pp_petri::cycles::{lemma_7_3_size_bound, shrink_multicycle};
 use pp_petri::ExplorationLimits;
 use pp_petri::{PetriNet, Transition};
-use pp_multiset::Multiset;
 use std::collections::BTreeSet;
 
 fn main() {
@@ -30,7 +30,11 @@ fn main() {
         let basis = system
             .hilbert_basis(&HilbertConfig::default())
             .expect("basis computed");
-        let max_norm = basis.iter().map(|b| b.iter().sum::<u64>()).max().unwrap_or(0);
+        let max_norm = basis
+            .iter()
+            .map(|b| b.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0);
         basis_table.row([
             shape,
             basis.len().to_string(),
@@ -42,8 +46,14 @@ fn main() {
 
     // Part b: Lemma 7.3 shrinking on a two-counter control net.
     let net = PetriNet::from_transitions([
-        Transition::new(Multiset::unit("s0"), Multiset::from_pairs([("s1", 1u64), ("x", 1)])),
-        Transition::new(Multiset::unit("s1"), Multiset::from_pairs([("s0", 1u64), ("y", 1)])),
+        Transition::new(
+            Multiset::unit("s0"),
+            Multiset::from_pairs([("s1", 1u64), ("x", 1)]),
+        ),
+        Transition::new(
+            Multiset::unit("s1"),
+            Multiset::from_pairs([("s0", 1u64), ("y", 1)]),
+        ),
         Transition::new(
             Multiset::from_pairs([("s1", 1u64), ("y", 1)]),
             Multiset::unit("s0"),
@@ -57,7 +67,13 @@ fn main() {
         &ExplorationLimits::default(),
     )
     .expect("control net");
-    let edge_of = |t: usize| control.edges().iter().position(|e| e.transition == t).unwrap();
+    let edge_of = |t: usize| {
+        control
+            .edges()
+            .iter()
+            .position(|e| e.transition == t)
+            .unwrap()
+    };
     let mut shrink_table = Table::new([
         "original multicycle |Θ|",
         "Δ(Θ) on x",
@@ -68,7 +84,8 @@ fn main() {
         "Δ(Θ') on y",
         "Lemma 7.3 size bound",
     ]);
-    for (copies_plus, copies_minus, k) in [(50u64, 40u64, 10u64), (500, 400, 50), (5000, 4000, 100)] {
+    for (copies_plus, copies_minus, k) in [(50u64, 40u64, 10u64), (500, 400, 50), (5000, 4000, 100)]
+    {
         let mut parikh = vec![0u64; control.num_edges()];
         for &e in &[edge_of(0), edge_of(1)] {
             parikh[e] += copies_plus;
@@ -77,8 +94,14 @@ fn main() {
             parikh[e] += copies_minus;
         }
         let original = control.displacement_of_parikh(&parikh);
-        let shrunk = shrink_multicycle(&control, &parikh, &BTreeSet::new(), k, &HilbertConfig::default())
-            .expect("shrinking succeeds");
+        let shrunk = shrink_multicycle(
+            &control,
+            &parikh,
+            &BTreeSet::new(),
+            k,
+            &HilbertConfig::default(),
+        )
+        .expect("shrinking succeeds");
         shrink_table.row([
             parikh.iter().sum::<u64>().to_string(),
             original.get(&"x").to_string(),

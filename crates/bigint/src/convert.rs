@@ -123,7 +123,13 @@ mod tests {
 
     #[test]
     fn u128_roundtrip() {
-        for v in [0u128, 1, u128::from(u64::MAX), u128::from(u64::MAX) + 1, u128::MAX] {
+        for v in [
+            0u128,
+            1,
+            u128::from(u64::MAX),
+            u128::from(u64::MAX) + 1,
+            u128::MAX,
+        ] {
             assert_eq!(u128::try_from(&Nat::from(v)).unwrap(), v);
         }
     }

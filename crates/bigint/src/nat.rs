@@ -248,7 +248,11 @@ impl Nat {
     #[must_use]
     pub fn pow_nat(&self, exp: &Nat) -> Nat {
         if self.is_zero() {
-            return if exp.is_zero() { Nat::one() } else { Nat::zero() };
+            return if exp.is_zero() {
+                Nat::one()
+            } else {
+                Nat::zero()
+            };
         }
         if self.is_one() {
             return Nat::one();
@@ -321,7 +325,7 @@ impl Nat {
     #[must_use]
     pub fn shl_bits(&self, bits: u64) -> Nat {
         if self.is_zero() || bits == 0 {
-            return if bits == 0 { self.clone() } else { self.clone() };
+            return self.clone();
         }
         let limb_shift = (bits / 64) as usize;
         let bit_shift = bits % 64;

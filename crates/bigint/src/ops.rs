@@ -8,8 +8,7 @@ fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let x = long[i];
+    for (i, &x) in long.iter().enumerate() {
         let y = short.get(i).copied().unwrap_or(0);
         let (s1, c1) = x.overflowing_add(y);
         let (s2, c2) = s1.overflowing_add(carry);
@@ -312,7 +311,7 @@ mod tests {
         #[test]
         fn div_rem_roundtrip(a in any::<u128>(), b in 1u64..) {
             let (q, r) = Nat::from(a).div_rem(&Nat::from(b));
-            prop_assert!(Nat::from(r.clone()) < Nat::from(b));
+            prop_assert!(r.clone() < Nat::from(b));
             prop_assert_eq!(q * Nat::from(b) + r, Nat::from(a));
         }
 

@@ -66,7 +66,11 @@ impl PowerBound {
     #[must_use]
     pub fn approx_log2(&self) -> f64 {
         if self.base.is_zero() {
-            return if self.exponent.is_zero() { 0.0 } else { f64::NEG_INFINITY };
+            return if self.exponent.is_zero() {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         self.exponent.to_f64() * self.base.approx_log2()
     }
@@ -191,10 +195,7 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(
-            PowerBound::exact(Nat::from(42u64)).to_string(),
-            "42"
-        );
+        assert_eq!(PowerBound::exact(Nat::from(42u64)).to_string(), "42");
         assert_eq!(
             PowerBound::new(Nat::from(10u64), Nat::from(384u64)).to_string(),
             "10^384"

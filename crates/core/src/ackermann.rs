@@ -26,7 +26,10 @@ pub fn ackermann_peter(m: u64, n: u64) -> Nat {
         0 => Nat::from(n) + Nat::one(),
         1 => Nat::from(n) + Nat::from(2u64),
         2 => Nat::from(2 * n + 3),
-        3 => Nat::from(2u64).pow(n + 3).checked_sub(&Nat::from(3u64)).expect("2^(n+3) ≥ 3"),
+        3 => Nat::from(2u64)
+            .pow(n + 3)
+            .checked_sub(&Nat::from(3u64))
+            .expect("2^(n+3) ≥ 3"),
         _ => {
             assert!(
                 m <= 4 && n <= 1,

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn upper_bound_curves() {
         assert!((bej_upper_bound_states(log2_of_threshold(1 << 16)) - 4.0).abs() < 1e-9);
-        assert_eq!(leaderless_upper_bound_states(log2_of_threshold(1 << 16)), 16.0);
+        assert_eq!(
+            leaderless_upper_bound_states(log2_of_threshold(1 << 16)),
+            16.0
+        );
         assert_eq!(bej_upper_bound_states(0.5), 1.0);
         assert_eq!(leaderless_upper_bound_states(0.0), 1.0);
         // The gap of the paper: for huge n the lower bound stays far below the

@@ -15,7 +15,9 @@
 //! control net has cycles) on a *concrete* protocol and reports every
 //! intermediate object, together with the Section 8 constants and the final
 //! Theorem 4.3 bound. It is the "open the hood" entry point used by the
-//! `lower_bound_pipeline` example and experiment E10.
+//! `lower_bound_pipeline` example and experiment E10. Every reachability
+//! analysis underneath (bottom witnesses, components, control nets) runs on
+//! the dense interned engine of `pp_petri` (see `DESIGN.md`).
 
 use crate::bounds::theorem_4_3_bound_for_protocol;
 use crate::section8::Section8Constants;

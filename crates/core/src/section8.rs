@@ -139,8 +139,7 @@ mod tests {
         // b's base is 4 + 4 + 6 = 14; its exponent is (d−1)^(d−1)(1+(2+(d−1)^(d−1))^d).
         assert_eq!(constants.b.base(), &Nat::from(14u64));
         let dm = 5u64.pow(5);
-        let expected_exponent =
-            Nat::from(dm) * (Nat::one() + Nat::from(2 + dm).pow(6));
+        let expected_exponent = Nat::from(dm) * (Nat::one() + Nat::from(2 + dm).pow(6));
         assert_eq!(constants.b.exponent(), &expected_exponent);
         // h, k, a, ℓ stack exponentials: their double-logs are ordered.
         assert!(constants.h_log_log2 > 60.0);

@@ -39,7 +39,13 @@ pub fn decompose(solution: &[u64], basis: &[Vec<u64>]) -> Option<Vec<u64>> {
     }
     let mut multiplicities = vec![0u64; basis.len()];
     let mut failed = std::collections::BTreeSet::new();
-    if search(solution.to_vec(), basis, 0, &mut multiplicities, &mut failed) {
+    if search(
+        solution.to_vec(),
+        basis,
+        0,
+        &mut multiplicities,
+        &mut failed,
+    ) {
         Some(multiplicities)
     } else {
         None
@@ -145,7 +151,12 @@ mod tests {
     fn decompose_with_full_hilbert_basis() {
         let system = LinearSystem::from_rows(vec![vec![1, 1, -2]]).unwrap();
         let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
-        for solution in [vec![1u64, 1, 1], vec![3, 1, 2], vec![7, 3, 5], vec![0, 4, 2]] {
+        for solution in [
+            vec![1u64, 1, 1],
+            vec![3, 1, 2],
+            vec![7, 3, 5],
+            vec![0, 4, 2],
+        ] {
             assert!(system.is_solution(&solution));
             let m = decompose(&solution, &basis).expect("solution must decompose");
             assert_eq!(recompose(&m, &basis), solution);

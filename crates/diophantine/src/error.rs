@@ -49,10 +49,16 @@ impl fmt::Display for HilbertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HilbertError::NodeBudgetExceeded { budget } => {
-                write!(f, "hilbert basis completion exceeded the node budget of {budget}")
+                write!(
+                    f,
+                    "hilbert basis completion exceeded the node budget of {budget}"
+                )
             }
             HilbertError::NormBudgetExceeded { budget } => {
-                write!(f, "hilbert basis completion exceeded the norm budget of {budget}")
+                write!(
+                    f,
+                    "hilbert basis completion exceeded the norm budget of {budget}"
+                )
             }
         }
     }
@@ -67,7 +73,9 @@ mod tests {
     #[test]
     fn error_messages() {
         assert!(SystemError::Empty.to_string().contains("no equations"));
-        assert!(SystemError::RaggedRows.to_string().contains("same positive length"));
+        assert!(SystemError::RaggedRows
+            .to_string()
+            .contains("same positive length"));
         assert!(HilbertError::NodeBudgetExceeded { budget: 10 }
             .to_string()
             .contains("10"));

@@ -229,8 +229,7 @@ mod tests {
     fn four_variable_system_stays_within_pottier_bound() {
         use crate::system::pottier_bound;
         use pp_bigint::Nat;
-        let system =
-            LinearSystem::from_rows(vec![vec![3, -1, -1, 0], vec![0, 1, -2, 1]]).unwrap();
+        let system = LinearSystem::from_rows(vec![vec![3, -1, -1, 0], vec![0, 1, -2, 1]]).unwrap();
         let bound = pottier_bound(&system);
         let basis = system.hilbert_basis(&HilbertConfig::default()).unwrap();
         assert!(!basis.is_empty());
@@ -284,11 +283,8 @@ mod tests {
 
     fn arb_system() -> impl Strategy<Value = LinearSystem> {
         (1usize..=2, 2usize..=4).prop_flat_map(|(rows, cols)| {
-            proptest::collection::vec(
-                proptest::collection::vec(-3i64..=3, cols),
-                rows,
-            )
-            .prop_map(|m| LinearSystem::from_rows(m).unwrap())
+            proptest::collection::vec(proptest::collection::vec(-3i64..=3, cols), rows)
+                .prop_map(|m| LinearSystem::from_rows(m).unwrap())
         })
     }
 

@@ -106,7 +106,10 @@ impl LinearSystem {
     /// The largest absolute coefficient of the matrix.
     #[must_use]
     pub fn sup_norm(&self) -> u64 {
-        (0..self.cols).map(|j| self.column_sup_norm(j)).max().unwrap_or(0)
+        (0..self.cols)
+            .map(|j| self.column_sup_norm(j))
+            .max()
+            .unwrap_or(0)
     }
 }
 

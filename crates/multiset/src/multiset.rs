@@ -217,7 +217,11 @@ impl<P: Clone + Ord> Multiset<P> {
             return Multiset::new();
         }
         Multiset {
-            counts: self.counts.iter().map(|(p, &c)| (p.clone(), c * factor)).collect(),
+            counts: self
+                .counts
+                .iter()
+                .map(|(p, &c)| (p.clone(), c * factor))
+                .collect(),
         }
     }
 
@@ -437,10 +441,7 @@ mod tests {
         let big = ms(&[("p", 3), ("q", 1), ("r", 2)]);
         assert!(small.le(&big));
         assert!(!big.le(&small));
-        assert_eq!(
-            big.checked_sub(&small),
-            Some(ms(&[("p", 2), ("r", 2)]))
-        );
+        assert_eq!(big.checked_sub(&small), Some(ms(&[("p", 2), ("r", 2)])));
         assert_eq!(small.checked_sub(&big), None);
         assert_eq!(small.saturating_sub(&big), Multiset::new());
         assert_eq!(big.saturating_sub(&small), ms(&[("p", 2), ("r", 2)]));
@@ -508,8 +509,7 @@ mod tests {
     }
 
     fn arb_multiset() -> impl Strategy<Value = Multiset<u8>> {
-        proptest::collection::btree_map(0u8..6, 0u64..50, 0..6)
-            .prop_map(Multiset::from_pairs)
+        proptest::collection::btree_map(0u8..6, 0u64..50, 0..6).prop_map(Multiset::from_pairs)
     }
 
     proptest! {

@@ -279,7 +279,11 @@ impl<P: Clone + Ord> Mul<i64> for &SignedVec<P> {
             return SignedVec::new();
         }
         SignedVec {
-            coeffs: self.coeffs.iter().map(|(p, &c)| (p.clone(), c * rhs)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(p, &c)| (p.clone(), c * rhs))
+                .collect(),
         }
     }
 }
@@ -379,6 +383,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // scaling by zero is the property under test
     fn arithmetic_operators() {
         let a = sv(&[("p", 2), ("q", -1)]);
         let b = sv(&[("p", -2), ("r", 3)]);
@@ -412,10 +417,7 @@ mod tests {
     fn conversion_to_multiset() {
         assert_eq!(sv(&[("p", 2)]).to_multiset(), Some(ms(&[("p", 2)])));
         assert_eq!(sv(&[("p", -2)]).to_multiset(), None);
-        assert_eq!(
-            SignedVec::from_multiset(&ms(&[("p", 2)])),
-            sv(&[("p", 2)])
-        );
+        assert_eq!(SignedVec::from_multiset(&ms(&[("p", 2)])), sv(&[("p", 2)]));
     }
 
     #[test]
@@ -426,13 +428,11 @@ mod tests {
     }
 
     fn arb_signed() -> impl Strategy<Value = SignedVec<u8>> {
-        proptest::collection::btree_map(0u8..6, -20i64..20, 0..6)
-            .prop_map(SignedVec::from_pairs)
+        proptest::collection::btree_map(0u8..6, -20i64..20, 0..6).prop_map(SignedVec::from_pairs)
     }
 
     fn arb_multiset() -> impl Strategy<Value = Multiset<u8>> {
-        proptest::collection::btree_map(0u8..6, 0u64..50, 0..6)
-            .prop_map(Multiset::from_pairs)
+        proptest::collection::btree_map(0u8..6, 0u64..50, 0..6).prop_map(Multiset::from_pairs)
     }
 
     proptest! {

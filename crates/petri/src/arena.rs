@@ -1,0 +1,227 @@
+//! Hash-interned arena of dense configurations.
+//!
+//! Every state-space analysis of the suite (forward exploration, backward
+//! coverability, Karp–Miller, the stable-computation verifier) repeatedly
+//! asks "have I seen this configuration before?". The sparse
+//! [`Multiset`](pp_multiset::Multiset) answers that with a `BTreeMap`
+//! lookup allocating tree nodes per configuration; the [`ConfigArena`]
+//! instead stores every distinct configuration exactly once as a dense
+//! `Vec<u64>` row in one contiguous buffer and answers membership with an
+//! Fx-hash probe plus a slice comparison. Configurations are identified by
+//! compact [`ConfigId`]s (`u32`), so graph edges cost eight bytes instead
+//! of two tree pointers.
+
+use rustc_hash::FxHashMap;
+use std::hash::{Hash, Hasher};
+
+/// Identifier of an interned configuration within one [`ConfigArena`].
+///
+/// Ids are dense (`0..arena.len()`), assigned in interning order, and only
+/// meaningful relative to the arena that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConfigId(pub u32);
+
+impl ConfigId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interning arena of dense configuration rows.
+///
+/// All rows share one fixed `width` (the number of places of the compiled
+/// net) and live back-to-back in a single `Vec<u64>`; per-row agent totals
+/// are cached so budget checks don't rescan the row.
+///
+/// # Examples
+///
+/// ```
+/// use pp_petri::arena::ConfigArena;
+///
+/// let mut arena = ConfigArena::new(3);
+/// let a = arena.intern(&[1, 0, 2]);
+/// let b = arena.intern(&[0, 1, 2]);
+/// assert_ne!(a, b);
+/// assert_eq!(arena.intern(&[1, 0, 2]), a); // deduplicated
+/// assert_eq!(arena.len(), 2);
+/// assert_eq!(arena.row(a), &[1, 0, 2]);
+/// assert_eq!(arena.total(a), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConfigArena {
+    width: usize,
+    data: Vec<u64>,
+    totals: Vec<u64>,
+    index: FxHashMap<u64, Vec<u32>>,
+}
+
+impl ConfigArena {
+    /// An empty arena for rows of `width` counters.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        ConfigArena {
+            width,
+            data: Vec::new(),
+            totals: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// The common row width (number of places).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of distinct interned configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Returns `true` if no configuration has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// The dense row of configuration `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arena.
+    #[must_use]
+    pub fn row(&self, id: ConfigId) -> &[u64] {
+        let start = id.index() * self.width;
+        &self.data[start..start + self.width]
+    }
+
+    /// The cached agent total `|ρ|` of configuration `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arena.
+    #[must_use]
+    pub fn total(&self, id: ConfigId) -> u64 {
+        self.totals[id.index()]
+    }
+
+    /// Interns `row`, returning the id of the unique stored copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width or the arena is full
+    /// (`u32::MAX` configurations).
+    pub fn intern(&mut self, row: &[u64]) -> ConfigId {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        let hash = hash_row(row);
+        if let Some(candidates) = self.index.get(&hash) {
+            for &id in candidates {
+                if self.row(ConfigId(id)) == row {
+                    return ConfigId(id);
+                }
+            }
+        }
+        let id = u32::try_from(self.len()).expect("arena full: more than u32::MAX configurations");
+        self.data.extend_from_slice(row);
+        self.totals.push(row.iter().sum());
+        self.index.entry(hash).or_default().push(id);
+        ConfigId(id)
+    }
+
+    /// The id of `row` if it is already interned.
+    #[must_use]
+    pub fn lookup(&self, row: &[u64]) -> Option<ConfigId> {
+        if row.len() != self.width {
+            return None;
+        }
+        let candidates = self.index.get(&hash_row(row))?;
+        candidates
+            .iter()
+            .copied()
+            .map(ConfigId)
+            .find(|&id| self.row(id) == row)
+    }
+
+    /// Iterates over all interned rows in id order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
+        (0..self.len()).map(move |i| self.row(ConfigId(i as u32)))
+    }
+}
+
+fn hash_row(row: &[u64]) -> u64 {
+    let mut hasher = rustc_hash::FxHasher::default();
+    row.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut arena = ConfigArena::new(2);
+        let a = arena.intern(&[3, 4]);
+        let b = arena.intern(&[4, 3]);
+        let a2 = arena.intern(&[3, 4]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.total(a), 7);
+        assert_eq!(arena.total(b), 7);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut arena = ConfigArena::new(2);
+        assert_eq!(arena.lookup(&[1, 1]), None);
+        let id = arena.intern(&[1, 1]);
+        assert_eq!(arena.lookup(&[1, 1]), Some(id));
+        assert_eq!(arena.lookup(&[1, 2]), None);
+        assert_eq!(arena.lookup(&[1]), None);
+    }
+
+    #[test]
+    fn rows_iterate_in_id_order() {
+        let mut arena = ConfigArena::new(3);
+        arena.intern(&[1, 0, 0]);
+        arena.intern(&[0, 2, 0]);
+        arena.intern(&[0, 0, 3]);
+        let rows: Vec<&[u64]> = arena.rows().collect();
+        assert_eq!(rows, vec![&[1, 0, 0][..], &[0, 2, 0], &[0, 0, 3]]);
+    }
+
+    #[test]
+    fn zero_width_arena_has_one_distinct_row() {
+        let mut arena = ConfigArena::new(0);
+        let a = arena.intern(&[]);
+        let b = arena.intern(&[]);
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.rows().count(), 1);
+        assert_eq!(arena.total(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut arena = ConfigArena::new(2);
+        arena.intern(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn heavy_interning_stays_consistent() {
+        let mut arena = ConfigArena::new(4);
+        let mut ids = Vec::new();
+        for i in 0..1_000u64 {
+            ids.push(arena.intern(&[i % 7, i % 5, i % 3, i]));
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(arena.row(id), &[i % 7, i % 5, i % 3, i]);
+        }
+    }
+}

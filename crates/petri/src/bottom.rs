@@ -109,9 +109,9 @@ impl<P: Clone + Ord> BottomWitness<P> {
             Nat::from(d * self.beta.sup_norm()),
             Nat::from(self.component_size as u64),
         ];
-        quantities.iter().all(|q| {
-            PowerBound::exact(q.clone()).approx_cmp(bound) != std::cmp::Ordering::Greater
-        })
+        quantities
+            .iter()
+            .all(|q| PowerBound::exact(q.clone()).approx_cmp(bound) != std::cmp::Ordering::Greater)
     }
 }
 

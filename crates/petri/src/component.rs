@@ -23,7 +23,9 @@ pub fn component_of<P: Clone + Ord>(
     if !graph.is_complete() {
         return None;
     }
-    let id = graph.id_of(config).expect("initial configuration is interned");
+    let id = graph
+        .id_of(config)
+        .expect("initial configuration is interned");
     let scc = graph.scc_of(id);
     Some(scc.into_iter().map(|i| graph.node(i).clone()).collect())
 }
@@ -43,7 +45,9 @@ pub fn is_bottom<P: Clone + Ord>(
     if !graph.is_complete() {
         return None;
     }
-    let id = graph.id_of(config).expect("initial configuration is interned");
+    let id = graph
+        .id_of(config)
+        .expect("initial configuration is interned");
     Some(graph.scc_of(id).len() == graph.len())
 }
 
@@ -74,7 +78,9 @@ pub fn reach_bottom<P: Clone + Ord>(
     if !graph.is_complete() {
         return None;
     }
-    let start = graph.id_of(config).expect("initial configuration is interned");
+    let start = graph
+        .id_of(config)
+        .expect("initial configuration is interned");
     // Mark nodes whose SCC is a bottom SCC (no edge leaves the component).
     let sccs = graph.sccs();
     let mut component_index = vec![usize::MAX; graph.len()];
@@ -138,10 +144,7 @@ mod tests {
 
     #[test]
     fn truncated_exploration_returns_none() {
-        let net = PetriNet::from_transitions([Transition::new(
-            ms(&[("a", 1)]),
-            ms(&[("a", 2)]),
-        )]);
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("a", 2)]))]);
         let limits = ExplorationLimits::with_max_configurations(3);
         assert_eq!(is_bottom(&net, &ms(&[("a", 1)]), &limits), None);
         assert!(component_of(&net, &ms(&[("a", 1)]), &limits).is_none());

@@ -404,10 +404,7 @@ mod tests {
     fn total_cycle_requires_strong_connectivity() {
         // a -> b with no way back: restricted component of {a} is {a} alone
         // (b is not mutually reachable), so the control net has no edge.
-        let net = PetriNet::from_transitions([Transition::new(
-            ms(&[("a", 1)]),
-            ms(&[("b", 1)]),
-        )]);
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("b", 1)]))]);
         let q: BTreeSet<&str> = ["a", "b"].into_iter().collect();
         let control =
             ControlNet::from_component(&net, &q, &ms(&[("a", 1)]), &ExplorationLimits::default())

@@ -13,9 +13,16 @@
 //!   an explicit *shortest* covering word, used by experiment E5 to compare
 //!   actual covering-word lengths against Rackoff's bound (Lemma 5.3).
 
+use crate::arena::ConfigArena;
+use crate::engine::CompiledNet;
 use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
 use pp_multiset::Multiset;
 use std::collections::VecDeque;
+
+/// Component-wise `a ≤ b` on dense rows of equal width.
+fn row_le(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
 
 /// Exact coverability decisions via the backward algorithm.
 ///
@@ -41,31 +48,49 @@ use std::collections::VecDeque;
 pub struct CoverabilityOracle<P: Ord> {
     target: Multiset<P>,
     basis: Vec<Multiset<P>>,
+    engine: CompiledNet<P>,
+    dense_basis: Vec<Vec<u64>>,
 }
 
 impl<P: Clone + Ord> CoverabilityOracle<P> {
     /// Runs the backward coverability algorithm for `target` over `net`.
     ///
-    /// The returned oracle's [`basis`](Self::basis) is the set of minimal
+    /// The fixpoint runs on the dense engine: the net is compiled once and
+    /// the basis is grown as dense rows with slice arithmetic. The
+    /// returned oracle's [`basis`](Self::basis) is the set of minimal
     /// configurations from which `target` is coverable.
     #[must_use]
     pub fn build(net: &PetriNet<P>, target: Multiset<P>) -> Self {
+        let engine = CompiledNet::compile_with_places(net, target.support().cloned());
+        let dense_target = engine
+            .to_dense(&target)
+            .expect("target support is part of the compiled universe");
         // Minimal basis of the upward closure, grown backwards to fixpoint.
-        let mut basis: Vec<Multiset<P>> = vec![target.clone()];
-        let mut frontier: Vec<Multiset<P>> = vec![target.clone()];
+        let mut dense_basis: Vec<Vec<u64>> = vec![dense_target.clone()];
+        let mut frontier: Vec<Vec<u64>> = vec![dense_target];
+        let mut predecessor = Vec::new();
         while let Some(current) = frontier.pop() {
-            for t in net.transitions() {
-                let predecessor = t.fire_backward_cover(&current);
+            for t in engine.transitions() {
+                t.backward_cover_row(&current, &mut predecessor);
                 // Keep only minimal elements.
-                if basis.iter().any(|b| b.le(&predecessor)) {
+                if dense_basis.iter().any(|b| row_le(b, &predecessor)) {
                     continue;
                 }
-                basis.retain(|b| !predecessor.le(b));
-                basis.push(predecessor.clone());
-                frontier.push(predecessor);
+                dense_basis.retain(|b| !row_le(&predecessor, b));
+                dense_basis.push(predecessor.clone());
+                frontier.push(predecessor.clone());
             }
         }
-        CoverabilityOracle { target, basis }
+        let basis = dense_basis
+            .iter()
+            .map(|row| engine.to_sparse(row))
+            .collect();
+        CoverabilityOracle {
+            target,
+            basis,
+            engine,
+            dense_basis,
+        }
     }
 
     /// The target configuration of the oracle.
@@ -81,9 +106,13 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
     }
 
     /// Returns `true` if the target is coverable from `config`.
+    ///
+    /// Places of `config` outside the compiled universe are ignored: no
+    /// basis element populates them, so they never block a cover.
     #[must_use]
     pub fn is_coverable_from(&self, config: &Multiset<P>) -> bool {
-        self.basis.iter().any(|b| b.le(config))
+        let row = self.engine.to_dense_lossy(config);
+        self.dense_basis.iter().any(|b| row_le(b, &row))
     }
 }
 
@@ -120,32 +149,63 @@ pub fn shortest_covering_word<P: Clone + Ord>(
     if target.le(from) {
         return Some(Vec::new());
     }
-    let mut seen = std::collections::BTreeSet::from([from.clone()]);
-    let mut queue: VecDeque<(Multiset<P>, Vec<usize>)> = VecDeque::from([(from.clone(), Vec::new())]);
-    while let Some((config, word)) = queue.pop_front() {
-        if seen.len() > limits.max_configurations {
+    let engine =
+        CompiledNet::compile_with_places(net, from.support().chain(target.support()).cloned());
+    let dense_from = engine
+        .to_dense(from)
+        .expect("source support is part of the compiled universe");
+    let dense_target = engine
+        .to_dense(target)
+        .expect("target support is part of the compiled universe");
+
+    let mut arena = ConfigArena::new(engine.num_places());
+    // Per node: (parent id, transition fired from the parent).
+    let mut parents: Vec<(usize, usize)> = Vec::new();
+    let reconstruct = |parents: &[(usize, usize)], mut id: usize| {
+        let mut word = Vec::new();
+        while id != 0 {
+            let (parent, transition) = parents[id];
+            word.push(transition);
+            id = parent;
+        }
+        word.reverse();
+        word
+    };
+
+    let root = arena.intern(&dense_from);
+    parents.push((0, usize::MAX));
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::from([(root.index(), 0)]);
+    let mut src = Vec::new();
+    let mut succ = Vec::new();
+    while let Some((id, depth)) = queue.pop_front() {
+        if arena.len() > limits.max_configurations {
             return None;
         }
         if let Some(max_depth) = limits.max_depth {
-            if word.len() >= max_depth {
+            if depth >= max_depth {
                 continue;
             }
         }
         if let Some(max_agents) = limits.max_agents {
-            if config.total() > max_agents {
+            if arena.total(crate::arena::ConfigId(id as u32)) > max_agents {
                 continue;
             }
         }
-        for (t, successor) in net.successors(&config) {
-            if !seen.insert(successor.clone()) {
+        src.clear();
+        src.extend_from_slice(arena.row(crate::arena::ConfigId(id as u32)));
+        for (t, transition) in engine.transitions().iter().enumerate() {
+            if !transition.fire_row(&src, &mut succ) {
                 continue;
             }
-            let mut next_word = word.clone();
-            next_word.push(t);
-            if target.le(&successor) {
-                return Some(next_word);
+            if arena.lookup(&succ).is_some() {
+                continue;
             }
-            queue.push_back((successor, next_word));
+            let succ_id = arena.intern(&succ).index();
+            parents.push((id, t));
+            if row_le(&dense_target, &succ) {
+                return Some(reconstruct(&parents, succ_id));
+            }
+            queue.push_back((succ_id, depth + 1));
         }
     }
     None
@@ -220,11 +280,17 @@ mod tests {
             (ms(&[("i", 3), ("i_bar", 2)]), ms(&[("p", 1)])),
             (ms(&[("i", 1), ("i_bar", 2)]), ms(&[("p", 1), ("q", 1)])),
             (ms(&[("i_bar", 4)]), ms(&[("p", 1)])),
-            (ms(&[("i", 2), ("i_bar", 2)]), ms(&[("p_bar", 1), ("q_bar", 1)])),
+            (
+                ms(&[("i", 2), ("i_bar", 2)]),
+                ms(&[("p_bar", 1), ("q_bar", 1)]),
+            ),
         ] {
             let backward = is_coverable(&net, &start, &target);
             let forward = shortest_covering_word(&net, &start, &target, &limits).is_some();
-            assert_eq!(backward, forward, "disagree on {start:?} covering {target:?}");
+            assert_eq!(
+                backward, forward,
+                "disagree on {start:?} covering {target:?}"
+            );
         }
     }
 
@@ -234,9 +300,13 @@ mod tests {
             Transition::pairwise("a", "a", "a", "b"),
             Transition::pairwise("a", "b", "b", "b"),
         ]);
-        let word =
-            shortest_covering_word(&net, &ms(&[("a", 3)]), &ms(&[("b", 3)]), &Default::default())
-                .expect("coverable");
+        let word = shortest_covering_word(
+            &net,
+            &ms(&[("a", 3)]),
+            &ms(&[("b", 3)]),
+            &Default::default(),
+        )
+        .expect("coverable");
         assert_eq!(word.len(), 3);
         let reached = net.fire_word(&ms(&[("a", 3)]), &word).unwrap();
         assert!(ms(&[("b", 3)]).le(&reached));
@@ -245,11 +315,19 @@ mod tests {
     #[test]
     fn trivially_covered_target_needs_empty_word() {
         let net = PetriNet::new();
-        let word =
-            shortest_covering_word(&net, &ms(&[("a", 1)]), &ms(&[("a", 1)]), &Default::default());
+        let word = shortest_covering_word(
+            &net,
+            &ms(&[("a", 1)]),
+            &ms(&[("a", 1)]),
+            &Default::default(),
+        );
         assert_eq!(word, Some(Vec::new()));
-        let none =
-            shortest_covering_word(&net, &ms(&[("a", 1)]), &ms(&[("b", 1)]), &Default::default());
+        let none = shortest_covering_word(
+            &net,
+            &ms(&[("a", 1)]),
+            &ms(&[("b", 1)]),
+            &Default::default(),
+        );
         assert_eq!(none, None);
     }
 

@@ -40,7 +40,10 @@ impl fmt::Display for ShrinkError {
             ShrinkError::NotAMulticycle => write!(f, "parikh image is not flow-balanced"),
             ShrinkError::HilbertBudget(e) => write!(f, "hilbert basis budget exceeded: {e}"),
             ShrinkError::DecompositionFailed => {
-                write!(f, "multicycle could not be decomposed over the hilbert basis")
+                write!(
+                    f,
+                    "multicycle could not be decomposed over the hilbert basis"
+                )
             }
             ShrinkError::EdgeNotCoverable(e) => {
                 write!(f, "no zero-restricted basis element covers edge {e}")
@@ -123,10 +126,7 @@ impl<P: Clone + Ord> ShrunkMulticycle<P> {
 /// The threshold above which Lemma 7.3 applies:
 /// `k > ‖Δ(Θ)|_Q‖₁ · (1 + 2|S|·‖T‖∞)^d · (d + 1)`.
 #[must_use]
-pub fn lemma_7_3_threshold<P: Clone + Ord>(
-    control: &ControlNet<P>,
-    restricted_l1: u64,
-) -> Nat {
+pub fn lemma_7_3_threshold<P: Clone + Ord>(control: &ControlNet<P>, restricted_l1: u64) -> Nat {
     let d = control.net().num_places() as u64;
     let s = control.num_control_states() as u64;
     let base = Nat::from(1 + 2 * s * control.net().sup_norm());
@@ -166,14 +166,17 @@ pub fn shrink_multicycle<P: Clone + Ord>(
     hilbert: &HilbertConfig,
 ) -> Result<ShrunkMulticycle<P>, ShrinkError> {
     // 1. Decompose Θ into simple cycles.
-    let cycles_multiset = decompose_into_simple_cycles(control, theta_parikh)
-        .ok_or(ShrinkError::NotAMulticycle)?;
+    let cycles_multiset =
+        decompose_into_simple_cycles(control, theta_parikh).ok_or(ShrinkError::NotAMulticycle)?;
     // Deduplicate simple cycles by their Parikh image, remembering counts.
     let mut simple_cycles: Vec<Vec<usize>> = Vec::new();
     let mut counts: Vec<u64> = Vec::new();
     for cycle in cycles_multiset {
         let parikh = control.parikh(&cycle);
-        match simple_cycles.iter().position(|c| control.parikh(c) == parikh) {
+        match simple_cycles
+            .iter()
+            .position(|c| control.parikh(c) == parikh)
+        {
             Some(i) => counts[i] += 1,
             None => {
                 simple_cycles.push(cycle);
@@ -250,13 +253,11 @@ pub fn shrink_multicycle<P: Clone + Ord>(
         simple_cycles
             .iter()
             .enumerate()
-            .map(|(c_index, cycle)| {
-                candidate[places.len() + c_index] * control.parikh(cycle)[edge]
-            })
+            .map(|(c_index, cycle)| candidate[places.len() + c_index] * control.parikh(cycle)[edge])
             .sum()
     };
-    for edge in 0..theta_parikh.len() {
-        if theta_parikh[edge] < k {
+    for (edge, &edge_uses) in theta_parikh.iter().enumerate() {
+        if edge_uses < k {
             continue;
         }
         let found = h0.iter().find(|b| edge_count(b, edge) > 0);
@@ -334,7 +335,10 @@ mod tests {
             .unwrap()
     }
 
-    fn parikh_of_cycles(control: &ControlNet<&'static str>, cycles: &[(Vec<usize>, u64)]) -> Vec<u64> {
+    fn parikh_of_cycles(
+        control: &ControlNet<&'static str>,
+        cycles: &[(Vec<usize>, u64)],
+    ) -> Vec<u64> {
         let mut parikh = vec![0u64; control.num_edges()];
         for (cycle, count) in cycles {
             for &e in cycle {
@@ -364,10 +368,7 @@ mod tests {
         // x-producing/y-consuming loop: Δ(Θ) = 90·x + 10·y.
         let theta = parikh_of_cycles(
             &control,
-            &[
-                (vec![e_x, e_plus_y], 50),
-                (vec![e_x, e_minus_y], 40),
-            ],
+            &[(vec![e_x, e_plus_y], 50), (vec![e_x, e_minus_y], 40)],
         );
         let zero: BTreeSet<&str> = BTreeSet::new();
         let k = 10;

@@ -1,0 +1,492 @@
+//! The compiled dense state-space engine.
+//!
+//! A [`CompiledNet`] freezes a [`PetriNet`] into a dense representation:
+//! places become contiguous indices `0..num_places`, configurations become
+//! `&[u64]` rows, and every transition is precompiled into sparse
+//! pre/post lists over those indices. Successor generation is then a
+//! slice copy plus a handful of indexed adds — no tree merges, no
+//! allocation beyond the output row — which is what makes the exploration,
+//! coverability and simulation layers of the suite run at hardware speed
+//! (the `bench_coverability` ablation tracks the speedup over the sparse
+//! path).
+//!
+//! The engine is the *internal* workhorse: the public entry points of
+//! [`explore`](crate::explore), [`cover`](crate::cover) and
+//! [`karp_miller`](crate::karp_miller) still speak sparse
+//! [`Multiset`] configurations and convert at the boundary, so callers
+//! choose dense or sparse by picking the API level, not by converting by
+//! hand. See `DESIGN.md` for the architecture overview.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_multiset::Multiset;
+//! use pp_petri::engine::CompiledNet;
+//! use pp_petri::{PetriNet, Transition};
+//!
+//! let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
+//! let engine = CompiledNet::compile(&net);
+//! let row = engine.to_dense(&Multiset::from_pairs([("a", 3u64)])).unwrap();
+//! let mut next = Vec::new();
+//! assert!(engine.transitions()[0].fire_row(&row, &mut next));
+//! assert_eq!(engine.to_sparse(&next), Multiset::from_pairs([("a", 2u64), ("b", 1)]));
+//! ```
+
+use crate::PetriNet;
+use pp_multiset::Multiset;
+use std::collections::BTreeSet;
+
+/// One transition precompiled over dense place indices.
+///
+/// `pre` and `post` are sparse `(place index, count)` lists, so firing
+/// touches only the places the transition actually moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTransition {
+    pre: Vec<(u32, u64)>,
+    post: Vec<(u32, u64)>,
+}
+
+impl CompiledTransition {
+    /// The dense precondition as `(place index, count)` pairs.
+    #[must_use]
+    pub fn pre(&self) -> &[(u32, u64)] {
+        &self.pre
+    }
+
+    /// The dense postcondition as `(place index, count)` pairs.
+    #[must_use]
+    pub fn post(&self) -> &[(u32, u64)] {
+        &self.post
+    }
+
+    /// Returns `true` if the transition is enabled in `row`.
+    #[must_use]
+    pub fn is_enabled_row(&self, row: &[u64]) -> bool {
+        self.pre.iter().all(|&(p, c)| row[p as usize] >= c)
+    }
+
+    /// Fires the transition from `src` into `dst` (cleared and refilled).
+    ///
+    /// Returns `false` (leaving `dst` unspecified) if the transition is
+    /// disabled in `src`.
+    #[must_use]
+    pub fn fire_row(&self, src: &[u64], dst: &mut Vec<u64>) -> bool {
+        if !self.is_enabled_row(src) {
+            return false;
+        }
+        dst.clear();
+        dst.extend_from_slice(src);
+        for &(p, c) in &self.pre {
+            dst[p as usize] -= c;
+        }
+        for &(p, c) in &self.post {
+            dst[p as usize] += c;
+        }
+        true
+    }
+
+    /// Fires the transition in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the transition is not enabled.
+    pub fn fire(&self, config: &mut DenseConfig) {
+        for &(p, c) in &self.pre {
+            debug_assert!(
+                config.counts[p as usize] >= c,
+                "transition fired while disabled"
+            );
+            config.counts[p as usize] -= c;
+            config.total -= c;
+        }
+        for &(p, c) in &self.post {
+            config.counts[p as usize] += c;
+            config.total += c;
+        }
+    }
+
+    /// Returns `true` if the transition is enabled in `config`.
+    #[must_use]
+    pub fn is_enabled(&self, config: &DenseConfig) -> bool {
+        self.is_enabled_row(&config.counts)
+    }
+
+    /// Number of distinct unordered agent tuples able to play this
+    /// transition in `config` (the product of binomial coefficients over
+    /// its precondition), used by the instance-weighted scheduler.
+    #[must_use]
+    pub fn instances(&self, config: &DenseConfig) -> u128 {
+        self.pre
+            .iter()
+            .map(|&(p, c)| binomial(config.counts[p as usize], c))
+            .product()
+    }
+
+    /// The backward coverability image: writes into `dst` the smallest row
+    /// `α` with `α --t--> β ≥ target`, i.e. `(target ∸ β_t) + α_t`.
+    pub fn backward_cover_row(&self, target: &[u64], dst: &mut Vec<u64>) {
+        dst.clear();
+        dst.extend_from_slice(target);
+        for &(p, c) in &self.post {
+            let slot = &mut dst[p as usize];
+            *slot = slot.saturating_sub(c);
+        }
+        for &(p, c) in &self.pre {
+            dst[p as usize] += c;
+        }
+    }
+}
+
+/// A configuration stored as one counter per place, with a cached total.
+///
+/// This is the mutable working view used by the simulator; exploration
+/// works on raw arena rows instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DenseConfig {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DenseConfig {
+    /// Builds a dense configuration from raw per-place counts.
+    #[must_use]
+    pub fn from_row(row: &[u64]) -> Self {
+        DenseConfig {
+            total: row.iter().sum(),
+            counts: row.to_vec(),
+        }
+    }
+
+    /// Count of agents at dense place index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Total number of agents.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-place counters.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// A Petri net compiled to the dense engine representation.
+///
+/// Holds the dense place universe (sorted, deduplicated) and the
+/// precompiled transitions; all conversions between sparse
+/// [`Multiset`] configurations and dense rows go through it.
+#[derive(Debug, Clone)]
+pub struct CompiledNet<P> {
+    places: Vec<P>,
+    transitions: Vec<CompiledTransition>,
+}
+
+impl<P: Clone + Ord> CompiledNet<P> {
+    /// Compiles `net` over its own place universe.
+    #[must_use]
+    pub fn compile(net: &PetriNet<P>) -> Self {
+        Self::compile_with_places(net, std::iter::empty())
+    }
+
+    /// Compiles `net` over its places plus `extra_places`.
+    ///
+    /// Analyses whose boundary configurations mention places outside the
+    /// net (isolated protocol states, coverability targets over fresh
+    /// places) widen the universe with this constructor so those
+    /// configurations stay representable.
+    #[must_use]
+    pub fn compile_with_places<I: IntoIterator<Item = P>>(
+        net: &PetriNet<P>,
+        extra_places: I,
+    ) -> Self {
+        let mut universe: BTreeSet<P> = net.places().clone();
+        universe.extend(extra_places);
+        let places: Vec<P> = universe.into_iter().collect();
+        let index_of = |p: &P| {
+            u32::try_from(places.binary_search(p).expect("place in universe"))
+                .expect("place count fits u32")
+        };
+        let transitions = net
+            .transitions()
+            .iter()
+            .map(|t| CompiledTransition {
+                pre: t.pre().iter().map(|(p, c)| (index_of(p), c)).collect(),
+                post: t.post().iter().map(|(p, c)| (index_of(p), c)).collect(),
+            })
+            .collect();
+        CompiledNet {
+            places,
+            transitions,
+        }
+    }
+
+    /// The dense place universe, in index order.
+    #[must_use]
+    pub fn places(&self) -> &[P] {
+        &self.places
+    }
+
+    /// Number of places (the dense row width).
+    #[must_use]
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The precompiled transitions, in the net's index order.
+    #[must_use]
+    pub fn transitions(&self) -> &[CompiledTransition] {
+        &self.transitions
+    }
+
+    /// The dense index of `place`, if it is part of the universe.
+    #[must_use]
+    pub fn place_index(&self, place: &P) -> Option<usize> {
+        self.places.binary_search(place).ok()
+    }
+
+    /// Converts a sparse configuration to a dense row.
+    ///
+    /// Returns `None` if the configuration populates a place outside the
+    /// compiled universe (such a configuration is not representable).
+    #[must_use]
+    pub fn to_dense(&self, config: &Multiset<P>) -> Option<Vec<u64>> {
+        let mut row = vec![0u64; self.places.len()];
+        for (p, c) in config.iter() {
+            row[self.place_index(p)?] += c;
+        }
+        Some(row)
+    }
+
+    /// Converts a sparse configuration to a dense row, dropping counts on
+    /// places outside the universe.
+    ///
+    /// Sound for queries where extra places can only help the caller
+    /// (e.g. "is some basis element ≤ config": basis elements are zero
+    /// outside the universe).
+    #[must_use]
+    pub fn to_dense_lossy(&self, config: &Multiset<P>) -> Vec<u64> {
+        let mut row = vec![0u64; self.places.len()];
+        for (p, c) in config.iter() {
+            if let Some(i) = self.place_index(p) {
+                row[i] += c;
+            }
+        }
+        row
+    }
+
+    /// Converts a dense row back to a sparse configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width.
+    #[must_use]
+    pub fn to_sparse(&self, row: &[u64]) -> Multiset<P> {
+        assert_eq!(row.len(), self.places.len(), "row width mismatch");
+        Multiset::from_pairs(
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (self.places[i].clone(), c)),
+        )
+    }
+
+    /// Builds the dense working configuration for the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` populates a place outside the compiled universe.
+    #[must_use]
+    pub fn dense_config(&self, config: &Multiset<P>) -> DenseConfig {
+        let row = self
+            .to_dense(config)
+            .expect("configuration fits the compiled place universe");
+        DenseConfig::from_row(&row)
+    }
+
+    /// Converts a [`DenseConfig`] back to a sparse configuration.
+    #[must_use]
+    pub fn to_multiset(&self, config: &DenseConfig) -> Multiset<P> {
+        self.to_sparse(config.counts())
+    }
+
+    /// Indices of the transitions enabled in `row`.
+    #[must_use]
+    pub fn enabled_row(&self, row: &[u64]) -> Vec<usize> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_enabled_row(row))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the transitions enabled in `config`.
+    #[must_use]
+    pub fn enabled(&self, config: &DenseConfig) -> Vec<usize> {
+        self.enabled_row(config.counts())
+    }
+}
+
+/// Binomial coefficient `C(n, k)` saturating in `u128`.
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(u128::from(n - i)) / u128::from(i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+        Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    fn sample_net() -> PetriNet<&'static str> {
+        PetriNet::from_transitions([
+            Transition::pairwise("a", "a", "a", "b"),
+            Transition::pairwise("a", "b", "b", "b"),
+            Transition::new(ms(&[("b", 1)]), ms(&[("c", 2)])),
+        ])
+    }
+
+    #[test]
+    fn compilation_matches_net_shape() {
+        let net = sample_net();
+        let engine = CompiledNet::compile(&net);
+        assert_eq!(engine.num_places(), 3);
+        assert_eq!(engine.num_transitions(), 3);
+        assert_eq!(engine.places(), &["a", "b", "c"]);
+        assert_eq!(engine.place_index(&"b"), Some(1));
+        assert_eq!(engine.place_index(&"z"), None);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let net = sample_net();
+        let engine = CompiledNet::compile(&net);
+        let config = ms(&[("a", 2), ("c", 5)]);
+        let row = engine.to_dense(&config).unwrap();
+        assert_eq!(row, vec![2, 0, 5]);
+        assert_eq!(engine.to_sparse(&row), config);
+        assert_eq!(engine.to_dense(&ms(&[("z", 1)])), None);
+        assert_eq!(
+            engine.to_dense_lossy(&ms(&[("a", 1), ("z", 9)])),
+            vec![1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn extra_places_widen_the_universe() {
+        let net = sample_net();
+        let engine = CompiledNet::compile_with_places(&net, ["z"]);
+        assert_eq!(engine.num_places(), 4);
+        let row = engine.to_dense(&ms(&[("z", 2)])).unwrap();
+        assert_eq!(engine.to_sparse(&row), ms(&[("z", 2)]));
+    }
+
+    #[test]
+    fn dense_firing_matches_sparse_firing() {
+        let net = sample_net();
+        let engine = CompiledNet::compile(&net);
+        let config = ms(&[("a", 2), ("b", 1)]);
+        let row = engine.to_dense(&config).unwrap();
+        let mut out = Vec::new();
+        for (index, t) in net.transitions().iter().enumerate() {
+            let sparse_next = t.fire(&config);
+            let fired = engine.transitions()[index].fire_row(&row, &mut out);
+            assert_eq!(
+                fired,
+                sparse_next.is_some(),
+                "enabledness differs at {index}"
+            );
+            if let Some(next) = sparse_next {
+                assert_eq!(engine.to_sparse(&out), next, "successor differs at {index}");
+            }
+        }
+        assert_eq!(engine.enabled_row(&row), net.enabled_transitions(&config));
+    }
+
+    #[test]
+    fn in_place_firing_tracks_totals() {
+        let net = sample_net();
+        let engine = CompiledNet::compile(&net);
+        let mut config = engine.dense_config(&ms(&[("a", 3)]));
+        assert_eq!(config.total(), 3);
+        engine.transitions()[0].fire(&mut config);
+        assert_eq!(engine.to_multiset(&config), ms(&[("a", 2), ("b", 1)]));
+        assert_eq!(config.total(), 3);
+        engine.transitions()[2].fire(&mut config);
+        assert_eq!(config.total(), 4); // b -> 2c creates an agent
+        assert_eq!(config.get(2), 2);
+    }
+
+    #[test]
+    fn backward_cover_matches_sparse() {
+        let net = sample_net();
+        let engine = CompiledNet::compile(&net);
+        let target = ms(&[("b", 3), ("c", 1)]);
+        let dense_target = engine.to_dense(&target).unwrap();
+        let mut out = Vec::new();
+        for (index, t) in net.transitions().iter().enumerate() {
+            engine.transitions()[index].backward_cover_row(&dense_target, &mut out);
+            assert_eq!(
+                engine.to_sparse(&out),
+                t.fire_backward_cover(&target),
+                "backward image differs at {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_pre_post_match_the_net() {
+        let net = sample_net();
+        let engine = CompiledNet::compile(&net);
+        // t0: a+a -> a+b over indices a=0, b=1.
+        assert_eq!(engine.transitions()[0].pre(), &[(0, 2)]);
+        assert_eq!(engine.transitions()[0].post(), &[(0, 1), (1, 1)]);
+        // t2: b -> 2c creates an agent.
+        assert_eq!(engine.transitions()[2].pre(), &[(1, 1)]);
+        assert_eq!(engine.transitions()[2].post(), &[(2, 2)]);
+    }
+
+    #[test]
+    fn instance_counts() {
+        let net = PetriNet::from_transitions([Transition::pairwise("a", "b", "b", "b")]);
+        let engine = CompiledNet::compile(&net);
+        let config = engine.dense_config(&ms(&[("a", 3), ("b", 2)]));
+        assert_eq!(engine.transitions()[0].instances(&config), 6);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(10, 10), 1);
+    }
+}

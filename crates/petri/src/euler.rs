@@ -182,7 +182,10 @@ mod tests {
         let control = triangle_control();
         let zero = vec![0u64; control.num_edges()];
         assert_eq!(cycle_from_parikh(&control, &zero, 0), Some(Vec::new()));
-        assert_eq!(decompose_into_simple_cycles(&control, &zero), Some(Vec::new()));
+        assert_eq!(
+            decompose_into_simple_cycles(&control, &zero),
+            Some(Vec::new())
+        );
     }
 
     #[test]
@@ -207,9 +210,7 @@ mod tests {
             let is = |m: &Multiset<&str>, s: &str| m.get(&s) == 1 && m.total() == 1;
             if is(&from, "a") && is(&to, "b") {
                 parikh[i] = 3; // a->b used by both cycles: 2 + 1
-            } else if is(&from, "b") && is(&to, "c") {
-                parikh[i] = 2;
-            } else if is(&from, "c") && is(&to, "a") {
+            } else if (is(&from, "b") && is(&to, "c")) || (is(&from, "c") && is(&to, "a")) {
                 parikh[i] = 2;
             } else {
                 parikh[i] = 1; // b->a

@@ -8,8 +8,11 @@
 //! exploration is truncated by [`ExplorationLimits`] and the result records
 //! whether it is complete.
 
+use crate::arena::ConfigArena;
+use crate::engine::CompiledNet;
 use crate::PetriNet;
 use pp_multiset::Multiset;
+use std::cell::OnceCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Limits for forward exploration.
@@ -78,8 +81,11 @@ impl ExplorationLimits {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph<P: Ord> {
-    configs: Vec<Multiset<P>>,
-    index: BTreeMap<Multiset<P>, usize>,
+    engine: CompiledNet<P>,
+    arena: ConfigArena,
+    /// Sparse views of the arena rows, converted lazily on first access
+    /// (many callers only need ids, lengths or dense rows).
+    sparse_views: Vec<OnceCell<Multiset<P>>>,
     edges: Vec<Vec<(usize, usize)>>,
     initial: Vec<usize>,
     complete: bool,
@@ -87,95 +93,146 @@ pub struct ReachabilityGraph<P: Ord> {
 
 impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// Explores the reachability graph of `net` from `initial` breadth-first.
+    ///
+    /// The search runs on the dense interned engine
+    /// ([`CompiledNet`] + [`ConfigArena`]): configurations are dense rows
+    /// deduplicated by hash interning and successors are produced by slice
+    /// arithmetic. The sparse [`Multiset`] views returned by
+    /// [`node`](Self::node) are materialized lazily, on first access.
     #[must_use]
     pub fn build<I: IntoIterator<Item = Multiset<P>>>(
         net: &PetriNet<P>,
         initial: I,
         limits: &ExplorationLimits,
     ) -> Self {
-        let mut graph = ReachabilityGraph {
-            configs: Vec::new(),
-            index: BTreeMap::new(),
-            edges: Vec::new(),
-            initial: Vec::new(),
-            complete: true,
-        };
+        let initial_configs: Vec<Multiset<P>> = initial.into_iter().collect();
+        let engine = CompiledNet::compile_with_places(
+            net,
+            initial_configs.iter().flat_map(|c| c.support().cloned()),
+        );
+        let mut arena = ConfigArena::new(engine.num_places());
+        let mut edges: Vec<Vec<(usize, usize)>> = Vec::new();
+        let mut initial_ids: Vec<usize> = Vec::new();
+        let mut complete = true;
+
+        // Interns a row within the configuration budget; `None` when full.
+        fn intern_row(
+            arena: &mut ConfigArena,
+            edges: &mut Vec<Vec<(usize, usize)>>,
+            row: &[u64],
+            limits: &ExplorationLimits,
+        ) -> Option<usize> {
+            if let Some(id) = arena.lookup(row) {
+                return Some(id.index());
+            }
+            if arena.len() >= limits.max_configurations {
+                return None;
+            }
+            let id = arena.intern(row);
+            edges.push(Vec::new());
+            Some(id.index())
+        }
+
         let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-        for config in initial {
-            if let Some(id) = graph.intern(config, limits) {
-                if !graph.initial.contains(&id) {
-                    graph.initial.push(id);
+        for config in &initial_configs {
+            let row = engine
+                .to_dense(config)
+                .expect("initial supports are part of the compiled universe");
+            if let Some(id) = intern_row(&mut arena, &mut edges, &row, limits) {
+                if !initial_ids.contains(&id) {
+                    initial_ids.push(id);
                     queue.push_back((id, 0));
                 }
+            } else {
+                complete = false;
             }
         }
-        let mut expanded = vec![false; graph.configs.len()];
+
+        let mut expanded = vec![false; arena.len()];
+        let mut src = Vec::new();
+        let mut succ = Vec::new();
         while let Some((id, depth)) = queue.pop_front() {
             if expanded.get(id).copied().unwrap_or(false) {
                 continue;
             }
-            if expanded.len() < graph.configs.len() {
-                expanded.resize(graph.configs.len(), false);
+            if expanded.len() < arena.len() {
+                expanded.resize(arena.len(), false);
             }
             expanded[id] = true;
             if let Some(max_depth) = limits.max_depth {
                 if depth >= max_depth {
-                    graph.complete = false;
+                    complete = false;
                     continue;
                 }
             }
             if let Some(max_agents) = limits.max_agents {
-                if graph.configs[id].total() > max_agents {
-                    graph.complete = false;
+                if arena.total(crate::arena::ConfigId(id as u32)) > max_agents {
+                    complete = false;
                     continue;
                 }
             }
-            for (t, successor) in net.successors(&graph.configs[id]) {
-                match graph.intern(successor, limits) {
+            src.clear();
+            src.extend_from_slice(arena.row(crate::arena::ConfigId(id as u32)));
+            for (t, transition) in engine.transitions().iter().enumerate() {
+                if !transition.fire_row(&src, &mut succ) {
+                    continue;
+                }
+                match intern_row(&mut arena, &mut edges, &succ, limits) {
                     Some(succ_id) => {
-                        graph.edges[id].push((t, succ_id));
+                        edges[id].push((t, succ_id));
                         if !expanded.get(succ_id).copied().unwrap_or(false) {
-                            if expanded.len() < graph.configs.len() {
-                                expanded.resize(graph.configs.len(), false);
+                            if expanded.len() < arena.len() {
+                                expanded.resize(arena.len(), false);
                             }
                             queue.push_back((succ_id, depth + 1));
                         }
                     }
                     None => {
-                        graph.complete = false;
+                        complete = false;
                     }
                 }
             }
         }
-        graph
+
+        let sparse_views = (0..arena.len()).map(|_| OnceCell::new()).collect();
+        ReachabilityGraph {
+            engine,
+            arena,
+            sparse_views,
+            edges,
+            initial: initial_ids,
+            complete,
+        }
     }
 
-    /// Interns a configuration, returning its node id, or `None` if the
-    /// configuration budget is exhausted.
-    fn intern(&mut self, config: Multiset<P>, limits: &ExplorationLimits) -> Option<usize> {
-        if let Some(&id) = self.index.get(&config) {
-            return Some(id);
-        }
-        if self.configs.len() >= limits.max_configurations {
-            return None;
-        }
-        let id = self.configs.len();
-        self.index.insert(config.clone(), id);
-        self.configs.push(config);
-        self.edges.push(Vec::new());
-        Some(id)
+    /// The compiled engine the graph was explored with.
+    #[must_use]
+    pub fn engine(&self) -> &CompiledNet<P> {
+        &self.engine
+    }
+
+    /// The dense row of node `id` (one counter per engine place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn dense_node(&self, id: usize) -> &[u64] {
+        self.arena.row(crate::arena::ConfigId(
+            u32::try_from(id).expect("node id fits u32"),
+        ))
     }
 
     /// Number of stored configurations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.arena.len()
     }
 
     /// Returns `true` if the graph stores no configuration.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.arena.is_empty()
     }
 
     /// Returns `true` if no exploration limit was hit.
@@ -191,13 +248,14 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// Panics if `id` is out of bounds.
     #[must_use]
     pub fn node(&self, id: usize) -> &Multiset<P> {
-        &self.configs[id]
+        self.sparse_views[id].get_or_init(|| self.engine.to_sparse(self.dense_node(id)))
     }
 
     /// The node id of `config`, if it was reached.
     #[must_use]
     pub fn id_of(&self, config: &Multiset<P>) -> Option<usize> {
-        self.index.get(config).copied()
+        let row = self.engine.to_dense(config)?;
+        self.arena.lookup(&row).map(super::ConfigId::index)
     }
 
     /// The ids of the initial configurations.
@@ -218,13 +276,13 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
 
     /// Iterates over all node ids.
     pub fn ids(&self) -> impl Iterator<Item = usize> {
-        0..self.configs.len()
+        0..self.arena.len()
     }
 
     /// The reverse adjacency lists (predecessor ids per node).
     #[must_use]
     pub fn predecessor_lists(&self) -> Vec<Vec<usize>> {
-        let mut preds = vec![Vec::new(); self.configs.len()];
+        let mut preds = vec![Vec::new(); self.arena.len()];
         for (from, edges) in self.edges.iter().enumerate() {
             for &(_, to) in edges {
                 preds[to].push(from);
@@ -240,7 +298,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// Panics if `from` is out of bounds.
     #[must_use]
     pub fn reachable_from(&self, from: usize) -> BTreeSet<usize> {
-        assert!(from < self.configs.len(), "node id out of bounds");
+        assert!(from < self.arena.len(), "node id out of bounds");
         let mut seen = BTreeSet::from([from]);
         let mut queue = VecDeque::from([from]);
         while let Some(id) = queue.pop_front() {
@@ -281,7 +339,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         from: usize,
         mut goal: F,
     ) -> Option<(usize, Vec<usize>)> {
-        assert!(from < self.configs.len(), "node id out of bounds");
+        assert!(from < self.arena.len(), "node id out of bounds");
         if goal(from) {
             return Some((from, Vec::new()));
         }
@@ -316,7 +374,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// the returned list). Uses an iterative Tarjan algorithm.
     #[must_use]
     pub fn sccs(&self) -> Vec<Vec<usize>> {
-        let n = self.configs.len();
+        let n = self.arena.len();
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
         let mut on_stack = vec![false; n];
@@ -334,7 +392,10 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             if index[start] != usize::MAX {
                 continue;
             }
-            let mut call_stack = vec![Frame { node: start, edge: 0 }];
+            let mut call_stack = vec![Frame {
+                node: start,
+                edge: 0,
+            }];
             index[start] = next_index;
             low[start] = next_index;
             next_index += 1;
@@ -387,12 +448,103 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// Panics if `id` is out of bounds.
     #[must_use]
     pub fn scc_of(&self, id: usize) -> Vec<usize> {
-        assert!(id < self.configs.len(), "node id out of bounds");
+        assert!(id < self.arena.len(), "node id out of bounds");
         self.sccs()
             .into_iter()
             .find(|c| c.contains(&id))
             .expect("every node belongs to a component")
     }
+}
+
+/// Reference sparse exploration: the pre-engine `BTreeMap`-based breadth
+/// first search, kept as the differential-testing and benchmarking baseline
+/// for the dense engine path of [`ReachabilityGraph::build`].
+///
+/// Returns the set of reached configurations and whether the exploration
+/// completed without hitting a limit. Semantics match
+/// [`ReachabilityGraph::build`] exactly; the property tests in
+/// `tests/dense_sparse_equivalence.rs` assert that node sets and
+/// completeness flags agree on the protocol catalog.
+#[must_use]
+pub fn sparse_reference_exploration<P, I>(
+    net: &PetriNet<P>,
+    initial: I,
+    limits: &ExplorationLimits,
+) -> (BTreeSet<Multiset<P>>, bool)
+where
+    P: Clone + Ord,
+    I: IntoIterator<Item = Multiset<P>>,
+{
+    let mut index: BTreeMap<Multiset<P>, usize> = BTreeMap::new();
+    let mut configs: Vec<Multiset<P>> = Vec::new();
+    let mut complete = true;
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+
+    let intern = |config: Multiset<P>,
+                  index: &mut BTreeMap<Multiset<P>, usize>,
+                  configs: &mut Vec<Multiset<P>>|
+     -> Option<usize> {
+        if let Some(&id) = index.get(&config) {
+            return Some(id);
+        }
+        if configs.len() >= limits.max_configurations {
+            return None;
+        }
+        let id = configs.len();
+        index.insert(config.clone(), id);
+        configs.push(config);
+        Some(id)
+    };
+
+    let mut initial_ids = Vec::new();
+    for config in initial {
+        match intern(config, &mut index, &mut configs) {
+            Some(id) => {
+                if !initial_ids.contains(&id) {
+                    initial_ids.push(id);
+                    queue.push_back((id, 0));
+                }
+            }
+            None => complete = false,
+        }
+    }
+
+    let mut expanded = vec![false; configs.len()];
+    while let Some((id, depth)) = queue.pop_front() {
+        if expanded.get(id).copied().unwrap_or(false) {
+            continue;
+        }
+        if expanded.len() < configs.len() {
+            expanded.resize(configs.len(), false);
+        }
+        expanded[id] = true;
+        if let Some(max_depth) = limits.max_depth {
+            if depth >= max_depth {
+                complete = false;
+                continue;
+            }
+        }
+        if let Some(max_agents) = limits.max_agents {
+            if configs[id].total() > max_agents {
+                complete = false;
+                continue;
+            }
+        }
+        for (_, successor) in net.successors(&configs[id]) {
+            match intern(successor, &mut index, &mut configs) {
+                Some(succ_id) => {
+                    if !expanded.get(succ_id).copied().unwrap_or(false) {
+                        if expanded.len() < configs.len() {
+                            expanded.resize(configs.len(), false);
+                        }
+                        queue.push_back((succ_id, depth + 1));
+                    }
+                }
+                None => complete = false,
+            }
+        }
+    }
+    (configs.into_iter().collect(), complete)
 }
 
 #[cfg(test)]
@@ -415,7 +567,8 @@ mod tests {
     #[test]
     fn conservative_graph_is_complete() {
         let net = doubling_net();
-        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &ExplorationLimits::default());
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &ExplorationLimits::default());
         assert!(graph.is_complete());
         // Reachable: 5a, 4a+b, 3a+2b, 2a+3b, a+4b, 5b — a can always convert.
         assert_eq!(graph.len(), 6);
@@ -436,10 +589,7 @@ mod tests {
     #[test]
     fn agent_budget_stops_expansion_of_large_configs() {
         // Non-conservative net: a -> a + a grows without bound.
-        let net = PetriNet::from_transitions([Transition::new(
-            ms(&[("a", 1)]),
-            ms(&[("a", 2)]),
-        )]);
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("a", 2)]))]);
         let limits = ExplorationLimits::with_max_agents(4);
         let graph = ReachabilityGraph::build(&net, [ms(&[("a", 1)])], &limits);
         assert!(!graph.is_complete());
@@ -462,7 +612,8 @@ mod tests {
     #[test]
     fn path_search_finds_shortest_word() {
         let net = doubling_net();
-        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 4)])], &ExplorationLimits::default());
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 4)])], &ExplorationLimits::default());
         let start = graph.initial_ids()[0];
         let target = ms(&[("b", 4)]);
         let (goal, word) = graph
@@ -471,13 +622,16 @@ mod tests {
         assert_eq!(graph.node(goal), &target);
         assert_eq!(word.len(), 4);
         assert_eq!(net.fire_word(&ms(&[("a", 4)]), &word), Some(target));
-        assert!(graph.path_to(start, |id| graph.node(id).get(&"z") > 0).is_none());
+        assert!(graph
+            .path_to(start, |id| graph.node(id).get(&"z") > 0)
+            .is_none());
     }
 
     #[test]
     fn reachable_and_coreachable_sets() {
         let net = doubling_net();
-        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 3)])], &ExplorationLimits::default());
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 3)])], &ExplorationLimits::default());
         let start = graph.initial_ids()[0];
         let all = graph.reachable_from(start);
         assert_eq!(all.len(), graph.len());
@@ -490,7 +644,8 @@ mod tests {
     #[test]
     fn sccs_of_a_dag_are_singletons() {
         let net = doubling_net();
-        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 3)])], &ExplorationLimits::default());
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 3)])], &ExplorationLimits::default());
         let sccs = graph.sccs();
         assert_eq!(sccs.len(), graph.len());
         assert!(sccs.iter().all(|c| c.len() == 1));
@@ -504,7 +659,8 @@ mod tests {
             Transition::new(ms(&[("b", 1)]), ms(&[("a", 1)])),
             Transition::new(ms(&[("a", 2)]), ms(&[("c", 2)])),
         ]);
-        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 2)])], &ExplorationLimits::default());
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 2)])], &ExplorationLimits::default());
         let sccs = graph.sccs();
         // {2a, a+b, 2b} form one component; 2c is its own.
         let sizes: Vec<usize> = sccs.iter().map(Vec::len).collect();

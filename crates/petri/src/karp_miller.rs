@@ -6,10 +6,20 @@
 //! coverability/boundedness procedure next to the backward algorithm of
 //! [`cover`](crate::cover) — experiment E5's ablation compares the two — and
 //! to detect unbounded places of non-conservative protocols.
+//!
+//! The tree is built on the dense engine ([`CompiledNet`]): markings are
+//! flat `Vec<OmegaValue>` rows over dense place indices, fired and compared
+//! with slice arithmetic, and converted to sparse [`OmegaMarking`]s only
+//! once the search finishes. All counter arithmetic is *checked*
+//! ([`OmegaValue::checked_add`]/[`OmegaValue::checked_sub`]): an execution
+//! whose counts leave `u64` no longer panics, it marks the tree incomplete
+//! and skips the offending branch.
 
+use crate::engine::CompiledNet;
 use crate::PetriNet;
 use pp_multiset::Multiset;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A marking value: a finite count or ω (unbounded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -20,6 +30,18 @@ pub enum OmegaValue {
     Omega,
 }
 
+/// Error returned when checked ω-arithmetic leaves the `u64` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmegaOverflow;
+
+impl fmt::Display for OmegaOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ω-marking arithmetic left the u64 range")
+    }
+}
+
+impl std::error::Error for OmegaOverflow {}
+
 impl OmegaValue {
     fn at_least(self, needed: u64) -> bool {
         match self {
@@ -28,13 +50,36 @@ impl OmegaValue {
         }
     }
 
-    fn add(self, delta: i64) -> OmegaValue {
+    /// Adds `count` agents, reporting overflow instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmegaOverflow`] when the finite count would exceed
+    /// `u64::MAX`.
+    pub fn checked_add(self, count: u64) -> Result<OmegaValue, OmegaOverflow> {
         match self {
-            OmegaValue::Finite(v) => {
-                let new = i64::try_from(v).expect("count fits i64") + delta;
-                OmegaValue::Finite(u64::try_from(new).expect("marking stays non-negative"))
-            }
-            OmegaValue::Omega => OmegaValue::Omega,
+            OmegaValue::Finite(v) => v
+                .checked_add(count)
+                .map(OmegaValue::Finite)
+                .ok_or(OmegaOverflow),
+            OmegaValue::Omega => Ok(OmegaValue::Omega),
+        }
+    }
+
+    /// Removes `count` agents, reporting a transient negative count
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmegaOverflow`] when fewer than `count` agents are
+    /// present.
+    pub fn checked_sub(self, count: u64) -> Result<OmegaValue, OmegaOverflow> {
+        match self {
+            OmegaValue::Finite(v) => v
+                .checked_sub(count)
+                .map(OmegaValue::Finite)
+                .ok_or(OmegaOverflow),
+            OmegaValue::Omega => Ok(OmegaValue::Omega),
         }
     }
 }
@@ -91,43 +136,63 @@ impl<P: Clone + Ord> OmegaMarking<P> {
     pub fn le(&self, other: &OmegaMarking<P>) -> bool {
         let places: std::collections::BTreeSet<&P> =
             self.values.keys().chain(other.values.keys()).collect();
-        places.into_iter().all(|p| match (self.get(p), other.get(p)) {
-            (OmegaValue::Omega, OmegaValue::Omega) => true,
-            (OmegaValue::Omega, OmegaValue::Finite(_)) => false,
-            (OmegaValue::Finite(_), OmegaValue::Omega) => true,
-            (OmegaValue::Finite(a), OmegaValue::Finite(b)) => a <= b,
-        })
+        places
+            .into_iter()
+            .all(|p| match (self.get(p), other.get(p)) {
+                (OmegaValue::Omega, OmegaValue::Omega) => true,
+                (OmegaValue::Omega, OmegaValue::Finite(_)) => false,
+                (OmegaValue::Finite(_), OmegaValue::Omega) => true,
+                (OmegaValue::Finite(a), OmegaValue::Finite(b)) => a <= b,
+            })
     }
+}
 
-    /// Fires transition `t` if enabled (ω satisfies any precondition).
-    #[must_use]
-    fn fire(&self, pre: &Multiset<P>, post: &Multiset<P>) -> Option<OmegaMarking<P>> {
-        if !self.covers(pre) {
-            return None;
-        }
-        let mut next = self.clone();
-        for (p, c) in pre.iter() {
-            let value = next.get(p).add(-(i64::try_from(c).expect("count fits i64")));
-            next.set(p.clone(), value);
-        }
-        for (p, c) in post.iter() {
-            let value = next.get(p).add(i64::try_from(c).expect("count fits i64"));
-            next.set(p.clone(), value);
-        }
-        Some(next)
+/// A dense ω-marking row over the engine's place indices.
+type OmegaRow = Vec<OmegaValue>;
+
+/// Component-wise order on dense ω-rows of equal width.
+fn row_le(a: &[OmegaValue], b: &[OmegaValue]) -> bool {
+    a.iter().zip(b).all(|(x, y)| match (x, y) {
+        (OmegaValue::Omega, OmegaValue::Omega) => true,
+        (OmegaValue::Omega, OmegaValue::Finite(_)) => false,
+        (OmegaValue::Finite(_), OmegaValue::Omega) => true,
+        (OmegaValue::Finite(a), OmegaValue::Finite(b)) => a <= b,
+    })
+}
+
+/// Fires compiled transition `t` on `row`, or `Ok(None)` if disabled.
+///
+/// # Errors
+///
+/// Propagates [`OmegaOverflow`] from the checked counter arithmetic.
+fn fire_row(
+    row: &[OmegaValue],
+    transition: &crate::engine::CompiledTransition,
+) -> Result<Option<OmegaRow>, OmegaOverflow> {
+    if !transition
+        .pre()
+        .iter()
+        .all(|&(p, c)| row[p as usize].at_least(c))
+    {
+        return Ok(None);
     }
+    let mut next = row.to_vec();
+    for &(p, c) in transition.pre() {
+        next[p as usize] = next[p as usize].checked_sub(c)?;
+    }
+    for &(p, c) in transition.post() {
+        next[p as usize] = next[p as usize].checked_add(c)?;
+    }
+    Ok(Some(next))
+}
 
-    /// Accelerates against a strictly smaller ancestor: places where this
-    /// marking strictly exceeds the ancestor become ω.
-    fn accelerate(&mut self, ancestor: &OmegaMarking<P>) {
-        let places: Vec<P> = self.values.keys().cloned().collect();
-        for p in places {
-            if let (OmegaValue::Finite(mine), OmegaValue::Finite(theirs)) =
-                (self.get(&p), ancestor.get(&p))
-            {
-                if mine > theirs {
-                    self.set(p, OmegaValue::Omega);
-                }
+/// Accelerates `row` against a strictly smaller ancestor: places where it
+/// strictly exceeds the ancestor become ω.
+fn accelerate(row: &mut [OmegaValue], ancestor: &[OmegaValue]) {
+    for (mine, theirs) in row.iter_mut().zip(ancestor) {
+        if let (OmegaValue::Finite(m), OmegaValue::Finite(t)) = (*mine, *theirs) {
+            if m > t {
+                *mine = OmegaValue::Omega;
             }
         }
     }
@@ -142,37 +207,67 @@ pub struct KarpMillerTree<P: Ord> {
 
 impl<P: Clone + Ord> KarpMillerTree<P> {
     /// Builds the tree from `initial`, exploring at most `max_nodes` nodes.
+    ///
+    /// The search runs on the dense engine; the tree is reported as
+    /// incomplete when the node budget is hit *or* when some branch's
+    /// counters left the `u64` range (checked arithmetic instead of the
+    /// former panic).
     #[must_use]
     pub fn build(net: &PetriNet<P>, initial: &Multiset<P>, max_nodes: usize) -> Self {
-        let root = OmegaMarking::from_config(initial);
-        let mut markings: Vec<OmegaMarking<P>> = Vec::new();
+        let engine = CompiledNet::compile_with_places(net, initial.support().cloned());
+        let dense_initial = engine
+            .to_dense(initial)
+            .expect("initial support is part of the compiled universe");
+        let root: OmegaRow = dense_initial
+            .iter()
+            .map(|&c| OmegaValue::Finite(c))
+            .collect();
+        let mut rows: Vec<OmegaRow> = Vec::new();
         let mut complete = true;
         // Each work item carries its branch (ancestor chain) for acceleration.
-        let mut stack: Vec<(OmegaMarking<P>, Vec<OmegaMarking<P>>)> = vec![(root, Vec::new())];
-        while let Some((marking, ancestors)) = stack.pop() {
-            if markings.len() >= max_nodes {
+        let mut stack: Vec<(OmegaRow, Vec<OmegaRow>)> = vec![(root, Vec::new())];
+        while let Some((row, ancestors)) = stack.pop() {
+            if rows.len() >= max_nodes {
                 complete = false;
                 break;
             }
             // Stop expanding when an ancestor is ≥ this marking (subsumption
             // on the branch, the classical termination rule).
-            if ancestors.iter().any(|a| marking.le(a)) {
+            if ancestors.iter().any(|a| row_le(&row, a)) {
                 continue;
             }
-            markings.push(marking.clone());
-            for t in net.transitions() {
-                if let Some(mut next) = marking.fire(t.pre(), t.post()) {
-                    for ancestor in ancestors.iter().chain(std::iter::once(&marking)) {
-                        if ancestor.le(&next) && ancestor != &next {
-                            next.accelerate(ancestor);
+            rows.push(row.clone());
+            for transition in engine.transitions() {
+                match fire_row(&row, transition) {
+                    Ok(Some(mut next)) => {
+                        for ancestor in ancestors.iter().chain(std::iter::once(&row)) {
+                            if row_le(ancestor, &next) && ancestor != &next {
+                                accelerate(&mut next, ancestor);
+                            }
                         }
+                        let mut branch = ancestors.clone();
+                        branch.push(row.clone());
+                        stack.push((next, branch));
                     }
-                    let mut branch = ancestors.clone();
-                    branch.push(marking.clone());
-                    stack.push((next, branch));
+                    Ok(None) => {}
+                    Err(OmegaOverflow) => {
+                        complete = false;
+                    }
                 }
             }
         }
+        let markings = rows
+            .into_iter()
+            .map(|row| {
+                let mut marking = OmegaMarking {
+                    values: BTreeMap::new(),
+                };
+                for (index, value) in row.into_iter().enumerate() {
+                    marking.set(engine.places()[index].clone(), value);
+                }
+                marking
+            })
+            .collect();
         KarpMillerTree { markings, complete }
     }
 
@@ -182,7 +277,8 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
         &self.markings
     }
 
-    /// Returns `true` if the tree was fully built within the node budget.
+    /// Returns `true` if the tree was fully built within the node budget
+    /// and without counter overflow.
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.complete
@@ -207,7 +303,9 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
     /// Returns `true` if the given place stays bounded (never accelerates to ω).
     #[must_use]
     pub fn place_is_bounded(&self, place: &P) -> bool {
-        self.markings.iter().all(|m| m.get(place) != OmegaValue::Omega)
+        self.markings
+            .iter()
+            .all(|m| m.get(place) != OmegaValue::Omega)
     }
 }
 
@@ -298,6 +396,46 @@ mod tests {
         assert!(!omega.le(&finite));
         assert!(omega.covers(&ms(&[("a", 1_000)])));
         assert!(!finite.covers(&ms(&[("a", 3)])));
-        assert!(omega.is_finite() == false && finite.is_finite());
+        assert!(!omega.is_finite() && finite.is_finite());
+    }
+
+    #[test]
+    fn checked_arithmetic_reports_overflow() {
+        assert_eq!(
+            OmegaValue::Finite(u64::MAX).checked_add(1),
+            Err(OmegaOverflow)
+        );
+        assert_eq!(OmegaValue::Finite(3).checked_sub(4), Err(OmegaOverflow));
+        assert_eq!(
+            OmegaValue::Finite(3).checked_add(4),
+            Ok(OmegaValue::Finite(7))
+        );
+        assert_eq!(
+            OmegaValue::Omega.checked_add(u64::MAX),
+            Ok(OmegaValue::Omega)
+        );
+        assert_eq!(
+            OmegaValue::Omega.checked_sub(u64::MAX),
+            Ok(OmegaValue::Omega)
+        );
+        assert!(!OmegaOverflow.to_string().is_empty());
+    }
+
+    #[test]
+    fn counter_overflow_marks_tree_incomplete_instead_of_panicking() {
+        // x -> y + huge·z consumes x, so successive markings are
+        // incomparable and never accelerate; the second firing pushes z
+        // past u64::MAX. The former implementation panicked on
+        // `i64::try_from`; now the branch is dropped and the tree is
+        // reported incomplete.
+        let huge = u64::MAX / 2 + 1;
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("x", 1)]),
+            ms(&[("y", 1), ("z", huge)]),
+        )]);
+        let tree = KarpMillerTree::build(&net, &ms(&[("x", 2)]), 10_000);
+        assert!(!tree.is_complete());
+        assert!(tree.covers(&ms(&[("z", huge)])));
+        assert!(!tree.covers(&ms(&[("y", 2)])));
     }
 }

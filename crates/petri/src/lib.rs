@@ -18,6 +18,14 @@
 //! ([`explore::ReachabilityGraph`]), exact backward coverability
 //! ([`cover::CoverabilityOracle`]) and a Karp–Miller tree ([`karp_miller`]).
 //!
+//! All state-space traversal runs on the shared dense engine: a
+//! hash-interning [`arena::ConfigArena`] of dense configuration rows and a
+//! precompiled [`engine::CompiledNet`] whose successor generation works on
+//! slices instead of tree merges. The public entry points keep speaking
+//! sparse `Multiset` configurations and convert at the boundary — see
+//! `DESIGN.md` for the architecture and `explore::sparse_reference_exploration`
+//! for the retained differential-testing baseline.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bottom;
 pub mod component;
 pub mod control;
 pub mod cover;
 pub mod cycles;
+pub mod engine;
 pub mod euler;
 pub mod explore;
 pub mod karp_miller;
@@ -51,6 +61,8 @@ pub mod stabilized;
 mod net;
 mod transition;
 
+pub use arena::{ConfigArena, ConfigId};
+pub use engine::{CompiledNet, CompiledTransition, DenseConfig};
 pub use explore::{ExplorationLimits, ReachabilityGraph};
 pub use net::PetriNet;
 pub use transition::Transition;

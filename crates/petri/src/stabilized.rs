@@ -119,7 +119,9 @@ impl<P: Clone + Ord> StabilityChecker<P> {
             return false;
         }
         let region = crate::rackoff::small_value_places(net, stabilized, threshold);
-        candidate.restrict(&region).le(&stabilized.restrict(&region))
+        candidate
+            .restrict(&region)
+            .le(&stabilized.restrict(&region))
     }
 }
 

@@ -158,7 +158,7 @@ mod tests {
         assert!(!t.is_conservative());
         let u = Transition::pairwise("a", "b", "c", "c");
         assert_eq!(u.width(), 2);
-        assert_eq!(u.sup_norm(), 2.min(2)); // c appears twice in the post
+        assert_eq!(u.sup_norm(), 2); // c appears twice in the post
         assert!(u.is_conservative());
     }
 

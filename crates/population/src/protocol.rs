@@ -125,7 +125,9 @@ impl Protocol {
     /// The states with the given output value.
     #[must_use]
     pub fn states_with_output(&self, output: Output) -> BTreeSet<StateId> {
-        self.states().filter(|s| self.output(*s) == output).collect()
+        self.states()
+            .filter(|s| self.output(*s) == output)
+            .collect()
     }
 
     /// The output set `γ(ρ)` of a configuration: the outputs of the states
@@ -152,7 +154,10 @@ impl Protocol {
     ///
     /// Returns [`ProtocolError::NotAnInitialState`] if the input populates a
     /// state that is not an initial state of the protocol.
-    pub fn input_config(&self, input: &Multiset<String>) -> Result<Multiset<StateId>, ProtocolError> {
+    pub fn input_config(
+        &self,
+        input: &Multiset<String>,
+    ) -> Result<Multiset<StateId>, ProtocolError> {
         let mut config = Multiset::new();
         for (name, count) in input.iter() {
             let id = self
@@ -170,7 +175,10 @@ impl Protocol {
     ///
     /// Returns [`ProtocolError::NotAnInitialState`] if the input populates a
     /// state that is not an initial state of the protocol.
-    pub fn initial_config(&self, input: &Multiset<String>) -> Result<Multiset<StateId>, ProtocolError> {
+    pub fn initial_config(
+        &self,
+        input: &Multiset<String>,
+    ) -> Result<Multiset<StateId>, ProtocolError> {
         Ok(&self.leaders + &self.input_config(input)?)
     }
 
@@ -187,7 +195,11 @@ impl Protocol {
             1,
             "initial_config_with_count requires exactly one initial state"
         );
-        let state = *self.initial_states.iter().next().expect("one initial state");
+        let state = *self
+            .initial_states
+            .iter()
+            .next()
+            .expect("one initial state");
         let mut config = self.leaders.clone();
         config.add_to(state, count);
         config

@@ -20,6 +20,7 @@ use crate::protocol::{Protocol, StateId};
 use crate::stable::ProtocolStability;
 use pp_multiset::Multiset;
 use pp_petri::{ExplorationLimits, ReachabilityGraph};
+use rayon::prelude::*;
 
 /// Verdict categories for a single input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,6 +170,11 @@ pub fn verify_input(
 }
 
 /// Verifies a family of explicit inputs.
+///
+/// Inputs are independent, so they are verified in parallel (one rayon
+/// task per input) over the shared dense engine; the per-input semantics
+/// and the order of the returned reports are identical to the sequential
+/// path.
 #[must_use]
 pub fn verify_inputs<I>(
     protocol: &Protocol,
@@ -180,11 +186,12 @@ where
     I: IntoIterator<Item = Multiset<String>>,
 {
     let stability = ProtocolStability::new(protocol);
+    let inputs: Vec<Multiset<String>> = inputs.into_iter().collect();
     VerificationReport {
         protocol_name: protocol.name().to_owned(),
         predicate: predicate.to_string(),
         inputs: inputs
-            .into_iter()
+            .into_par_iter()
             .map(|input| verify_input(protocol, &stability, predicate, &input, limits))
             .collect(),
     }
@@ -215,8 +222,7 @@ pub fn verify_counting_inputs(
         .next()
         .expect("one initial state");
     let name = protocol.state_name(initial_state).to_owned();
-    let inputs =
-        (0..=max_count).map(move |count| Multiset::from_pairs([(name.clone(), count)]));
+    let inputs = (0..=max_count).map(move |count| Multiset::from_pairs([(name.clone(), count)]));
     verify_inputs(protocol, predicate, inputs, limits)
 }
 
@@ -252,12 +258,8 @@ mod tests {
         for n in 1..=3u64 {
             let protocol = example_4_2(n);
             let predicate = Predicate::counting("i", n);
-            let report = verify_counting_inputs(
-                &protocol,
-                &predicate,
-                n + 3,
-                &ExplorationLimits::default(),
-            );
+            let report =
+                verify_counting_inputs(&protocol, &predicate, n + 3, &ExplorationLimits::default());
             assert!(
                 report.all_correct(),
                 "example 4.2 with n={n} failed: {:?}",

@@ -90,8 +90,8 @@ pub fn flock_of_birds_doubling(k: u32) -> Protocol {
     // Recruit: (v_k, s) -> (v_k, v_k) for every other state s.
     let top = levels[k as usize];
     builder.pairwise(top, zero, top, top);
-    for j in 0..k as usize {
-        builder.pairwise(top, levels[j], top, top);
+    for &level in &levels[..k as usize] {
+        builder.pairwise(top, level, top, top);
     }
     builder.build().expect("doubling protocol is well-formed")
 }
@@ -131,12 +131,8 @@ mod tests {
         for n in 1..=4u64 {
             let protocol = flock_of_birds_unary(n);
             let predicate = Predicate::counting("a1", n);
-            let report = verify_counting_inputs(
-                &protocol,
-                &predicate,
-                n + 2,
-                &ExplorationLimits::default(),
-            );
+            let report =
+                verify_counting_inputs(&protocol, &predicate, n + 2, &ExplorationLimits::default());
             assert!(
                 report.all_correct(),
                 "flock-unary n={n} failed: {:?}",
@@ -173,12 +169,8 @@ mod tests {
             let n = 1u64 << k;
             let protocol = flock_of_birds_doubling(k);
             let predicate = Predicate::counting("v0", n);
-            let report = verify_counting_inputs(
-                &protocol,
-                &predicate,
-                n + 2,
-                &ExplorationLimits::default(),
-            );
+            let report =
+                verify_counting_inputs(&protocol, &predicate, n + 2, &ExplorationLimits::default());
             assert!(
                 report.all_correct(),
                 "doubling k={k} failed: {:?}",

@@ -75,12 +75,8 @@ mod tests {
         for n in 1..=3u64 {
             let protocol = example_4_2(n);
             let predicate = Predicate::counting("i", n);
-            let report = verify_counting_inputs(
-                &protocol,
-                &predicate,
-                n + 2,
-                &ExplorationLimits::default(),
-            );
+            let report =
+                verify_counting_inputs(&protocol, &predicate, n + 2, &ExplorationLimits::default());
             assert!(
                 report.all_correct(),
                 "example 4.2 with n={n} failed: {:?}",

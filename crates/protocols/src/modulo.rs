@@ -31,20 +31,10 @@ pub fn modulo_with_leader(modulus: u64, remainder: u64) -> Protocol {
     let mut builder = ProtocolBuilder::new(format!("modulo(m={modulus}, r={remainder})"));
     let x = builder.state("x", Output::Star);
     let leader_states: Vec<StateId> = (0..modulus)
-        .map(|s| {
-            builder.state(
-                format!("L{s}"),
-                Output::from_bool(s == remainder),
-            )
-        })
+        .map(|s| builder.state(format!("L{s}"), Output::from_bool(s == remainder)))
         .collect();
     let done_states: Vec<StateId> = (0..modulus)
-        .map(|s| {
-            builder.state(
-                format!("D{s}"),
-                Output::from_bool(s == remainder),
-            )
-        })
+        .map(|s| builder.state(format!("D{s}"), Output::from_bool(s == remainder)))
         .collect();
     builder.initial(x);
     builder.leaders(leader_states[0], 1);
@@ -55,7 +45,12 @@ pub fn modulo_with_leader(modulus: u64, remainder: u64) -> Protocol {
         // The leader refreshes stale beliefs.
         for t in 0..modulus as usize {
             if t != s {
-                builder.pairwise(leader_states[s], done_states[t], leader_states[s], done_states[s]);
+                builder.pairwise(
+                    leader_states[s],
+                    done_states[t],
+                    leader_states[s],
+                    done_states[s],
+                );
             }
         }
     }

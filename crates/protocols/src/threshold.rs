@@ -97,7 +97,9 @@ pub fn binary_threshold_with_leader(n: u64) -> Protocol {
     for &v in &values {
         builder.pairwise(accept, v, accept, accept);
     }
-    builder.build().expect("binary threshold protocol is well-formed")
+    builder
+        .build()
+        .expect("binary threshold protocol is well-formed")
 }
 
 /// The predicate computed by [`binary_threshold_with_leader`]: `(v0 ≥ n)`.
@@ -121,7 +123,10 @@ mod tests {
         assert_eq!(binary_threshold_state_count(256), 11);
         for n in 1..=64u64 {
             let protocol = binary_threshold_with_leader(n);
-            assert_eq!(protocol.num_states() as u64, binary_threshold_state_count(n));
+            assert_eq!(
+                protocol.num_states() as u64,
+                binary_threshold_state_count(n)
+            );
             assert_eq!(protocol.width(), 2);
             assert_eq!(protocol.num_leaders(), 1);
         }
@@ -138,12 +143,8 @@ mod tests {
         for n in 1..=5u64 {
             let protocol = binary_threshold_with_leader(n);
             let predicate = binary_threshold_predicate(n);
-            let report = verify_counting_inputs(
-                &protocol,
-                &predicate,
-                n + 2,
-                &ExplorationLimits::default(),
-            );
+            let report =
+                verify_counting_inputs(&protocol, &predicate, n + 2, &ExplorationLimits::default());
             assert!(
                 report.all_correct(),
                 "binary threshold n={n} failed: {:?}",

@@ -61,12 +61,8 @@ mod tests {
         for n in 1..=4u64 {
             let protocol = example_4_1(n);
             let predicate = Predicate::counting("i", n);
-            let report = verify_counting_inputs(
-                &protocol,
-                &predicate,
-                n + 3,
-                &ExplorationLimits::default(),
-            );
+            let report =
+                verify_counting_inputs(&protocol, &predicate, n + 3, &ExplorationLimits::default());
             assert!(
                 report.all_correct(),
                 "example 4.1 with n={n} failed: {:?}",
@@ -79,8 +75,7 @@ mod tests {
     fn does_not_compute_a_different_threshold() {
         let protocol = example_4_1(3);
         let wrong = Predicate::counting("i", 4);
-        let report =
-            verify_counting_inputs(&protocol, &wrong, 5, &ExplorationLimits::default());
+        let report = verify_counting_inputs(&protocol, &wrong, 5, &ExplorationLimits::default());
         assert!(!report.all_correct());
     }
 

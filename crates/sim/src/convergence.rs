@@ -164,7 +164,9 @@ impl<'p> ConvergenceExperiment<'p> {
                                 let mut sim = Simulation::new(
                                     self.protocol,
                                     &self.initial,
-                                    self.seed.wrapping_add(trial).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                    self.seed
+                                        .wrapping_add(trial)
+                                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
                                 )
                                 .with_scheduler(self.scheduler);
                                 sim.run(self.max_steps)

@@ -1,6 +1,6 @@
 //! Schedulers: how the next interaction is chosen.
 
-use crate::dense::{DenseConfig, DenseNet};
+use pp_petri::engine::{CompiledNet, DenseConfig};
 use rand::Rng;
 
 /// The random scheduler driving a simulation.
@@ -25,9 +25,9 @@ impl SchedulerKind {
     /// Chooses the next transition to fire, or `None` if no transition is
     /// enabled (the configuration is silent).
     #[must_use]
-    pub fn choose<R: Rng>(
+    pub fn choose<P: Clone + Ord, R: Rng>(
         self,
-        net: &DenseNet,
+        net: &CompiledNet<P>,
         config: &DenseConfig,
         rng: &mut R,
     ) -> Option<usize> {
@@ -72,7 +72,7 @@ impl SchedulerKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dense::DenseConfig;
+    use crate::compile_protocol;
     use pp_protocols::leaders_n::example_4_2;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -80,9 +80,9 @@ mod tests {
     #[test]
     fn both_schedulers_only_pick_enabled_transitions() {
         let protocol = example_4_2(2);
-        let net = DenseNet::compile(&protocol);
+        let net = compile_protocol(&protocol);
         let initial = protocol.initial_config_with_count(4);
-        let config = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        let config = net.dense_config(&initial);
         let mut rng = StdRng::seed_from_u64(7);
         for kind in [
             SchedulerKind::UniformEnabledTransition,
@@ -98,10 +98,10 @@ mod tests {
     #[test]
     fn silent_configuration_yields_none() {
         let protocol = example_4_2(1);
-        let net = DenseNet::compile(&protocol);
+        let net = compile_protocol(&protocol);
         // Only leaders: nothing can interact.
         let initial = protocol.initial_config_with_count(0);
-        let config = DenseConfig::from_multiset(protocol.num_states(), &initial);
+        let config = net.dense_config(&initial);
         let mut rng = StdRng::seed_from_u64(7);
         assert_eq!(
             SchedulerKind::UniformEnabledTransition.choose(&net, &config, &mut rng),

@@ -1,7 +1,7 @@
 //! A single protocol execution under a random scheduler.
 
-use crate::dense::{DenseConfig, DenseNet};
 use crate::scheduler::SchedulerKind;
+use crate::{compile_protocol, DenseConfig, DenseNet};
 use pp_multiset::Multiset;
 use pp_petri::ExplorationLimits;
 use pp_population::stable::ProtocolStability;
@@ -92,11 +92,12 @@ impl<'p> Simulation<'p> {
     /// with the given random seed.
     #[must_use]
     pub fn new(protocol: &'p Protocol, initial: &Multiset<StateId>, seed: u64) -> Self {
+        let net = compile_protocol(protocol);
         Simulation {
-            net: DenseNet::compile(protocol),
+            config: net.dense_config(initial),
+            net,
             stability: ProtocolStability::new(protocol),
             scheduler: SchedulerKind::default(),
-            config: DenseConfig::from_multiset(protocol.num_states(), initial),
             rng: StdRng::seed_from_u64(seed),
             steps: 0,
             stability_cache: HashMap::new(),
@@ -113,7 +114,7 @@ impl<'p> Simulation<'p> {
     /// The current configuration (sparse view).
     #[must_use]
     pub fn config(&self) -> Multiset<StateId> {
-        self.config.to_multiset()
+        self.net.to_multiset(&self.config)
     }
 
     /// Number of steps taken so far.
@@ -124,7 +125,10 @@ impl<'p> Simulation<'p> {
 
     /// Performs one scheduler step.
     pub fn step(&mut self) -> StepOutcome {
-        match self.scheduler.choose(&self.net, &self.config, &mut self.rng) {
+        match self
+            .scheduler
+            .choose(&self.net, &self.config, &mut self.rng)
+        {
             Some(t) => {
                 self.net.transitions()[t].fire(&mut self.config);
                 self.steps += 1;
@@ -162,18 +166,13 @@ impl<'p> Simulation<'p> {
             Output::One => true,
             Output::Star => return None,
         };
-        let sparse = self.config.to_multiset();
+        let sparse = self.net.to_multiset(&self.config);
         let stable = match self.stability_cache.get(&sparse) {
             Some(&cached) => cached,
             None => {
                 let result = self
                     .stability
-                    .is_output_stable(
-                        self.protocol,
-                        &sparse,
-                        value,
-                        &ExplorationLimits::default(),
-                    )
+                    .is_output_stable(self.protocol, &sparse, value, &ExplorationLimits::default())
                     .unwrap_or(false);
                 self.stability_cache.insert(sparse, result);
                 result
@@ -252,7 +251,13 @@ mod tests {
         // Only the three leaders: already 0-output stable.
         let mut sim = Simulation::new(&protocol, &protocol.initial_config_with_count(0), 3);
         let outcome = sim.run(10);
-        assert_eq!(outcome, RunOutcome::Converged { consensus: Output::Zero, steps: 0 });
+        assert_eq!(
+            outcome,
+            RunOutcome::Converged {
+                consensus: Output::Zero,
+                steps: 0
+            }
+        );
     }
 
     #[test]
@@ -270,12 +275,12 @@ mod tests {
         let a = protocol.state_id("A").unwrap();
         let b = protocol.state_id("B").unwrap();
         let initial = Multiset::from_pairs([(a, 7u64), (b, 3)]);
-        let mut sim = Simulation::new(&protocol, &initial, 5)
-            .with_scheduler(SchedulerKind::InstanceWeighted);
+        let mut sim =
+            Simulation::new(&protocol, &initial, 5).with_scheduler(SchedulerKind::InstanceWeighted);
         assert_eq!(sim.run(1_000_000).consensus(), Some(Output::One));
         let initial = Multiset::from_pairs([(a, 3u64), (b, 7)]);
-        let mut sim = Simulation::new(&protocol, &initial, 6)
-            .with_scheduler(SchedulerKind::InstanceWeighted);
+        let mut sim =
+            Simulation::new(&protocol, &initial, 6).with_scheduler(SchedulerKind::InstanceWeighted);
         assert_eq!(sim.run(1_000_000).consensus(), Some(Output::Zero));
     }
 

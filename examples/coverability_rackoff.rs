@@ -22,7 +22,10 @@ fn main() {
         oracle.basis().len()
     );
     for basis_element in oracle.basis().iter().take(5) {
-        println!("  minimal start: {}", protocol.display_config(basis_element));
+        println!(
+            "  minimal start: {}",
+            protocol.display_config(basis_element)
+        );
     }
 
     for input in [1u64, 3, 6] {

@@ -26,7 +26,11 @@ fn main() {
         verify_counting_inputs(&protocol, &predicate, n + 3, &ExplorationLimits::default());
     println!(
         "verification   : {} on inputs 0..={} ({} configurations explored)",
-        if report.all_correct() { "stably computes (i ≥ n)" } else { "FAILED" },
+        if report.all_correct() {
+            "stably computes (i ≥ n)"
+        } else {
+            "FAILED"
+        },
         n + 3,
         report
             .inputs
@@ -45,11 +49,12 @@ fn main() {
 
     // ---- 4. Simulate a population under the random scheduler ------------
     for agents in [n - 1, n, 10 * n] {
-        let stats = ConvergenceExperiment::new(&protocol, &protocol.initial_config_with_count(agents))
-            .trials(8)
-            .max_steps(2_000_000)
-            .seed(7)
-            .run();
+        let stats =
+            ConvergenceExperiment::new(&protocol, &protocol.initial_config_with_count(agents))
+                .trials(8)
+                .max_steps(2_000_000)
+                .seed(7)
+                .run();
         println!(
             "simulation     : {} input agents → consensus {:?} after {:.0} steps on average",
             agents,

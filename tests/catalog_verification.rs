@@ -4,7 +4,7 @@
 use pp_multiset::Multiset;
 use pp_petri::ExplorationLimits;
 use pp_population::verify::{verify_counting_inputs, verify_inputs};
-use pp_protocols::{counting_entries, catalog::other_entries};
+use pp_protocols::{catalog::other_entries, counting_entries};
 
 #[test]
 fn counting_catalog_is_correct_for_small_thresholds() {
@@ -65,10 +65,8 @@ fn majority_and_modulo_entries_are_correct() {
         let inputs: Vec<Multiset<String>> = match entry.family {
             "majority" => (0..=3u64)
                 .flat_map(|a| {
-                    (0..=3u64).filter_map(move |b| {
-                        (a + b > 0).then(|| {
-                            Multiset::from_pairs([("A".to_string(), a), ("B".to_string(), b)])
-                        })
+                    (0..=3u64).filter(move |&b| a + b > 0).map(move |b| {
+                        Multiset::from_pairs([("A".to_string(), a), ("B".to_string(), b)])
                     })
                 })
                 .collect(),

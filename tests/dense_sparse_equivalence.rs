@@ -1,0 +1,135 @@
+//! Differential properties: the dense interned engine must explore exactly
+//! the same state spaces as the sparse reference path.
+//!
+//! `ReachabilityGraph::build` runs on the `ConfigArena`/`CompiledNet`
+//! engine; `sparse_reference_exploration` is the pre-engine
+//! `BTreeMap`-based breadth-first search kept as the baseline. Both follow
+//! the same BFS order, so node sets and completeness flags must agree
+//! exactly — on the whole protocol catalog and on random nets, truncated
+//! or not.
+
+use pp_multiset::Multiset;
+use pp_petri::cover::{is_coverable, shortest_covering_word};
+use pp_petri::explore::sparse_reference_exploration;
+use pp_petri::{ExplorationLimits, PetriNet, ReachabilityGraph, Transition};
+use pp_protocols::counting_entries;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn assert_same_graph<P: Clone + Ord + std::fmt::Debug>(
+    net: &PetriNet<P>,
+    initial: Multiset<P>,
+    limits: &ExplorationLimits,
+) {
+    let dense = ReachabilityGraph::build(net, [initial.clone()], limits);
+    let (sparse_nodes, sparse_complete) =
+        sparse_reference_exploration(net, [initial.clone()], limits);
+    let dense_nodes: BTreeSet<Multiset<P>> = dense.ids().map(|id| dense.node(id).clone()).collect();
+    assert_eq!(
+        dense_nodes, sparse_nodes,
+        "node sets differ from {initial:?}"
+    );
+    assert_eq!(
+        dense.is_complete(),
+        sparse_complete,
+        "completeness differs from {initial:?}"
+    );
+    // Every reached node is findable by its sparse view, and vice versa.
+    for id in dense.ids() {
+        assert_eq!(dense.id_of(dense.node(id)), Some(id));
+    }
+}
+
+#[test]
+fn catalog_protocols_explore_identically() {
+    let limits = ExplorationLimits::default();
+    for n in 1u64..=3 {
+        for entry in counting_entries(n) {
+            if entry.protocol.initial_states().len() != 1 {
+                continue;
+            }
+            for input in 0..=n + 2 {
+                let initial = entry.protocol.initial_config_with_count(input);
+                assert_same_graph(entry.protocol.net(), initial, &limits);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_catalog_explorations_match_node_for_node() {
+    // Both paths follow the same BFS order, so even a budget-truncated
+    // exploration must agree exactly.
+    for budget in [1usize, 5, 17] {
+        let limits = ExplorationLimits::with_max_configurations(budget);
+        for entry in counting_entries(2) {
+            if entry.protocol.initial_states().len() != 1 {
+                continue;
+            }
+            let initial = entry.protocol.initial_config_with_count(4);
+            assert_same_graph(entry.protocol.net(), initial, &limits);
+        }
+    }
+}
+
+/// A random small net over places `0..places` plus a random initial
+/// configuration over the same places.
+fn arb_net_and_initial() -> impl Strategy<Value = (PetriNet<u8>, Multiset<u8>)> {
+    (2u8..5).prop_flat_map(|places| {
+        let transition = (
+            proptest::collection::btree_map(0..places, 1u64..3, 1..3),
+            proptest::collection::btree_map(0..places, 1u64..3, 0..3),
+        );
+        (
+            proptest::collection::vec(transition, 1..5),
+            proptest::collection::btree_map(0..places, 1u64..4, 1..4),
+        )
+            .prop_map(|(transitions, initial)| {
+                let net = PetriNet::from_transitions(transitions.into_iter().map(|(pre, post)| {
+                    Transition::new(Multiset::from_pairs(pre), Multiset::from_pairs(post))
+                }));
+                (net, Multiset::from_pairs(initial))
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_nets_explore_identically((net, initial) in arb_net_and_initial()) {
+        // Creation transitions can make the graph unbounded: truncate hard
+        // and rely on identical BFS order for truncated equality too.
+        let limits = ExplorationLimits {
+            max_configurations: 400,
+            max_agents: Some(24),
+            max_depth: None,
+        };
+        let dense = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+        let (sparse_nodes, sparse_complete) =
+            sparse_reference_exploration(&net, [initial.clone()], &limits);
+        let dense_nodes: std::collections::BTreeSet<_> =
+            dense.ids().map(|id| dense.node(id).clone()).collect();
+        prop_assert_eq!(dense_nodes, sparse_nodes);
+        prop_assert_eq!(dense.is_complete(), sparse_complete);
+    }
+
+    #[test]
+    fn random_net_coverability_agrees_with_forward_search(
+        (net, initial) in arb_net_and_initial(),
+        target_place in 0u8..5,
+        target_count in 1u64..3,
+    ) {
+        // The backward oracle (dense fixpoint) against the dense forward
+        // BFS; bounded nets only, so the forward search is exact.
+        if !net.is_conservative() {
+            return Ok(());
+        }
+        let target = Multiset::from_pairs([(target_place, target_count)]);
+        let backward = is_coverable(&net, &initial, &target);
+        let forward =
+            shortest_covering_word(&net, &initial, &target, &ExplorationLimits::default())
+                .is_some();
+        prop_assert_eq!(backward, forward);
+    }
+}

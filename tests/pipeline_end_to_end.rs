@@ -41,12 +41,20 @@ fn pipeline_objects_satisfy_their_lemmas() {
             report.control_edges,
             report.total_cycle_length,
         ) {
-            assert!(len <= states * edges, "{}: Lemma 7.2 violated", protocol.name());
+            assert!(
+                len <= states * edges,
+                "{}: Lemma 7.2 violated",
+                protocol.name()
+            );
         }
 
         // Lemma 7.3: the shrunk multicycle (when exercised) preserves signs.
         if let Some(shrunk) = &report.shrunk {
-            assert!(shrunk.signs_preserved(4), "{}: Lemma 7.3 violated", protocol.name());
+            assert!(
+                shrunk.signs_preserved(4),
+                "{}: Lemma 7.3 violated",
+                protocol.name()
+            );
         }
     }
 }
@@ -57,9 +65,7 @@ fn pipeline_bounds_are_the_section_8_bounds() {
     let report = analyze_protocol(&protocol, &ExplorationLimits::default());
     let constants = Section8Constants::for_protocol(&protocol);
     assert_eq!(
-        report
-            .theorem_4_3_bound
-            .approx_cmp(&constants.final_bound),
+        report.theorem_4_3_bound.approx_cmp(&constants.final_bound),
         std::cmp::Ordering::Equal
     );
     assert_eq!(report.constants.d, constants.d);
@@ -80,7 +86,10 @@ fn modulo_pipeline_exercises_every_section_7_object() {
     let limits = ExplorationLimits::with_max_configurations(800);
     let report = analyze_protocol(&protocol, &limits);
     let witness = report.witness.expect("witness");
-    assert!(!witness.pumped_places.is_empty(), "leader walk must pump done-agents");
+    assert!(
+        !witness.pumped_places.is_empty(),
+        "leader walk must pump done-agents"
+    );
     assert!(report.control_states.unwrap() >= 3);
     assert_eq!(report.strongly_connected, Some(true));
     assert!(report.total_cycle_length.unwrap() > 0);

@@ -1,0 +1,576 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range and
+//! collection strategies with `prop_map`/`prop_flat_map` combinators,
+//! `ProptestConfig::with_cases`, and the `prop_assert*!`/`prop_assume!`
+//! macros. Cases are generated from a deterministic SplitMix64 stream (no
+//! shrinking — a failing case reports its generated arguments instead).
+
+use std::fmt::Display;
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) property within a test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the case counts as a test failure.
+    Fail(String),
+    /// A `prop_assume!` rejected the generated inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Records a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Deterministic RNG feeding the strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator from a fixed seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            return 0;
+        }
+        if bound <= u128::from(u64::MAX) {
+            (u128::from(self.next_u64()) * bound) >> 64
+        } else {
+            let raw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            raw % bound
+        }
+    }
+}
+
+/// A value generator: anything usable on the right of `arg in strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = rng.below(span);
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = rng.below(span);
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! impl_range_from_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_from_strategies!(u8, u16, u32, u64, usize);
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy produced by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy producing arbitrary values of `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range uniform strategy backing [`Arbitrary`] integers.
+pub struct AnyInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $draw:expr),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            #[allow(clippy::redundant_closure_call)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                ($draw)(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 => |rng: &mut TestRng| rng.next_u64() as u8,
+    u16 => |rng: &mut TestRng| rng.next_u64() as u16,
+    u32 => |rng: &mut TestRng| rng.next_u64() as u32,
+    u64 => |rng: &mut TestRng| rng.next_u64(),
+    usize => |rng: &mut TestRng| rng.next_u64() as usize,
+    u128 => |rng: &mut TestRng| (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()),
+    i64 => |rng: &mut TestRng| rng.next_u64() as i64,
+    bool => |rng: &mut TestRng| rng.next_u64() & 1 == 1
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies: vectors, maps and sets of generated elements.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Number of elements to generate: a fixed count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.min + 1 >= self.max_exclusive {
+                return self.min;
+            }
+            self.min + rng.below((self.max_exclusive - self.min) as u128) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for B-tree maps with keys and values from the given
+    /// strategies (duplicate keys collapse, as in real proptest).
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.keys.sample(rng), self.values.sample(rng)))
+                .collect()
+        }
+    }
+
+    /// Strategy for B-tree sets of elements from `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The standard import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Declares property tests: `#[test]` functions whose arguments are drawn
+/// from strategies for a configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(#[test] fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Vary the stream per test so cases differ across tests.
+                let mut rng = $crate::TestRng::new(
+                    0x5EED_0000_0000_0000
+                        ^ stringify!($name)
+                            .bytes()
+                            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b))),
+                );
+                for case in 0..config.cases {
+                    let mut described = String::new();
+                    $(
+                        let __sampled = $crate::Strategy::sample(&($strategy), &mut rng);
+                        described.push_str(&format!("{} = {:?}; ", stringify!($arg), &__sampled));
+                        let $arg = __sampled;
+                    )*
+                    let _ = &mut described;
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(())
+                        | ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err(error) => panic!(
+                            "property '{}' failed at case {} with arguments {}:\n{}",
+                            stringify!($name),
+                            case,
+                            described,
+                            error
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pairs() -> impl Strategy<Value = Vec<(u8, u64)>> {
+        crate::collection::vec((0u8..4, 1u64..9), 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..9, y in 0.5f64..2.5, z in -3i64..=3) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            prop_assert!((-3..=3).contains(&z));
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in arb_pairs(), m in crate::collection::btree_map(0u8..6, 0u64..50, 0..6)) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(m.len() < 6);
+            prop_assert!(m.keys().all(|&k| k < 6));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(total in (1usize..=2, 2usize..=4).prop_flat_map(|(a, b)| {
+            crate::collection::vec(0u64..10, a * b).prop_map(|v| v.len())
+        })) {
+            prop_assert!((2..=8).contains(&total));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    #[allow(unnameable_test_items)] // the nested #[test] is invoked directly
+    fn failing_property_panics() {
+        proptest! {
+            #[test]
+            fn inner(_x in 0u64..2) {
+                prop_assert!(false);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the slice of rayon this workspace uses: `into_par_iter()` on
+//! vectors followed by `.map(f).collect()`, executed on scoped OS threads
+//! with a shared work queue. Results keep the input order, mirroring
+//! rayon's indexed parallel iterators. The worker count follows
+//! `std::thread::available_parallelism`, capped by the number of items.
+
+use std::sync::Mutex;
+
+/// The usual import surface: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+/// Conversion into a parallel iterator (vector form only).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel (executed at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map on scoped threads and collects the ordered results.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+        let queue: Mutex<Vec<(usize, T)>> =
+            Mutex::new(self.items.into_iter().enumerate().rev().collect());
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = queue.lock().expect("rayon stub queue poisoned").pop();
+                    match next {
+                        Some((index, item)) => {
+                            let result = f(item);
+                            results.lock().expect("rayon stub results poisoned")[index] =
+                                Some(result);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("rayon stub results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every queued item produces a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..200).collect();
+        let output: Vec<u64> = input.clone().into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(output, input.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let output: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn closures_may_capture_shared_state() {
+        let offset = 10u64;
+        let output: Vec<u64> = vec![1u64, 2, 3]
+            .into_par_iter()
+            .map(|x| x + offset)
+            .collect();
+        assert_eq!(output, vec![11, 12, 13]);
+    }
+}
