@@ -1,4 +1,4 @@
-//! Hash-interned arena of dense configurations.
+//! Hash-interned arenas of dense configurations.
 //!
 //! Every state-space analysis of the suite (forward exploration, backward
 //! coverability, Karp–Miller, the stable-computation verifier) repeatedly
@@ -10,9 +10,20 @@
 //! Fx-hash probe plus a slice comparison. Configurations are identified by
 //! compact [`ConfigId`]s (`u32`), so graph edges cost eight bytes instead
 //! of two tree pointers.
+//!
+//! The [`ShardedArena`] is the concurrent variant used by the parallel
+//! exploration engine: rows are partitioned by the top bits of their hash
+//! into independent shards, each a [`ConfigArena`] behind its own lock, so
+//! worker threads interning different rows rarely contend. Sharded ids
+//! ([`ShardedConfigId`]) are scratch identifiers local to one build; the
+//! deterministic post-pass of [`ReachabilityGraph::build_with`] renumbers
+//! them into dense BFS-ordered [`ConfigId`]s.
+//!
+//! [`ReachabilityGraph::build_with`]: crate::ReachabilityGraph::build_with
 
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// Identifier of an interned configuration within one [`ConfigArena`].
 ///
@@ -54,6 +65,9 @@ pub struct ConfigArena {
     width: usize,
     data: Vec<u64>,
     totals: Vec<u64>,
+    /// Cached row hashes, parallel to `totals`: the sharded parallel engine
+    /// re-interns rows across arenas and must not pay for re-hashing.
+    hashes: Vec<u64>,
     index: FxHashMap<u64, Vec<u32>>,
 }
 
@@ -65,6 +79,7 @@ impl ConfigArena {
             width,
             data: Vec::new(),
             totals: Vec::new(),
+            hashes: Vec::new(),
             index: FxHashMap::default(),
         }
     }
@@ -115,8 +130,16 @@ impl ConfigArena {
     /// Panics if `row` has the wrong width or the arena is full
     /// (`u32::MAX` configurations).
     pub fn intern(&mut self, row: &[u64]) -> ConfigId {
-        assert_eq!(row.len(), self.width, "row width mismatch");
         let hash = hash_row(row);
+        self.intern_prehashed(hash, row)
+    }
+
+    /// [`intern`](Self::intern) with the row hash already computed, so
+    /// callers moving rows between arenas (the sharded parallel engine)
+    /// hash each row once.
+    pub(crate) fn intern_prehashed(&mut self, hash: u64, row: &[u64]) -> ConfigId {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        debug_assert_eq!(hash, hash_row(row), "stale row hash");
         if let Some(candidates) = self.index.get(&hash) {
             for &id in candidates {
                 if self.row(ConfigId(id)) == row {
@@ -127,8 +150,19 @@ impl ConfigArena {
         let id = u32::try_from(self.len()).expect("arena full: more than u32::MAX configurations");
         self.data.extend_from_slice(row);
         self.totals.push(row.iter().sum());
+        self.hashes.push(hash);
         self.index.entry(hash).or_default().push(id);
         ConfigId(id)
+    }
+
+    /// The cached hash of configuration `id`'s row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arena.
+    #[must_use]
+    pub(crate) fn row_hash(&self, id: ConfigId) -> u64 {
+        self.hashes[id.index()]
     }
 
     /// The id of `row` if it is already interned.
@@ -137,12 +171,26 @@ impl ConfigArena {
         if row.len() != self.width {
             return None;
         }
-        let candidates = self.index.get(&hash_row(row))?;
+        self.lookup_prehashed(hash_row(row), row)
+    }
+
+    /// [`lookup`](Self::lookup) with the row hash already computed.
+    pub(crate) fn lookup_prehashed(&self, hash: u64, row: &[u64]) -> Option<ConfigId> {
+        let candidates = self.index.get(&hash)?;
         candidates
             .iter()
             .copied()
             .map(ConfigId)
             .find(|&id| self.row(id) == row)
+    }
+
+    /// Removes every interned row, keeping the allocated capacity — the
+    /// parallel engine recycles per-level scratch arenas this way.
+    pub(crate) fn clear(&mut self) {
+        self.data.clear();
+        self.totals.clear();
+        self.hashes.clear();
+        self.index.clear();
     }
 
     /// Iterates over all interned rows in id order.
@@ -151,10 +199,193 @@ impl ConfigArena {
     }
 }
 
-fn hash_row(row: &[u64]) -> u64 {
+pub(crate) fn hash_row(row: &[u64]) -> u64 {
     let mut hasher = rustc_hash::FxHasher::default();
     row.hash(&mut hasher);
     hasher.finish()
+}
+
+/// Acquires `mutex` by spinning on `try_lock` instead of parking.
+///
+/// The critical sections guarded this way (a shard probe, a result push)
+/// run for nanoseconds, while losing a `Mutex::lock` race parks the thread
+/// through a futex syscall — tens of microseconds under the
+/// syscall-intercepting sandboxes this suite's CI runs in, five orders of
+/// magnitude more than the wait being avoided. Spinning keeps the
+/// contention cost proportional to the critical section.
+///
+/// # Panics
+///
+/// Panics if the lock is poisoned.
+pub(crate) fn spin_lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    loop {
+        match mutex.try_lock() {
+            Ok(guard) => return guard,
+            Err(std::sync::TryLockError::WouldBlock) => std::hint::spin_loop(),
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("sharded arena lock poisoned"),
+        }
+    }
+}
+
+/// Identifier of a configuration interned in a [`ShardedArena`]: the shard
+/// that owns the row plus the row's index within that shard.
+///
+/// Sharded ids are *scratch* identifiers: they depend on the shard count
+/// and are only meaningful relative to the arena that produced them. The
+/// parallel exploration engine maps them to dense BFS-ordered
+/// [`ConfigId`]s in its deterministic renumbering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardedConfigId {
+    shard: u32,
+    local: u32,
+}
+
+impl ShardedConfigId {
+    /// The owning shard's index.
+    #[must_use]
+    pub fn shard(self) -> usize {
+        self.shard as usize
+    }
+
+    /// The row index within the owning shard.
+    #[must_use]
+    pub fn local(self) -> usize {
+        self.local as usize
+    }
+}
+
+/// A concurrently-usable interning arena, sharded by row hash.
+///
+/// The arena owns a power-of-two number of shards; a row's shard is chosen
+/// from the top bits of its Fx hash (the low bits keep steering the probe
+/// table inside the shard). Each shard is a plain [`ConfigArena`] behind
+/// its own [`Mutex`], so [`intern`](Self::intern) takes `&self` and can be
+/// called from many worker threads at once — the design point of the
+/// parallel exploration engine, where each BFS level's successor rows are
+/// interned concurrently and renumbered deterministically afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use pp_petri::arena::ShardedArena;
+///
+/// let arena = ShardedArena::new(2, 8);
+/// let a = arena.intern(&[1, 2]);
+/// assert_eq!(arena.intern(&[1, 2]), a); // deduplicated across calls
+/// assert_ne!(arena.intern(&[2, 1]), a);
+/// assert_eq!(arena.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedArena {
+    width: usize,
+    shard_bits: u32,
+    shards: Vec<Mutex<ConfigArena>>,
+}
+
+impl ShardedArena {
+    /// An empty sharded arena for rows of `width` counters with at least
+    /// `shards` shards (rounded up to a power of two, clamped to 1..=1024).
+    #[must_use]
+    pub fn new(width: usize, shards: usize) -> Self {
+        let count = shards.clamp(1, 1024).next_power_of_two();
+        ShardedArena {
+            width,
+            shard_bits: count.trailing_zeros(),
+            shards: (0..count)
+                .map(|_| Mutex::new(ConfigArena::new(width)))
+                .collect(),
+        }
+    }
+
+    /// The common row width (number of places).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, hash: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (hash >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Interns `row`, returning the id of the unique stored copy.
+    ///
+    /// Safe to call concurrently: only the owning shard is locked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong width or the owning shard is full.
+    pub fn intern(&self, row: &[u64]) -> ShardedConfigId {
+        self.intern_hashed(hash_row(row), row)
+    }
+
+    /// [`intern`](Self::intern) with the row hash already computed.
+    pub(crate) fn intern_hashed(&self, hash: u64, row: &[u64]) -> ShardedConfigId {
+        let shard = self.shard_of(hash);
+        let local = spin_lock(&self.shards[shard]).intern_prehashed(hash, row);
+        ShardedConfigId {
+            shard: u32::try_from(shard).expect("shard count fits u32"),
+            local: local.0,
+        }
+    }
+
+    /// Removes every interned row, keeping shard capacity. Takes `&self`
+    /// (shards have interior mutability); callers are responsible for not
+    /// racing this with concurrent interns — the parallel engine only
+    /// clears between levels, while its workers are parked.
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            spin_lock(shard).clear();
+        }
+    }
+
+    /// The id of `row` if it is already interned.
+    #[must_use]
+    pub fn lookup(&self, row: &[u64]) -> Option<ShardedConfigId> {
+        if row.len() != self.width {
+            return None;
+        }
+        let hash = hash_row(row);
+        let shard = self.shard_of(hash);
+        let local = spin_lock(&self.shards[shard]).lookup(row)?;
+        Some(ShardedConfigId {
+            shard: u32::try_from(shard).expect("shard count fits u32"),
+            local: local.0,
+        })
+    }
+
+    /// Total number of distinct interned configurations (locks every shard).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| spin_lock(s).len()).sum()
+    }
+
+    /// Returns `true` if no configuration has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls `f` with the cached hash and row of configuration `id`,
+    /// holding the owning shard's lock for the duration of the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this arena.
+    pub fn with_row<R>(&self, id: ShardedConfigId, f: impl FnOnce(u64, &[u64]) -> R) -> R {
+        let shard = spin_lock(&self.shards[id.shard()]);
+        let local = ConfigId(id.local);
+        f(shard.row_hash(local), shard.row(local))
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +453,62 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             let i = i as u64;
             assert_eq!(arena.row(id), &[i % 7, i % 5, i % 3, i]);
+        }
+    }
+
+    #[test]
+    fn sharded_arena_deduplicates_and_exposes_rows() {
+        let arena = ShardedArena::new(3, 4);
+        assert_eq!(arena.num_shards(), 4);
+        assert_eq!(arena.width(), 3);
+        assert!(arena.is_empty());
+        assert_eq!(arena.lookup(&[1, 2, 3]), None);
+        let a = arena.intern(&[1, 2, 3]);
+        let b = arena.intern(&[3, 2, 1]);
+        assert_eq!(arena.intern(&[1, 2, 3]), a);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.lookup(&[1, 2, 3]), Some(a));
+        assert_eq!(arena.lookup(&[9, 9, 9]), None);
+        assert_eq!(arena.lookup(&[1, 2]), None);
+        arena.with_row(a, |hash, row| {
+            assert_eq!(row, &[1, 2, 3]);
+            assert_eq!(hash, hash_row(&[1, 2, 3]));
+        });
+    }
+
+    #[test]
+    fn sharded_arena_shard_count_is_clamped_to_powers_of_two() {
+        assert_eq!(ShardedArena::new(1, 0).num_shards(), 1);
+        assert_eq!(ShardedArena::new(1, 3).num_shards(), 4);
+        assert_eq!(ShardedArena::new(1, 64).num_shards(), 64);
+        assert_eq!(ShardedArena::new(1, 100_000).num_shards(), 1024);
+    }
+
+    #[test]
+    fn sharded_arena_concurrent_interning_deduplicates() {
+        let arena = ShardedArena::new(2, 16);
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let arena = &arena;
+                scope.spawn(move || {
+                    // All workers intern the same 100 distinct rows, starting
+                    // at different offsets so the interleavings differ.
+                    for i in 0..500u64 {
+                        let i = i + worker * 31;
+                        let row = [(i / 10) % 10, i % 10];
+                        arena.intern(&row);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.len(), 100);
+        // Every row is found again, and ids round-trip through with_row.
+        for a in 0..10u64 {
+            for b in 0..10u64 {
+                let id = arena.lookup(&[a, b]).expect("row was interned");
+                arena.with_row(id, |_, row| assert_eq!(row, &[a, b]));
+            }
         }
     }
 }

@@ -9,19 +9,62 @@
 //!   upward-closed sets. It is exact, requires no budget (termination follows
 //!   from Dickson's lemma) and is the workhorse of the
 //!   [`stabilized`](crate::stabilized) module.
-//! * [`shortest_covering_word`] — a forward breadth-first search that returns
-//!   an explicit *shortest* covering word, used by experiment E5 to compare
-//!   actual covering-word lengths against Rackoff's bound (Lemma 5.3).
+//! * [`covering_word`] / [`shortest_covering_word`] — a budgeted forward
+//!   breadth-first search that returns an explicit *shortest* covering word,
+//!   used by experiment E5 to compare actual covering-word lengths against
+//!   Rackoff's bound (Lemma 5.3). The [`CoveringWordOutcome`] distinguishes
+//!   an exhaustive negative answer from a truncated search, so the BFS
+//!   terminates meaningfully on uncoverable targets of unbounded nets.
+//!
+//! Both [`CoverabilityOracle::build_with`] and the exploration underlying
+//! the oracles accept a [`Parallelism`] knob; results are identical across
+//! modes.
 
 use crate::arena::ConfigArena;
 use crate::engine::CompiledNet;
+use crate::parallel::Parallelism;
 use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
 use pp_multiset::Multiset;
+use rayon::prelude::*;
 use std::collections::VecDeque;
 
 /// Component-wise `a ≤ b` on dense rows of equal width.
 fn row_le(a: &[u64], b: &[u64]) -> bool {
     a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// The backward-cover images of `rows` under every transition, in
+/// (row-major, transition-minor) order — the deterministic candidate order
+/// of one saturation round of [`CoverabilityOracle::build_with`]. Takes the
+/// compiled transitions rather than the whole engine so worker threads
+/// need no bounds on the place type.
+fn backward_images(
+    transitions: &[crate::engine::CompiledTransition],
+    rows: &[Vec<u64>],
+) -> Vec<Vec<u64>> {
+    let mut out = Vec::with_capacity(rows.len() * transitions.len());
+    let mut predecessor = Vec::new();
+    for row in rows {
+        for t in transitions {
+            t.backward_cover_row(row, &mut predecessor);
+            out.push(predecessor.clone());
+        }
+    }
+    out
+}
+
+/// Merges one backward-cover candidate into the basis under the
+/// minimality filter, recording kept candidates in `next` (the following
+/// round's frontier). One call per candidate, in the canonical
+/// (row-major, transition-minor) order, is what makes the saturation
+/// deterministic across build modes.
+fn merge_candidate(dense_basis: &mut Vec<Vec<u64>>, next: &mut Vec<Vec<u64>>, candidate: &[u64]) {
+    if dense_basis.iter().any(|b| row_le(b, candidate)) {
+        return;
+    }
+    dense_basis.retain(|b| !row_le(candidate, b));
+    dense_basis.push(candidate.to_vec());
+    next.push(candidate.to_vec());
 }
 
 /// Exact coverability decisions via the backward algorithm.
@@ -53,14 +96,37 @@ pub struct CoverabilityOracle<P: Ord> {
 }
 
 impl<P: Clone + Ord> CoverabilityOracle<P> {
+    /// Runs the backward coverability algorithm for `target` over `net` on
+    /// the single-threaded engine.
+    ///
+    /// Equivalent to [`build_with`](Self::build_with) with
+    /// [`Parallelism::Sequential`].
+    #[must_use]
+    pub fn build(net: &PetriNet<P>, target: Multiset<P>) -> Self {
+        Self::build_with(net, target, Parallelism::Sequential)
+    }
+
     /// Runs the backward coverability algorithm for `target` over `net`.
     ///
     /// The fixpoint runs on the dense engine: the net is compiled once and
-    /// the basis is grown as dense rows with slice arithmetic. The
-    /// returned oracle's [`basis`](Self::basis) is the set of minimal
+    /// the basis is grown as dense rows with slice arithmetic, saturating
+    /// round by round (every basis row discovered in round `k` has its
+    /// backward images considered in round `k + 1`). With
+    /// [`Parallelism::Parallel`] the candidate generation of each round —
+    /// the embarrassingly-parallel part — fans out over worker threads; the
+    /// minimality merge stays sequential and in a fixed order, so the basis
+    /// is identical across modes and worker counts (it is the unique
+    /// minimal basis of the backward-reachable upward-closed set, stored in
+    /// lexicographic row order).
+    ///
+    /// The returned oracle's [`basis`](Self::basis) is the set of minimal
     /// configurations from which `target` is coverable.
     #[must_use]
-    pub fn build(net: &PetriNet<P>, target: Multiset<P>) -> Self {
+    pub fn build_with(net: &PetriNet<P>, target: Multiset<P>, parallelism: Parallelism) -> Self {
+        /// Fan out candidate generation once the round holds this many
+        /// (row × transition) pairs; below it, thread spawns would dominate.
+        const PARALLEL_CANDIDATE_THRESHOLD: usize = 256;
+
         let engine = CompiledNet::compile_with_places(net, target.support().cloned());
         let dense_target = engine
             .to_dense(&target)
@@ -68,19 +134,37 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
         // Minimal basis of the upward closure, grown backwards to fixpoint.
         let mut dense_basis: Vec<Vec<u64>> = vec![dense_target.clone()];
         let mut frontier: Vec<Vec<u64>> = vec![dense_target];
-        let mut predecessor = Vec::new();
-        while let Some(current) = frontier.pop() {
-            for t in engine.transitions() {
-                t.backward_cover_row(&current, &mut predecessor);
-                // Keep only minimal elements.
-                if dense_basis.iter().any(|b| row_le(b, &predecessor)) {
-                    continue;
+        let workers = parallelism.workers();
+        let transitions = engine.transitions();
+        while !frontier.is_empty() {
+            let pairs = frontier.len() * transitions.len();
+            let mut next: Vec<Vec<u64>> = Vec::new();
+            if workers > 1 && pairs >= PARALLEL_CANDIDATE_THRESHOLD {
+                let candidates: Vec<Vec<u64>> = frontier
+                    .par_chunks(frontier.len().div_ceil(workers))
+                    .map(|rows| backward_images(transitions, rows))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                for candidate in &candidates {
+                    merge_candidate(&mut dense_basis, &mut next, candidate);
                 }
-                dense_basis.retain(|b| !row_le(&predecessor, b));
-                dense_basis.push(predecessor.clone());
-                frontier.push(predecessor.clone());
+            } else {
+                // Sequential path: one reused buffer, no per-candidate
+                // allocation for the (many) immediately-dominated images.
+                let mut predecessor = Vec::new();
+                for row in &frontier {
+                    for t in transitions {
+                        t.backward_cover_row(row, &mut predecessor);
+                        merge_candidate(&mut dense_basis, &mut next, &predecessor);
+                    }
+                }
             }
+            frontier = next;
         }
+        // Canonical order: makes the basis comparable across build modes.
+        dense_basis.sort_unstable();
         let basis = dense_basis
             .iter()
             .map(|row| engine.to_sparse(row))
@@ -129,6 +213,35 @@ pub fn is_coverable<P: Clone + Ord>(
     CoverabilityOracle::build(net, target.clone()).is_coverable_from(from)
 }
 
+/// The result of a budgeted forward covering-word search.
+///
+/// The forward BFS of [`covering_word`] must not loop forever on
+/// *uncoverable* targets of unbounded nets, so the exploration budget is
+/// threaded through it — and the outcome says explicitly whether the
+/// negative answer is exact or an artifact of truncation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoveringWordOutcome {
+    /// A shortest covering word (empty when `from` already covers the
+    /// target).
+    Covered(Vec<usize>),
+    /// The search exhausted the full reachable space without covering the
+    /// target: the target is definitely not coverable from `from`.
+    NotCoverable,
+    /// The search hit an exploration limit before settling the question.
+    Truncated,
+}
+
+impl CoveringWordOutcome {
+    /// The covering word, if one was found.
+    #[must_use]
+    pub fn into_word(self) -> Option<Vec<usize>> {
+        match self {
+            CoveringWordOutcome::Covered(word) => Some(word),
+            _ => None,
+        }
+    }
+}
+
 /// A shortest covering word, found by forward breadth-first search.
 ///
 /// Returns the word `σ` (as transition indices) of minimal length such that
@@ -136,9 +249,8 @@ pub fn is_coverable<P: Clone + Ord>(
 /// `limits`. Lemma 5.3 (Rackoff) bounds the length of the returned word by
 /// `(‖target‖∞ + ‖T‖∞)^(|P|^|P|)`; experiment E5 compares the two.
 ///
-/// Exploration prunes configurations already dominated by a visited one only
-/// in the exact sense (identical configurations); for the small nets of the
-/// experiments this is sufficient.
+/// This convenience wrapper conflates "not coverable" with "search
+/// truncated"; use [`covering_word`] when the distinction matters.
 #[must_use]
 pub fn shortest_covering_word<P: Clone + Ord>(
     net: &PetriNet<P>,
@@ -146,8 +258,32 @@ pub fn shortest_covering_word<P: Clone + Ord>(
     target: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> Option<Vec<usize>> {
+    covering_word(net, from, target, limits).into_word()
+}
+
+/// A shortest covering word with an explicit outcome, found by forward
+/// breadth-first search.
+///
+/// The search is budgeted by `limits` at every step — configurations are
+/// only interned while the budget allows, so the BFS terminates on
+/// uncoverable targets of unbounded nets instead of expanding forever —
+/// and the outcome distinguishes an exhaustive negative
+/// ([`CoveringWordOutcome::NotCoverable`]) from a truncated one
+/// ([`CoveringWordOutcome::Truncated`]). An initial configuration that
+/// already covers the target yields the empty word.
+///
+/// Exploration prunes configurations already dominated by a visited one only
+/// in the exact sense (identical configurations); for the small nets of the
+/// experiments this is sufficient.
+#[must_use]
+pub fn covering_word<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    from: &Multiset<P>,
+    target: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> CoveringWordOutcome {
     if target.le(from) {
-        return Some(Vec::new());
+        return CoveringWordOutcome::Covered(Vec::new());
     }
     let engine =
         CompiledNet::compile_with_places(net, from.support().chain(target.support()).cloned());
@@ -174,20 +310,20 @@ pub fn shortest_covering_word<P: Clone + Ord>(
 
     let root = arena.intern(&dense_from);
     parents.push((0, usize::MAX));
+    let mut truncated = false;
     let mut queue: VecDeque<(usize, usize)> = VecDeque::from([(root.index(), 0)]);
     let mut src = Vec::new();
     let mut succ = Vec::new();
     while let Some((id, depth)) = queue.pop_front() {
-        if arena.len() > limits.max_configurations {
-            return None;
-        }
         if let Some(max_depth) = limits.max_depth {
             if depth >= max_depth {
+                truncated = true;
                 continue;
             }
         }
         if let Some(max_agents) = limits.max_agents {
             if arena.total(crate::arena::ConfigId(id as u32)) > max_agents {
+                truncated = true;
                 continue;
             }
         }
@@ -197,18 +333,34 @@ pub fn shortest_covering_word<P: Clone + Ord>(
             if !transition.fire_row(&src, &mut succ) {
                 continue;
             }
+            // Cover check first: it needs no interning, so a cover found
+            // at the exact budget boundary is still reported. (A covering
+            // successor can never be a dedup hit — interned configurations
+            // were all checked when first produced.)
+            if row_le(&dense_target, &succ) {
+                let mut word = reconstruct(&parents, id);
+                word.push(t);
+                return CoveringWordOutcome::Covered(word);
+            }
             if arena.lookup(&succ).is_some() {
                 continue;
             }
+            if arena.len() >= limits.max_configurations {
+                // Every already-interned configuration was cover-checked
+                // above when first produced, so once the budget blocks new
+                // interns no cover can ever be found: stop immediately.
+                return CoveringWordOutcome::Truncated;
+            }
             let succ_id = arena.intern(&succ).index();
             parents.push((id, t));
-            if row_le(&dense_target, &succ) {
-                return Some(reconstruct(&parents, succ_id));
-            }
             queue.push_back((succ_id, depth + 1));
         }
     }
-    None
+    if truncated {
+        CoveringWordOutcome::Truncated
+    } else {
+        CoveringWordOutcome::NotCoverable
+    }
 }
 
 /// Covering words found by searching the pre-built reachability graph.
@@ -329,6 +481,104 @@ mod tests {
             &Default::default(),
         );
         assert_eq!(none, None);
+    }
+
+    #[test]
+    fn covered_initial_configuration_yields_empty_word_even_with_transitions() {
+        // Regression: the trivial-cover fast path must fire before any
+        // exploration, even on nets that could loop, and even when the
+        // initial configuration strictly exceeds the target.
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 1), ("b", 1)]),
+        )]);
+        let outcome = covering_word(
+            &net,
+            &ms(&[("a", 2), ("b", 1)]),
+            &ms(&[("a", 1)]),
+            &ExplorationLimits::with_max_configurations(1),
+        );
+        assert_eq!(outcome, CoveringWordOutcome::Covered(Vec::new()));
+        assert_eq!(outcome.clone().into_word(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn cover_found_at_the_budget_boundary_is_still_reported() {
+        // One config (the root) exhausts the budget; the very next fired
+        // successor covers the target. The cover check needs no interning,
+        // so the word must be found, not reported as truncated.
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("b", 1)]))]);
+        let outcome = covering_word(
+            &net,
+            &ms(&[("a", 1)]),
+            &ms(&[("b", 1)]),
+            &ExplorationLimits::with_max_configurations(1),
+        );
+        assert_eq!(outcome, CoveringWordOutcome::Covered(vec![0]));
+    }
+
+    #[test]
+    fn exhausted_search_reports_not_coverable() {
+        // Bounded net, uncoverable target: the BFS drains and the negative
+        // answer is exact.
+        let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
+        let outcome = covering_word(
+            &net,
+            &ms(&[("a", 2)]),
+            &ms(&[("b", 2)]),
+            &ExplorationLimits::default(),
+        );
+        assert_eq!(outcome, CoveringWordOutcome::NotCoverable);
+        assert_eq!(outcome.into_word(), None);
+    }
+
+    #[test]
+    fn uncoverable_target_of_unbounded_net_terminates_as_truncated() {
+        // a -> a + b grows without bound and c is never produced: the
+        // budgeted BFS must stop at the configuration budget and say that
+        // the negative answer is truncated, not exact.
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("a", 1)]),
+            ms(&[("a", 1), ("b", 1)]),
+        )]);
+        let outcome = covering_word(
+            &net,
+            &ms(&[("a", 1)]),
+            &ms(&[("c", 1)]),
+            &ExplorationLimits::with_max_configurations(50),
+        );
+        assert_eq!(outcome, CoveringWordOutcome::Truncated);
+        // The agent budget is threaded through as well.
+        let outcome = covering_word(
+            &net,
+            &ms(&[("a", 1)]),
+            &ms(&[("c", 1)]),
+            &ExplorationLimits::with_max_agents(5),
+        );
+        assert_eq!(outcome, CoveringWordOutcome::Truncated);
+        // And the depth budget.
+        let limits = ExplorationLimits {
+            max_depth: Some(3),
+            ..Default::default()
+        };
+        let outcome = covering_word(&net, &ms(&[("a", 1)]), &ms(&[("c", 1)]), &limits);
+        assert_eq!(outcome, CoveringWordOutcome::Truncated);
+    }
+
+    #[test]
+    fn parallel_oracle_builds_the_same_basis() {
+        use crate::parallel::Parallelism;
+        let net = example_4_2_net();
+        for target in [ms(&[("p", 1)]), ms(&[("p", 2), ("q", 1)]), ms(&[("z", 1)])] {
+            let sequential = CoverabilityOracle::build(&net, target.clone());
+            let parallel =
+                CoverabilityOracle::build_with(&net, target.clone(), Parallelism::Parallel(3));
+            assert_eq!(
+                sequential.basis(),
+                parallel.basis(),
+                "bases differ for target {target:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! exploration is truncated by [`ExplorationLimits`] and the result records
 //! whether it is complete.
 
-use crate::arena::ConfigArena;
+use crate::arena::{ConfigArena, ConfigId, ShardedArena, ShardedConfigId};
 use crate::engine::CompiledNet;
+use crate::parallel::Parallelism;
 use crate::PetriNet;
 use pp_multiset::Multiset;
 use std::cell::OnceCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 /// Limits for forward exploration.
 ///
@@ -91,7 +94,124 @@ pub struct ReachabilityGraph<P: Ord> {
     complete: bool,
 }
 
+/// Outgoing adjacency lists: per node, `(transition index, successor id)`.
+type EdgeLists = Vec<Vec<(usize, usize)>>;
+
+/// The seed state both build paths start from: the arena and edge lists
+/// holding the interned initial configurations, the initial ids, and
+/// whether the configuration budget was already exceeded.
+type SeedState = (ConfigArena, EdgeLists, Vec<usize>, bool);
+
+/// A successor reference produced by the worker phase of one level.
+#[derive(Debug, Clone, Copy)]
+enum SuccessorRef {
+    /// The successor is already numbered in the (frozen) final arena.
+    Known(u32),
+    /// First seen this level: lives in the scratch sharded arena.
+    Fresh(ShardedConfigId),
+}
+
+/// One expanded chunk of a level's frontier: the flat successor list (in
+/// node-major, transition-minor order) and the per-node successor counts.
+struct ChunkResult {
+    chunk: usize,
+    edges: Vec<(u32, SuccessorRef)>,
+    counts: Vec<u32>,
+}
+
+/// One BFS level's shared work description for the parallel engine.
+///
+/// The main thread publishes a job (frontier rows, width-strided, in
+/// expansion order), all workers claim chunks via `next_chunk` and push
+/// their [`ChunkResult`]s into `results`; the main thread then reassembles
+/// the chunks in order for the deterministic renumbering pass.
+struct LevelJob {
+    rows: Vec<u64>,
+    width: usize,
+    count: usize,
+    chunk_size: usize,
+    next_chunk: AtomicUsize,
+    results: Mutex<Vec<ChunkResult>>,
+}
+
+impl LevelJob {
+    fn empty() -> Self {
+        LevelJob {
+            rows: Vec::new(),
+            width: 0,
+            count: 0,
+            chunk_size: 1,
+            next_chunk: AtomicUsize::new(0),
+            results: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Worker body: claims frontier chunks, fires every transition, and
+/// resolves each successor — against the frozen final arena first (a
+/// lock-free read; backward and lateral edges end here), falling back to
+/// an intern into the sharded scratch arena for rows first seen this
+/// level. Pure fan-out — all ordering decisions happen in the main
+/// thread's renumbering pass. Takes the compiled transitions rather than
+/// the whole engine so worker threads need no bounds on `P`.
+fn expand_level_chunks(
+    job: &LevelJob,
+    transitions: &[crate::engine::CompiledTransition],
+    frozen: &ConfigArena,
+    sharded: &ShardedArena,
+) {
+    let mut succ = Vec::new();
+    loop {
+        let chunk = job.next_chunk.fetch_add(1, Ordering::Relaxed);
+        let start = chunk * job.chunk_size;
+        if start >= job.count {
+            break;
+        }
+        let end = (start + job.chunk_size).min(job.count);
+        let mut edges: Vec<(u32, SuccessorRef)> =
+            Vec::with_capacity((end - start) * transitions.len());
+        let mut counts: Vec<u32> = Vec::with_capacity(end - start);
+        for node in start..end {
+            let src = &job.rows[node * job.width..(node + 1) * job.width];
+            let mut produced = 0u32;
+            for (t, transition) in transitions.iter().enumerate() {
+                if !transition.fire_row(src, &mut succ) {
+                    continue;
+                }
+                let hash = crate::arena::hash_row(&succ);
+                let successor = match frozen.lookup_prehashed(hash, &succ) {
+                    Some(id) => SuccessorRef::Known(id.0),
+                    None => SuccessorRef::Fresh(sharded.intern_hashed(hash, &succ)),
+                };
+                edges.push((t as u32, successor));
+                produced += 1;
+            }
+            counts.push(produced);
+        }
+        crate::arena::spin_lock(&job.results).push(ChunkResult {
+            chunk,
+            edges,
+            counts,
+        });
+    }
+}
+
 impl<P: Clone + Ord> ReachabilityGraph<P> {
+    /// Explores the reachability graph of `net` from `initial` breadth-first
+    /// on the single-threaded engine.
+    ///
+    /// Equivalent to [`build_with`](Self::build_with) with
+    /// [`Parallelism::Sequential`]; callers with large graphs pick the
+    /// sharded multi-threaded engine through that entry point.
+    #[must_use]
+    pub fn build<I: IntoIterator<Item = Multiset<P>>>(
+        net: &PetriNet<P>,
+        initial: I,
+        limits: &ExplorationLimits,
+    ) -> Self {
+        Self::build_with(net, initial, limits, Parallelism::Sequential)
+    }
+
     /// Explores the reachability graph of `net` from `initial` breadth-first.
     ///
     /// The search runs on the dense interned engine
@@ -99,21 +219,76 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// deduplicated by hash interning and successors are produced by slice
     /// arithmetic. The sparse [`Multiset`] views returned by
     /// [`node`](Self::node) are materialized lazily, on first access.
+    ///
+    /// With [`Parallelism::Parallel`], each BFS level is expanded by
+    /// cooperating worker threads over a hash-sharded scratch arena
+    /// ([`ShardedArena`]) and the discoveries are renumbered afterwards in
+    /// the exact order the sequential search would have made them — node
+    /// ids, edges, and the completeness flag are **identical** across all
+    /// modes and worker counts, so parallelism is purely a speed knob.
     #[must_use]
-    pub fn build<I: IntoIterator<Item = Multiset<P>>>(
+    pub fn build_with<I: IntoIterator<Item = Multiset<P>>>(
         net: &PetriNet<P>,
         initial: I,
         limits: &ExplorationLimits,
+        parallelism: Parallelism,
     ) -> Self {
         let initial_configs: Vec<Multiset<P>> = initial.into_iter().collect();
         let engine = CompiledNet::compile_with_places(
             net,
             initial_configs.iter().flat_map(|c| c.support().cloned()),
         );
+        if parallelism.is_parallel() {
+            Self::build_parallel(engine, &initial_configs, limits, parallelism.workers())
+        } else {
+            Self::build_sequential(engine, &initial_configs, limits)
+        }
+    }
+
+    /// Interns the initial configurations, returning the arena, edge lists,
+    /// initial ids, and whether the budget was already exceeded. Both build
+    /// paths start from this state, so their numbering agrees from node 0.
+    fn intern_initial(
+        engine: &CompiledNet<P>,
+        initial_configs: &[Multiset<P>],
+        limits: &ExplorationLimits,
+    ) -> SeedState {
         let mut arena = ConfigArena::new(engine.num_places());
         let mut edges: Vec<Vec<(usize, usize)>> = Vec::new();
         let mut initial_ids: Vec<usize> = Vec::new();
         let mut complete = true;
+        for config in initial_configs {
+            let row = engine
+                .to_dense(config)
+                .expect("initial supports are part of the compiled universe");
+            let id = if let Some(id) = arena.lookup(&row) {
+                Some(id.index())
+            } else if arena.len() >= limits.max_configurations {
+                None
+            } else {
+                let id = arena.intern(&row);
+                edges.push(Vec::new());
+                Some(id.index())
+            };
+            match id {
+                Some(id) => {
+                    if !initial_ids.contains(&id) {
+                        initial_ids.push(id);
+                    }
+                }
+                None => complete = false,
+            }
+        }
+        (arena, edges, initial_ids, complete)
+    }
+
+    fn build_sequential(
+        engine: CompiledNet<P>,
+        initial_configs: &[Multiset<P>],
+        limits: &ExplorationLimits,
+    ) -> Self {
+        let (mut arena, mut edges, initial_ids, mut complete) =
+            Self::intern_initial(&engine, initial_configs, limits);
 
         // Interns a row within the configuration budget; `None` when full.
         fn intern_row(
@@ -133,21 +308,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             Some(id.index())
         }
 
-        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-        for config in &initial_configs {
-            let row = engine
-                .to_dense(config)
-                .expect("initial supports are part of the compiled universe");
-            if let Some(id) = intern_row(&mut arena, &mut edges, &row, limits) {
-                if !initial_ids.contains(&id) {
-                    initial_ids.push(id);
-                    queue.push_back((id, 0));
-                }
-            } else {
-                complete = false;
-            }
-        }
-
+        let mut queue: VecDeque<(usize, usize)> = initial_ids.iter().map(|&id| (id, 0)).collect();
         let mut expanded = vec![false; arena.len()];
         let mut src = Vec::new();
         let mut succ = Vec::new();
@@ -166,13 +327,13 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                 }
             }
             if let Some(max_agents) = limits.max_agents {
-                if arena.total(crate::arena::ConfigId(id as u32)) > max_agents {
+                if arena.total(ConfigId(id as u32)) > max_agents {
                     complete = false;
                     continue;
                 }
             }
             src.clear();
-            src.extend_from_slice(arena.row(crate::arena::ConfigId(id as u32)));
+            src.extend_from_slice(arena.row(ConfigId(id as u32)));
             for (t, transition) in engine.transitions().iter().enumerate() {
                 if !transition.fire_row(&src, &mut succ) {
                     continue;
@@ -194,13 +355,250 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             }
         }
 
+        Self::finish(engine, arena, edges, initial_ids, complete)
+    }
+
+    /// The sharded level-synchronous parallel search.
+    ///
+    /// Per level: the main thread copies the frontier rows into a job;
+    /// `workers` threads (the main thread included) fire all transitions
+    /// and resolve each successor — lock-free against the frozen,
+    /// already-numbered arena, or by interning first-seen rows into a
+    /// [`ShardedArena`] scratch (cleared every level, so it only ever
+    /// holds one frontier's fresh rows); then the main thread replays the
+    /// discoveries in frontier × transition order, assigning dense
+    /// [`ConfigId`]s exactly as the sequential BFS would. Because each
+    /// level's frontier is the contiguous id range created by the previous
+    /// renumbering, the resulting graph is bit-identical to
+    /// [`build_sequential`]'s for every worker count. Levels below
+    /// [`PARALLEL_LEVEL_MIN`](Self::build_parallel) frontier nodes are
+    /// expanded inline by the main thread (same code path, no barrier
+    /// round-trip), which keeps deep narrow graphs near sequential speed.
+    fn build_parallel(
+        engine: CompiledNet<P>,
+        initial_configs: &[Multiset<P>],
+        limits: &ExplorationLimits,
+        workers: usize,
+    ) -> Self {
+        /// Don't wake the workers for levels smaller than this.
+        const PARALLEL_LEVEL_MIN: usize = 512;
+
+        let width = engine.num_places();
+        let (arena, mut edges, initial_ids, mut complete) =
+            Self::intern_initial(&engine, initial_configs, limits);
+
+        // Scratch dedup arena for rows first seen in the current level,
+        // plus its map to final ids (u32::MAX = unassigned).
+        let sharded = ShardedArena::new(width, workers * 8);
+        let mut shard_to_global: Vec<Vec<u32>> = vec![Vec::new(); sharded.num_shards()];
+        fn note(map: &mut [Vec<u32>], sid: ShardedConfigId, global: u32) {
+            let slots = &mut map[sid.shard()];
+            if slots.len() <= sid.local() {
+                slots.resize(sid.local() + 1, u32::MAX);
+            }
+            slots[sid.local()] = global;
+        }
+
+        let spawned = workers.saturating_sub(1);
+        // Two barrier crossings hand each level off: workers park between
+        // levels (a busy-spin variant was measured to be strictly worse on
+        // CPU-throttled hosts, where a spinning worker steals cycles from
+        // the renumbering thread).
+        let barrier = Barrier::new(spawned + 1);
+        let done = AtomicBool::new(false);
+        let job_slot: RwLock<LevelJob> = RwLock::new(LevelJob::empty());
+        // The frontier of each level is a contiguous id range.
+        let mut level_start = 0usize;
+        let mut level_end = arena.len();
+        let mut depth = 0usize;
+        // Workers read the frozen arena during a level; the main thread
+        // writes it only between levels (while the workers are parked at
+        // the barrier), so neither side ever blocks on this lock.
+        let arena_slot: RwLock<ConfigArena> = RwLock::new(arena);
+        let transitions = engine.transitions();
+
+        std::thread::scope(|scope| {
+            // Workers are spawned lazily, on the first level big enough to
+            // use them: graphs that never reach PARALLEL_LEVEL_MIN nodes
+            // per level (the small-input regime) pay no thread cost at all.
+            let mut workers_spawned = false;
+
+            let mut expand: Vec<usize> = Vec::new();
+            let mut rows: Vec<u64> = Vec::new();
+            loop {
+                if level_start >= level_end {
+                    break;
+                }
+                if let Some(max_depth) = limits.max_depth {
+                    if depth >= max_depth {
+                        complete = false;
+                        break;
+                    }
+                }
+                expand.clear();
+                rows.clear();
+                {
+                    let arena = arena_slot.read().expect("arena lock poisoned");
+                    for id in level_start..level_end {
+                        if let Some(max_agents) = limits.max_agents {
+                            if arena.total(ConfigId(id as u32)) > max_agents {
+                                complete = false;
+                                continue;
+                            }
+                        }
+                        expand.push(id);
+                        rows.extend_from_slice(arena.row(ConfigId(id as u32)));
+                    }
+                }
+                if expand.is_empty() {
+                    break;
+                }
+                let count = expand.len();
+
+                let use_workers = spawned > 0 && count >= PARALLEL_LEVEL_MIN;
+                let mut results: Vec<ChunkResult> = if use_workers {
+                    if !workers_spawned {
+                        workers_spawned = true;
+                        for _ in 0..spawned {
+                            scope.spawn(|| loop {
+                                barrier.wait();
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                {
+                                    let frozen = arena_slot.read().expect("arena lock poisoned");
+                                    let job = job_slot.read().expect("level job poisoned");
+                                    expand_level_chunks(&job, transitions, &frozen, &sharded);
+                                }
+                                barrier.wait();
+                            });
+                        }
+                    }
+                    // Enough chunks that workers stay balanced, big enough
+                    // that queue-claim traffic stays negligible.
+                    let chunk_size = (count.div_ceil(workers * 4)).clamp(1, 512);
+                    {
+                        let mut slot = job_slot.write().expect("level job poisoned");
+                        *slot = LevelJob {
+                            rows: std::mem::take(&mut rows),
+                            width,
+                            count,
+                            chunk_size,
+                            next_chunk: AtomicUsize::new(0),
+                            results: Mutex::new(Vec::new()),
+                        };
+                    }
+                    barrier.wait(); // level start: workers read the new job
+                    {
+                        let frozen = arena_slot.read().expect("arena lock poisoned");
+                        let job = job_slot.read().expect("level job poisoned");
+                        expand_level_chunks(&job, transitions, &frozen, &sharded);
+                    }
+                    barrier.wait(); // level end: all successors resolved
+                    let finished = std::mem::replace(
+                        &mut *job_slot.write().expect("level job poisoned"),
+                        LevelJob::empty(),
+                    );
+                    rows = finished.rows; // recycle the row buffer
+                    finished
+                        .results
+                        .into_inner()
+                        .expect("level results poisoned")
+                } else {
+                    // Small level: expand inline, workers stay parked.
+                    let job = LevelJob {
+                        rows: std::mem::take(&mut rows),
+                        width,
+                        count,
+                        chunk_size: count,
+                        next_chunk: AtomicUsize::new(0),
+                        results: Mutex::new(Vec::new()),
+                    };
+                    {
+                        let frozen = arena_slot.read().expect("arena lock poisoned");
+                        expand_level_chunks(&job, transitions, &frozen, &sharded);
+                    }
+                    rows = job.rows;
+                    job.results.into_inner().expect("level results poisoned")
+                };
+                results.sort_unstable_by_key(|r| r.chunk);
+
+                // Deterministic renumbering: replay discoveries in frontier ×
+                // transition order, exactly the sequential interning order.
+                let mut arena = arena_slot.write().expect("arena lock poisoned");
+                let mut pos = 0usize;
+                for chunk_result in &results {
+                    let mut offset = 0usize;
+                    for &produced in &chunk_result.counts {
+                        let from = expand[pos];
+                        pos += 1;
+                        for &(t, successor) in
+                            &chunk_result.edges[offset..offset + produced as usize]
+                        {
+                            let to = match successor {
+                                SuccessorRef::Known(id) => id as usize,
+                                SuccessorRef::Fresh(sid) => {
+                                    let known = shard_to_global[sid.shard()]
+                                        .get(sid.local())
+                                        .copied()
+                                        .unwrap_or(u32::MAX);
+                                    if known != u32::MAX {
+                                        known as usize
+                                    } else if arena.len() >= limits.max_configurations {
+                                        complete = false;
+                                        continue;
+                                    } else {
+                                        let id = sharded.with_row(sid, |hash, row| {
+                                            arena.intern_prehashed(hash, row)
+                                        });
+                                        edges.push(Vec::new());
+                                        note(&mut shard_to_global, sid, id.0);
+                                        id.index()
+                                    }
+                                }
+                            };
+                            edges[from].push((t as usize, to));
+                        }
+                        offset += produced as usize;
+                    }
+                }
+                debug_assert_eq!(pos, count, "every frontier node reported successors");
+
+                // The scratch arena only ever holds one level's fresh rows.
+                sharded.clear();
+                for slots in &mut shard_to_global {
+                    slots.clear();
+                }
+
+                level_start = level_end;
+                level_end = arena.len();
+                depth += 1;
+            }
+
+            if workers_spawned {
+                done.store(true, Ordering::Release);
+                barrier.wait(); // release the workers into their exit path
+            }
+        });
+
+        let arena = arena_slot.into_inner().expect("arena lock poisoned");
+        Self::finish(engine, arena, edges, initial_ids, complete)
+    }
+
+    fn finish(
+        engine: CompiledNet<P>,
+        arena: ConfigArena,
+        edges: EdgeLists,
+        initial: Vec<usize>,
+        complete: bool,
+    ) -> Self {
         let sparse_views = (0..arena.len()).map(|_| OnceCell::new()).collect();
         ReachabilityGraph {
             engine,
             arena,
             sparse_views,
             edges,
-            initial: initial_ids,
+            initial,
             complete,
         }
     }
@@ -272,6 +670,25 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     #[must_use]
     pub fn successors(&self, id: usize) -> &[(usize, usize)] {
         &self.edges[id]
+    }
+
+    /// Returns `true` if `self` and `other` are the same graph node for
+    /// node: same numbering, dense rows, edges, initial ids and
+    /// completeness flag.
+    ///
+    /// This is the parallel engine's determinism contract in one call —
+    /// builds of the same input under any two [`Parallelism`] modes must
+    /// satisfy it. The equivalence tests and `bench_parallel_explore
+    /// --check` all go through this single definition.
+    #[must_use]
+    pub fn identical_to(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.complete == other.complete
+            && self.initial == other.initial
+            && self.ids().all(|id| {
+                self.dense_node(id) == other.dense_node(id)
+                    && self.successors(id) == other.successors(id)
+            })
     }
 
     /// Iterates over all node ids.

@@ -16,8 +16,10 @@
 //! and skips the offending branch.
 
 use crate::engine::CompiledNet;
+use crate::parallel::Parallelism;
 use crate::PetriNet;
 use pp_multiset::Multiset;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -198,6 +200,63 @@ fn accelerate(row: &mut [OmegaValue], ancestor: &[OmegaValue]) {
     }
 }
 
+/// The ancestor chain of one pending tree node.
+type Branch = Vec<OmegaRow>;
+
+/// The result of expanding one pending node, computed independently of
+/// every other node (which is what makes sibling expansion parallel).
+struct Expansion {
+    /// Some branch ancestor already covers the row: stop this branch.
+    subsumed: bool,
+    /// Child markings, in transition order, already ω-accelerated against
+    /// *all* branch ancestors (not just the parent).
+    children: Vec<OmegaRow>,
+    /// Some child's counters left the `u64` range; the branch is dropped
+    /// and the tree reported incomplete.
+    overflowed: bool,
+}
+
+/// Expands one pending node: subsumption check against the branch, then one
+/// child per enabled transition, accelerated against every ancestor. Takes
+/// the compiled transitions rather than the whole engine so worker threads
+/// need no bounds on the place type.
+fn expand_node(
+    transitions: &[crate::engine::CompiledTransition],
+    row: &OmegaRow,
+    ancestors: &Branch,
+) -> Expansion {
+    if ancestors.iter().any(|a| row_le(row, a)) {
+        return Expansion {
+            subsumed: true,
+            children: Vec::new(),
+            overflowed: false,
+        };
+    }
+    let mut children = Vec::new();
+    let mut overflowed = false;
+    for transition in transitions {
+        match fire_row(row, transition) {
+            Ok(Some(mut next)) => {
+                for ancestor in ancestors.iter().chain(std::iter::once(row)) {
+                    if row_le(ancestor, &next) && ancestor != &next {
+                        accelerate(&mut next, ancestor);
+                    }
+                }
+                children.push(next);
+            }
+            Ok(None) => {}
+            Err(OmegaOverflow) => {
+                overflowed = true;
+            }
+        }
+    }
+    Expansion {
+        subsumed: false,
+        children,
+        overflowed,
+    }
+}
+
 /// A Karp–Miller coverability tree, stored as its set of ω-markings.
 #[derive(Debug, Clone)]
 pub struct KarpMillerTree<P: Ord> {
@@ -206,14 +265,42 @@ pub struct KarpMillerTree<P: Ord> {
 }
 
 impl<P: Clone + Ord> KarpMillerTree<P> {
-    /// Builds the tree from `initial`, exploring at most `max_nodes` nodes.
+    /// Builds the tree from `initial`, exploring at most `max_nodes` nodes,
+    /// on the single-threaded engine.
     ///
-    /// The search runs on the dense engine; the tree is reported as
-    /// incomplete when the node budget is hit *or* when some branch's
-    /// counters left the `u64` range (checked arithmetic instead of the
-    /// former panic).
+    /// Equivalent to [`build_with`](Self::build_with) with
+    /// [`Parallelism::Sequential`].
     #[must_use]
     pub fn build(net: &PetriNet<P>, initial: &Multiset<P>, max_nodes: usize) -> Self {
+        Self::build_with(net, initial, max_nodes, Parallelism::Sequential)
+    }
+
+    /// Builds the tree from `initial`, exploring at most `max_nodes` nodes.
+    ///
+    /// The search runs on the dense engine, wave by wave: every pending
+    /// node of the current wave is expanded — subsumption check against its
+    /// branch, one child per enabled transition, ω-acceleration against
+    /// *all* its ancestors — and the children form the next wave. Node
+    /// expansion only reads the node's own branch, so with
+    /// [`Parallelism::Parallel`] the waves fan out over worker threads;
+    /// admission (budget counting and the marking list) stays sequential in
+    /// wave order, making the tree **identical** across modes and worker
+    /// counts.
+    ///
+    /// The tree is reported as incomplete when the node budget is hit *or*
+    /// when some branch's counters left the `u64` range (checked arithmetic
+    /// instead of the former panic).
+    #[must_use]
+    pub fn build_with(
+        net: &PetriNet<P>,
+        initial: &Multiset<P>,
+        max_nodes: usize,
+        parallelism: Parallelism,
+    ) -> Self {
+        /// Fan a wave out over threads once it holds this many pending
+        /// nodes; below it, thread spawns would dominate the branch scans.
+        const PARALLEL_WAVE_THRESHOLD: usize = 64;
+
         let engine = CompiledNet::compile_with_places(net, initial.support().cloned());
         let dense_initial = engine
             .to_dense(initial)
@@ -224,37 +311,49 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
             .collect();
         let mut rows: Vec<OmegaRow> = Vec::new();
         let mut complete = true;
+        let workers = parallelism.workers();
+        let transitions = engine.transitions();
         // Each work item carries its branch (ancestor chain) for acceleration.
-        let mut stack: Vec<(OmegaRow, Vec<OmegaRow>)> = vec![(root, Vec::new())];
-        while let Some((row, ancestors)) = stack.pop() {
-            if rows.len() >= max_nodes {
-                complete = false;
-                break;
-            }
-            // Stop expanding when an ancestor is ≥ this marking (subsumption
-            // on the branch, the classical termination rule).
-            if ancestors.iter().any(|a| row_le(&row, a)) {
-                continue;
-            }
-            rows.push(row.clone());
-            for transition in engine.transitions() {
-                match fire_row(&row, transition) {
-                    Ok(Some(mut next)) => {
-                        for ancestor in ancestors.iter().chain(std::iter::once(&row)) {
-                            if row_le(ancestor, &next) && ancestor != &next {
-                                accelerate(&mut next, ancestor);
-                            }
-                        }
-                        let mut branch = ancestors.clone();
-                        branch.push(row.clone());
-                        stack.push((next, branch));
-                    }
-                    Ok(None) => {}
-                    Err(OmegaOverflow) => {
-                        complete = false;
-                    }
+        let mut wave: Vec<(OmegaRow, Branch)> = vec![(root, Vec::new())];
+        'waves: while !wave.is_empty() {
+            let expansions: Vec<Expansion> = if workers > 1 && wave.len() >= PARALLEL_WAVE_THRESHOLD
+            {
+                wave.par_chunks(wave.len().div_ceil(workers))
+                    .map(|items| {
+                        items
+                            .iter()
+                            .map(|(row, ancestors)| expand_node(transitions, row, ancestors))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                wave.iter()
+                    .map(|(row, ancestors)| expand_node(transitions, row, ancestors))
+                    .collect()
+            };
+            let mut next_wave: Vec<(OmegaRow, Branch)> = Vec::new();
+            for ((row, ancestors), expansion) in wave.into_iter().zip(expansions) {
+                if rows.len() >= max_nodes {
+                    complete = false;
+                    break 'waves;
+                }
+                if expansion.subsumed {
+                    continue;
+                }
+                if expansion.overflowed {
+                    complete = false;
+                }
+                rows.push(row.clone());
+                let mut branch = ancestors;
+                branch.push(row);
+                for child in expansion.children {
+                    next_wave.push((child, branch.clone()));
                 }
             }
+            wave = next_wave;
         }
         let markings = rows
             .into_iter()
@@ -374,6 +473,76 @@ mod tests {
                 is_coverable(&net, &start, &target),
                 "karp-miller and backward coverability disagree on {target:?}"
             );
+        }
+    }
+
+    #[test]
+    fn acceleration_uses_all_ancestors_not_just_the_parent() {
+        // a --t0--> b --t1--> a + c: after t0·t1 the marking {a, c} strictly
+        // dominates its *grandparent* {a} but not its parent {b}. An
+        // implementation accelerating only against the parent would never
+        // introduce ω on c and would keep unrolling a+c, a+2c, a+3c, …
+        // (under-approximating until the node budget kills it); comparing
+        // against the full ancestor chain pumps c to ω immediately.
+        let net = PetriNet::from_transitions([
+            Transition::new(ms(&[("a", 1)]), ms(&[("b", 1)])),
+            Transition::new(ms(&[("b", 1)]), ms(&[("a", 1), ("c", 1)])),
+        ]);
+        let start = ms(&[("a", 1)]);
+        let tree = KarpMillerTree::build(&net, &start, 100);
+        assert!(
+            tree.is_complete(),
+            "without full-ancestor acceleration the tree keeps growing"
+        );
+        assert!(!tree.place_is_bounded(&"c"));
+        assert!(tree.place_is_bounded(&"a"));
+        assert!(tree.place_is_bounded(&"b"));
+        // The reported coverability set is exact: arbitrarily many c's are
+        // coverable (together with the single token cycling a -> b -> a),
+        // and the backward algorithm agrees on every probe.
+        for target in [
+            ms(&[("c", 1_000)]),
+            ms(&[("a", 1), ("c", 7)]),
+            ms(&[("b", 1), ("c", 3)]),
+            ms(&[("a", 1), ("b", 1)]),
+            ms(&[("a", 2)]),
+        ] {
+            assert_eq!(
+                tree.covers(&target),
+                is_coverable(&net, &start, &target),
+                "coverability set is wrong at {target:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_tree_is_identical_to_sequential() {
+        use crate::parallel::Parallelism;
+        let nets = [
+            PetriNet::from_transitions([
+                Transition::pairwise("a", "a", "a", "b"),
+                Transition::pairwise("a", "b", "b", "b"),
+            ]),
+            PetriNet::from_transitions([
+                Transition::new(ms(&[("a", 1)]), ms(&[("a", 1), ("b", 1)])),
+                Transition::new(ms(&[("b", 2)]), ms(&[("c", 1)])),
+            ]),
+        ];
+        for net in &nets {
+            for agents in [1u64, 3, 6] {
+                let start = ms(&[("a", agents)]);
+                let sequential = KarpMillerTree::build(net, &start, 10_000);
+                for workers in [1usize, 2, 4] {
+                    let parallel = KarpMillerTree::build_with(
+                        net,
+                        &start,
+                        10_000,
+                        Parallelism::Parallel(workers),
+                    );
+                    assert_eq!(sequential.markings(), parallel.markings());
+                    assert_eq!(sequential.is_complete(), parallel.is_complete());
+                }
+            }
         }
     }
 

@@ -55,14 +55,16 @@ pub mod engine;
 pub mod euler;
 pub mod explore;
 pub mod karp_miller;
+pub mod parallel;
 pub mod rackoff;
 pub mod stabilized;
 
 mod net;
 mod transition;
 
-pub use arena::{ConfigArena, ConfigId};
+pub use arena::{ConfigArena, ConfigId, ShardedArena, ShardedConfigId};
 pub use engine::{CompiledNet, CompiledTransition, DenseConfig};
 pub use explore::{ExplorationLimits, ReachabilityGraph};
 pub use net::PetriNet;
+pub use parallel::Parallelism;
 pub use transition::Transition;

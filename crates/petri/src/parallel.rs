@@ -1,0 +1,93 @@
+//! The parallelism knob of the state-space engine.
+//!
+//! Every fixpoint of the suite (forward exploration, backward coverability
+//! saturation, Karp–Miller construction) takes a [`Parallelism`] describing
+//! how many OS threads may cooperate on one build. Results are *identical*
+//! across modes and worker counts — the parallel paths renumber or merge
+//! deterministically — so the knob is purely a performance choice:
+//!
+//! * [`Parallelism::Sequential`] — the classic single-threaded loops. The
+//!   right choice for small inputs, where thread coordination would cost
+//!   more than it saves, and for callers that already parallelize at a
+//!   coarser grain (e.g. `pp_population::verify` fanning out over inputs).
+//! * [`Parallelism::Parallel(n)`] — the sharded level-synchronous engine
+//!   with `n` cooperating workers (the calling thread included).
+//!   `Parallel(1)` still exercises the sharded code path, just without
+//!   spawning — which is exactly what the single-thread CI job pins via
+//!   `PP_PETRI_THREADS=1` to keep the shard logic covered deterministically.
+//!
+//! [`Parallelism::auto`] picks `Parallel(available_parallelism)` on
+//! multi-core hosts and `Sequential` on single-core ones; the
+//! `PP_PETRI_THREADS` environment variable overrides the detected count.
+
+/// How many threads a state-space fixpoint may use.
+///
+/// See the [module documentation](self) for the semantics; the result of
+/// every build is independent of the chosen mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded classic path (no sharding, no coordination).
+    Sequential,
+    /// Sharded level-synchronous path with this many cooperating workers,
+    /// the calling thread included. Values below 1 behave like 1.
+    Parallel(usize),
+}
+
+impl Parallelism {
+    /// Auto-detected parallelism: `Parallel(n)` for `n` available hardware
+    /// threads (at least 2), [`Sequential`](Self::Sequential) otherwise.
+    ///
+    /// The `PP_PETRI_THREADS` environment variable, when set to a positive
+    /// integer, overrides the detected count — `PP_PETRI_THREADS=1` forces
+    /// `Parallel(1)`, the spawn-free sharded path used by the
+    /// single-thread CI job.
+    #[must_use]
+    pub fn auto() -> Self {
+        if let Ok(value) = std::env::var("PP_PETRI_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Parallelism::Parallel(n);
+                }
+            }
+        }
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if n <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Parallel(n)
+        }
+    }
+
+    /// The number of cooperating workers (1 for the sequential mode).
+    #[must_use]
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Parallel(n) => n.max(1),
+        }
+    }
+
+    /// Returns `true` if the sharded level-synchronous path is requested
+    /// (even with a single worker).
+    #[must_use]
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Parallelism::Parallel(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_are_at_least_one() {
+        assert_eq!(Parallelism::Sequential.workers(), 1);
+        assert_eq!(Parallelism::Parallel(0).workers(), 1);
+        assert_eq!(Parallelism::Parallel(5).workers(), 5);
+        assert!(!Parallelism::Sequential.is_parallel());
+        assert!(Parallelism::Parallel(1).is_parallel());
+        assert!(Parallelism::auto().workers() >= 1);
+    }
+}

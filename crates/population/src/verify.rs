@@ -19,7 +19,7 @@ use crate::predicate::Predicate;
 use crate::protocol::{Protocol, StateId};
 use crate::stable::ProtocolStability;
 use pp_multiset::Multiset;
-use pp_petri::{ExplorationLimits, ReachabilityGraph};
+use pp_petri::{ExplorationLimits, Parallelism, ReachabilityGraph};
 use rayon::prelude::*;
 
 /// Verdict categories for a single input.
@@ -97,7 +97,8 @@ impl VerificationReport {
     }
 }
 
-/// Verifies a single input exactly (within `limits`).
+/// Verifies a single input exactly (within `limits`) on the sequential
+/// exploration engine.
 #[must_use]
 pub fn verify_input(
     protocol: &Protocol,
@@ -105,6 +106,31 @@ pub fn verify_input(
     predicate: &Predicate,
     input: &Multiset<String>,
     limits: &ExplorationLimits,
+) -> InputReport {
+    verify_input_with(
+        protocol,
+        stability,
+        predicate,
+        input,
+        limits,
+        Parallelism::Sequential,
+    )
+}
+
+/// Verifies a single input exactly (within `limits`), building the input's
+/// reachability graph with the given [`Parallelism`].
+///
+/// The verdict is identical across parallelism modes (the parallel engine
+/// is deterministic); the knob only decides whether this one input's graph
+/// may use several threads.
+#[must_use]
+pub fn verify_input_with(
+    protocol: &Protocol,
+    stability: &ProtocolStability,
+    predicate: &Predicate,
+    input: &Multiset<String>,
+    limits: &ExplorationLimits,
+    parallelism: Parallelism,
 ) -> InputReport {
     let expected = predicate.eval(input);
     let initial = match protocol.initial_config(input) {
@@ -118,7 +144,7 @@ pub fn verify_input(
             }
         }
     };
-    let graph = ReachabilityGraph::build(protocol.net(), [initial], limits);
+    let graph = ReachabilityGraph::build_with(protocol.net(), [initial], limits, parallelism);
     if !graph.is_complete() {
         return InputReport {
             input: input.clone(),
@@ -171,10 +197,16 @@ pub fn verify_input(
 
 /// Verifies a family of explicit inputs.
 ///
-/// Inputs are independent, so they are verified in parallel (one rayon
-/// task per input) over the shared dense engine; the per-input semantics
-/// and the order of the returned reports are identical to the sequential
-/// path.
+/// Inputs are independent, so the verifier parallelizes — but at the grain
+/// that pays: with at least as many inputs as hardware threads (or only
+/// small inputs), it fans out *across* inputs (one rayon task per input,
+/// each exploring sequentially); with fewer jobs of which at least one is
+/// large, it runs inputs in order and lets every input of
+/// [`WITHIN_INPUT_AGENT_THRESHOLD`] or more agents use *within-input*
+/// parallelism (the sharded level-synchronous exploration engine). Both
+/// the per-input semantics and the order of the returned reports are
+/// identical across all strategies, because the parallel engine is
+/// deterministic.
 #[must_use]
 pub fn verify_inputs<I>(
     protocol: &Protocol,
@@ -187,15 +219,45 @@ where
 {
     let stability = ProtocolStability::new(protocol);
     let inputs: Vec<Multiset<String>> = inputs.into_iter().collect();
+    let auto = Parallelism::auto();
+    // Within-input parallelism only pays when there are fewer inputs than
+    // threads AND at least one input is big enough to split; otherwise the
+    // across-input fan-out is strictly better (in particular, a batch of
+    // uniformly small inputs must not degrade to a fully serial loop).
+    let any_large = inputs
+        .iter()
+        .any(|input| input.total() >= WITHIN_INPUT_AGENT_THRESHOLD);
+    let across_inputs = !auto.is_parallel() || inputs.len() >= auto.workers() || !any_large;
+    let reports: Vec<InputReport> = if across_inputs {
+        inputs
+            .into_par_iter()
+            .map(|input| verify_input(protocol, &stability, predicate, &input, limits))
+            .collect()
+    } else {
+        inputs
+            .iter()
+            .map(|input| {
+                let mode = if input.total() >= WITHIN_INPUT_AGENT_THRESHOLD {
+                    auto
+                } else {
+                    Parallelism::Sequential
+                };
+                verify_input_with(protocol, &stability, predicate, input, limits, mode)
+            })
+            .collect()
+    };
     VerificationReport {
         protocol_name: protocol.name().to_owned(),
         predicate: predicate.to_string(),
-        inputs: inputs
-            .into_par_iter()
-            .map(|input| verify_input(protocol, &stability, predicate, &input, limits))
-            .collect(),
+        inputs: reports,
     }
 }
+
+/// Inputs with at least this many agents get within-input parallel
+/// exploration when [`verify_inputs`] has fewer inputs than hardware
+/// threads; smaller inputs have graphs far too small to amortize thread
+/// coordination.
+pub const WITHIN_INPUT_AGENT_THRESHOLD: u64 = 16;
 
 /// Verifies every input of the form `count · initial_state` for
 /// `count ∈ 0..=max_count` (protocols with a single initial state — the shape

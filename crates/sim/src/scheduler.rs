@@ -45,8 +45,22 @@ impl SchedulerKind {
                     .transitions()
                     .iter()
                     .map(|t| {
-                        if t.is_enabled(config) {
-                            t.instances(config)
+                        let enabled = t.is_enabled(config);
+                        let instances = t.instances(config);
+                        // `instances` is a product of binomials over the
+                        // precondition, so it is positive exactly when every
+                        // required place holds enough agents — i.e. exactly
+                        // when the transition is enabled. A custom transition
+                        // breaking this would desynchronize the draw loop
+                        // below (its weight is gated on `enabled`, while the
+                        // draw walks `instances`), so pin it down here.
+                        debug_assert_eq!(
+                            enabled,
+                            instances > 0,
+                            "enabledness and instance count disagree"
+                        );
+                        if enabled {
+                            instances
                         } else {
                             0
                         }
@@ -57,13 +71,22 @@ impl SchedulerKind {
                     return None;
                 }
                 let mut draw = rng.gen_range(0..total);
+                let mut fallback = None;
                 for (index, &w) in weights.iter().enumerate() {
+                    if w == 0 {
+                        continue;
+                    }
+                    fallback = Some(index);
                     if draw < w {
                         return Some(index);
                     }
                     draw -= w;
                 }
-                unreachable!("draw is below the total weight")
+                // With `draw < total` and only positive weights consumed,
+                // the loop always returns; if arithmetic ever degraded, the
+                // explicit fallback keeps the draw on an enabled transition
+                // instead of falling off the loop.
+                fallback
             }
         }
     }
@@ -93,6 +116,42 @@ mod tests {
                 assert!(net.transitions()[choice].is_enabled(&config));
             }
         }
+    }
+
+    #[test]
+    fn instance_weighted_follows_instance_counts() {
+        use pp_multiset::Multiset;
+        use pp_petri::{PetriNet, Transition};
+        // t0's weight is the number of a's, t1's the number of b's: with
+        // 9 a's and 3 b's, t0 must be drawn about three times as often. A
+        // desynchronized draw loop (weights and draws walking different
+        // transition sets) would skew this ratio or fall off the loop.
+        let net = PetriNet::from_transitions([
+            Transition::new(
+                Multiset::from_pairs([("a", 1u64)]),
+                Multiset::from_pairs([("a", 1u64)]),
+            ),
+            Transition::new(
+                Multiset::from_pairs([("b", 1u64)]),
+                Multiset::from_pairs([("b", 1u64)]),
+            ),
+        ]);
+        let engine = pp_petri::CompiledNet::compile(&net);
+        let config = engine.dense_config(&Multiset::from_pairs([("a", 9u64), ("b", 3)]));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u64; 2];
+        for _ in 0..12_000 {
+            let choice = SchedulerKind::InstanceWeighted
+                .choose(&engine, &config, &mut rng)
+                .expect("both transitions enabled");
+            counts[choice] += 1;
+        }
+        assert_eq!(counts[0] + counts[1], 12_000);
+        // Expected split 9000 / 3000; allow ±600 (≈ 7.5 standard deviations).
+        assert!(
+            (8_400..=9_600).contains(&counts[0]),
+            "instance-weighted draw skewed: {counts:?}"
+        );
     }
 
     #[test]

@@ -1,20 +1,41 @@
-//! Differential properties: the dense interned engine must explore exactly
-//! the same state spaces as the sparse reference path.
+//! Differential properties: the dense interned engine — sequential *and*
+//! parallel — must explore exactly the same state spaces as the sparse
+//! reference path.
 //!
 //! `ReachabilityGraph::build` runs on the `ConfigArena`/`CompiledNet`
 //! engine; `sparse_reference_exploration` is the pre-engine
-//! `BTreeMap`-based breadth-first search kept as the baseline. Both follow
-//! the same BFS order, so node sets and completeness flags must agree
-//! exactly — on the whole protocol catalog and on random nets, truncated
-//! or not.
+//! `BTreeMap`-based breadth-first search kept as the baseline; and
+//! `ReachabilityGraph::build_with(…, Parallelism::Parallel(n))` is the
+//! sharded level-synchronous engine. All follow the same BFS order, so the
+//! three-way check is strict: the parallel graph must match the sequential
+//! one *node id for node id and edge for edge* (the deterministic
+//! renumbering guarantee), and both must match the sparse reference's node
+//! set and completeness flag — on the whole protocol catalog and on random
+//! nets, truncated or not.
 
 use pp_multiset::Multiset;
 use pp_petri::cover::{is_coverable, shortest_covering_word};
 use pp_petri::explore::sparse_reference_exploration;
-use pp_petri::{ExplorationLimits, PetriNet, ReachabilityGraph, Transition};
+use pp_petri::{ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
 use pp_protocols::counting_entries;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+/// Asserts the one canonical graph-identity predicate
+/// ([`ReachabilityGraph::identical_to`]) with a size hint on failure.
+fn assert_identical_graphs<P: Clone + Ord + std::fmt::Debug>(
+    sequential: &ReachabilityGraph<P>,
+    parallel: &ReachabilityGraph<P>,
+) {
+    assert!(
+        sequential.identical_to(parallel),
+        "graphs differ: sequential has {} nodes (complete: {}), parallel has {} (complete: {})",
+        sequential.len(),
+        sequential.is_complete(),
+        parallel.len(),
+        parallel.is_complete()
+    );
+}
 
 fn assert_same_graph<P: Clone + Ord + std::fmt::Debug>(
     net: &PetriNet<P>,
@@ -22,6 +43,18 @@ fn assert_same_graph<P: Clone + Ord + std::fmt::Debug>(
     limits: &ExplorationLimits,
 ) {
     let dense = ReachabilityGraph::build(net, [initial.clone()], limits);
+    // Three-way leg 1: the parallel engine is bit-identical to the
+    // sequential one, for several worker counts.
+    for workers in [1usize, 3] {
+        let parallel = ReachabilityGraph::build_with(
+            net,
+            [initial.clone()],
+            limits,
+            Parallelism::Parallel(workers),
+        );
+        assert_identical_graphs(&dense, &parallel);
+    }
+    // Three-way leg 2: both match the sparse reference node set.
     let (sparse_nodes, sparse_complete) =
         sparse_reference_exploration(net, [initial.clone()], limits);
     let dense_nodes: BTreeSet<Multiset<P>> = dense.ids().map(|id| dense.node(id).clone()).collect();
@@ -106,6 +139,13 @@ proptest! {
             max_depth: None,
         };
         let dense = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+        let parallel = ReachabilityGraph::build_with(
+            &net,
+            [initial.clone()],
+            &limits,
+            Parallelism::Parallel(3),
+        );
+        assert_identical_graphs(&dense, &parallel);
         let (sparse_nodes, sparse_complete) =
             sparse_reference_exploration(&net, [initial.clone()], &limits);
         let dense_nodes: std::collections::BTreeSet<_> =

@@ -1,0 +1,179 @@
+//! Determinism properties of the parallel sharded engine.
+//!
+//! The contract of `Parallelism` is that it is *purely* a speed knob:
+//! every fixpoint — forward exploration, backward coverability saturation,
+//! Karp–Miller construction, and the verifier built on top of them — must
+//! return bit-identical results for every mode and worker count. These
+//! tests drive the three consumers over the protocol catalog and random
+//! nets, including the truncated regimes where nondeterministic numbering
+//! would immediately show up.
+
+use pp_multiset::Multiset;
+use pp_petri::cover::CoverabilityOracle;
+use pp_petri::karp_miller::KarpMillerTree;
+use pp_petri::{ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
+use pp_population::stable::ProtocolStability;
+use pp_population::verify::{verify_input, verify_input_with};
+use pp_population::Predicate;
+use pp_protocols::{counting_entries, flock};
+use proptest::prelude::*;
+
+/// A random small net over places `0..places` plus a random initial
+/// configuration over the same places (mirrors the generator of
+/// `dense_sparse_equivalence.rs`).
+fn arb_net_and_initial() -> impl Strategy<Value = (PetriNet<u8>, Multiset<u8>)> {
+    (2u8..5).prop_flat_map(|places| {
+        let transition = (
+            proptest::collection::btree_map(0..places, 1u64..3, 1..3),
+            proptest::collection::btree_map(0..places, 1u64..3, 0..3),
+        );
+        (
+            proptest::collection::vec(transition, 1..5),
+            proptest::collection::btree_map(0..places, 1u64..4, 1..4),
+        )
+            .prop_map(|(transitions, initial)| {
+                let net = PetriNet::from_transitions(transitions.into_iter().map(|(pre, post)| {
+                    Transition::new(Multiset::from_pairs(pre), Multiset::from_pairs(post))
+                }));
+                (net, Multiset::from_pairs(initial))
+            })
+    })
+}
+
+#[test]
+fn catalog_graphs_are_identical_across_worker_counts() {
+    let limits = ExplorationLimits::default();
+    for entry in counting_entries(2) {
+        if entry.protocol.initial_states().len() != 1 {
+            continue;
+        }
+        let initial = entry.protocol.initial_config_with_count(6);
+        let net = entry.protocol.net();
+        let reference = ReachabilityGraph::build_with(
+            net,
+            [initial.clone()],
+            &limits,
+            Parallelism::Parallel(2),
+        );
+        for workers in [1usize, 3, 7] {
+            let other = ReachabilityGraph::build_with(
+                net,
+                [initial.clone()],
+                &limits,
+                Parallelism::Parallel(workers),
+            );
+            assert!(
+                reference.identical_to(&other),
+                "graphs differ at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_karp_miller_matches_sequential_on_a_large_tree() {
+    // flock-of-birds at 12 agents yields waves comfortably past the
+    // parallel threshold, so this actually exercises the fan-out path.
+    let protocol = flock::flock_of_birds_unary(4);
+    let start = protocol.initial_config_with_count(12);
+    let sequential = KarpMillerTree::build(protocol.net(), &start, 200_000);
+    let parallel =
+        KarpMillerTree::build_with(protocol.net(), &start, 200_000, Parallelism::Parallel(3));
+    assert_eq!(sequential.markings(), parallel.markings());
+    assert_eq!(sequential.is_complete(), parallel.is_complete());
+    assert!(sequential.markings().len() > 64);
+}
+
+#[test]
+fn parallel_verifier_reaches_the_same_verdicts() {
+    for entry in counting_entries(2) {
+        if entry.protocol.initial_states().len() != 1 {
+            continue;
+        }
+        let protocol = &entry.protocol;
+        let stability = ProtocolStability::new(protocol);
+        let initial_state = *protocol.initial_states().iter().next().unwrap();
+        let predicate = Predicate::counting(protocol.state_name(initial_state), 2);
+        let limits = ExplorationLimits::default();
+        for count in [0u64, 3, 17] {
+            let name = protocol.state_name(initial_state).to_owned();
+            let input = Multiset::from_pairs([(name, count)]);
+            let sequential = verify_input(protocol, &stability, &predicate, &input, &limits);
+            let parallel = verify_input_with(
+                protocol,
+                &stability,
+                &predicate,
+                &input,
+                &limits,
+                Parallelism::Parallel(3),
+            );
+            assert_eq!(sequential.verdict, parallel.verdict, "input {count}");
+            assert_eq!(
+                sequential.explored_configurations,
+                parallel.explored_configurations
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_truncated_explorations_are_identical((net, initial) in arb_net_and_initial()) {
+        // Budget truncation is the adversarial case: a nondeterministic
+        // numbering would keep *different nodes* once the budget cuts off.
+        for budget in [7usize, 100] {
+            let limits = ExplorationLimits {
+                max_configurations: budget,
+                max_agents: Some(20),
+                max_depth: Some(40),
+            };
+            let sequential = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+            for workers in [1usize, 4] {
+                let parallel = ReachabilityGraph::build_with(
+                    &net,
+                    [initial.clone()],
+                    &limits,
+                    Parallelism::Parallel(workers),
+                );
+                prop_assert!(
+                    sequential.identical_to(&parallel),
+                    "graphs differ: budget {} workers {}",
+                    budget,
+                    workers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_karp_miller_trees_are_identical((net, initial) in arb_net_and_initial()) {
+        let sequential = KarpMillerTree::build(&net, &initial, 2_000);
+        for workers in [1usize, 4] {
+            let parallel =
+                KarpMillerTree::build_with(&net, &initial, 2_000, Parallelism::Parallel(workers));
+            prop_assert_eq!(sequential.markings(), parallel.markings());
+            prop_assert_eq!(sequential.is_complete(), parallel.is_complete());
+        }
+    }
+
+    #[test]
+    fn random_coverability_bases_are_identical(
+        (net, initial) in arb_net_and_initial(),
+        target_place in 0u8..5,
+        target_count in 1u64..3,
+    ) {
+        let target = Multiset::from_pairs([(target_place, target_count)]);
+        let sequential = CoverabilityOracle::build(&net, target.clone());
+        for workers in [1usize, 4] {
+            let parallel =
+                CoverabilityOracle::build_with(&net, target.clone(), Parallelism::Parallel(workers));
+            prop_assert_eq!(sequential.basis(), parallel.basis());
+            prop_assert_eq!(
+                sequential.is_coverable_from(&initial),
+                parallel.is_coverable_from(&initial)
+            );
+        }
+    }
+}

@@ -1,16 +1,25 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! Provides the slice of rayon this workspace uses: `into_par_iter()` on
-//! vectors followed by `.map(f).collect()`, executed on scoped OS threads
-//! with a shared work queue. Results keep the input order, mirroring
-//! rayon's indexed parallel iterators. The worker count follows
+//! vectors (plus `par_iter()`/`par_chunks()` on slices) followed by
+//! `.map(f).collect()`, executed on scoped OS threads with a shared work
+//! queue. Results keep the input order, mirroring rayon's indexed parallel
+//! iterators. The worker count follows
 //! `std::thread::available_parallelism`, capped by the number of items.
+//!
+//! Divergence from real rayon: there is no global thread pool — every
+//! `collect` spawns scoped threads. Callers that need an explicit
+//! concurrency cap chunk their input (`par_chunks(len.div_ceil(n))` yields
+//! at most `n` concurrently-processed items); `pp_petri::parallel` builds
+//! its `Parallelism` knob on exactly that pattern.
 
 use std::sync::Mutex;
 
 /// The usual import surface: `use rayon::prelude::*;`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap, ParallelSlice,
+    };
 }
 
 /// Conversion into a parallel iterator (vector form only).
@@ -28,6 +37,54 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+/// Borrowing conversion into a parallel iterator (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed element type.
+    type Item: Send + 'data;
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Parallel chunked iteration over slices (`slice.par_chunks(n)`).
+///
+/// Each chunk is processed as one work item, so `par_chunks(len.div_ceil(w))`
+/// bounds effective concurrency by `w` — the stub's substitute for rayon's
+/// configurable thread pools.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over non-overlapping chunks of `size` elements
+    /// (the last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
 /// A parallel iterator over owned items.
 pub struct ParIter<T> {
     items: Vec<T>,
@@ -35,7 +92,7 @@ pub struct ParIter<T> {
 
 impl<T: Send> ParIter<T> {
     /// Maps every item through `f` in parallel (executed at `collect`).
-    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
     where
         R: Send,
         F: Fn(T) -> R + Sync,
@@ -43,22 +100,26 @@ impl<T: Send> ParIter<T> {
         ParMap {
             items: self.items,
             f,
+            _result: std::marker::PhantomData,
         }
     }
 }
 
 /// A pending parallel map.
-pub struct ParMap<T, F> {
+pub struct ParMap<T, R, F> {
     items: Vec<T>,
     f: F,
+    _result: std::marker::PhantomData<fn() -> R>,
 }
 
-impl<T: Send, F> ParMap<T, F> {
+impl<T: Send, R, F> ParMap<T, R, F>
+where
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     /// Runs the map on scoped threads and collects the ordered results.
-    pub fn collect<C, R>(self) -> C
+    pub fn collect<C>(self) -> C
     where
-        R: Send,
-        F: Fn(T) -> R + Sync,
         C: FromIterator<R>,
     {
         let n = self.items.len();
@@ -122,5 +183,29 @@ mod tests {
             .map(|x| x + offset)
             .collect();
         assert_eq!(output, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn borrowed_par_iter_preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // The input is still usable afterwards.
+        assert_eq!(input.len(), 100);
+    }
+
+    #[test]
+    fn par_chunks_cover_the_slice_in_order() {
+        let input: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = input.par_chunks(10).map(|c| c.iter().sum()).collect();
+        let expected: Vec<u32> = input.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+        assert_eq!(sums.len(), 11); // 10 full chunks + 1 of length 3
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = [1u8, 2, 3].par_chunks(0);
     }
 }
