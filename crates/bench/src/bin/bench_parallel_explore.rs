@@ -1,16 +1,19 @@
 //! Parallel-vs-sequential exploration ablation (E13).
 //!
-//! Times full reachability-graph construction on the sharded
-//! level-synchronous parallel engine against the sequential dense engine
-//! for the catalog's largest instances, prints the comparison table and
-//! writes the numbers to `BENCH_parallel_explore.json` so the speedup is
-//! tracked across PRs. Every timed pair is also checked for graph
-//! equality — the parallel engine's renumbering contract.
+//! Times full reachability-graph construction on the **pipelined** sharded
+//! parallel engine against the sequential dense engine for the catalog's
+//! largest instances, prints the comparison table and writes the numbers
+//! to `BENCH_parallel_explore.json` so the speedup is tracked across PRs.
+//! Each instance is timed three ways: sequential, `Parallel(1)` (the full
+//! pipeline machinery with zero spawned workers — its gap to sequential is
+//! the engine's pure overhead, the number the ≤5% budget in DESIGN.md
+//! refers to), and `Parallel(auto)`. Every timed triple is also checked
+//! for graph equality — the parallel engine's renumbering contract.
 //!
 //! `--check` skips the timing loops and instead verifies, on moderate
-//! instances, that the parallel engine produces node-for-node,
-//! edge-for-edge identical graphs for several worker counts, exiting
-//! nonzero on any divergence (wired into CI's single-thread job).
+//! instances, that the pipelined engine produces node-for-node,
+//! edge-for-edge identical graphs for worker counts 1–4, exiting nonzero
+//! on any divergence (wired into CI's single-thread and odd-worker jobs).
 
 use pp_bench::{fmt_f64, Table};
 use pp_petri::{ExplorationLimits, Parallelism, ReachabilityGraph};
@@ -23,36 +26,37 @@ struct Row {
     agents: u64,
     nodes: usize,
     seq_ns: u128,
+    /// `Parallel(1)`: the pipelined machinery with zero spawned workers —
+    /// its distance from `seq_ns` is the engine's pure overhead.
+    par1_ns: u128,
     par_ns: u128,
 }
 
 /// Best (minimum) wall-clock nanoseconds of `runs` *interleaved* executions
-/// of `a` and `b`.
+/// of each workload.
 ///
-/// The pair is timed alternately and the minimum is kept: on shared or
-/// CPU-throttled hosts (this repo's CI containers are both), individual
+/// The workloads are timed round-robin and the minimum is kept: on shared
+/// or CPU-throttled hosts (this repo's CI containers are both), individual
 /// samples vary by multiples, and the interleaved minimum is the standard
-/// way to compare two workloads under the same — best available —
-/// conditions.
-fn min_ns_interleaved<FA, FB>(runs: usize, mut a: FA, mut b: FB) -> (u128, u128)
-where
-    FA: FnMut() -> usize,
-    FB: FnMut() -> usize,
-{
-    let mut best_a = u128::MAX;
-    let mut best_b = u128::MAX;
+/// way to compare workloads under the same — best available — conditions.
+fn min_ns_interleaved<const N: usize>(
+    runs: usize,
+    workloads: &mut [&mut dyn FnMut() -> usize; N],
+) -> [u128; N] {
+    let mut best = [u128::MAX; N];
     for _ in 0..runs {
-        let start = Instant::now();
-        std::hint::black_box(a());
-        best_a = best_a.min(start.elapsed().as_nanos());
-        let start = Instant::now();
-        std::hint::black_box(b());
-        best_b = best_b.min(start.elapsed().as_nanos());
+        for (workload, best) in workloads.iter_mut().zip(best.iter_mut()) {
+            let start = Instant::now();
+            std::hint::black_box(workload());
+            *best = (*best).min(start.elapsed().as_nanos());
+        }
     }
-    (best_a, best_b)
+    best
 }
 
-/// The `--check` instances: moderate graphs, several worker counts.
+/// The `--check` instances: moderate graphs, every worker count the CI
+/// matrix pins (1 = spawn-free pipeline, 2 = one worker overlapping the
+/// commits, 3 = odd count, 4 = oversubscribed on the 2-vCPU sandbox).
 fn run_check(instances: &[(&'static str, Protocol, Vec<u64>)]) -> bool {
     let limits = ExplorationLimits::default();
     let mut ok = true;
@@ -60,7 +64,7 @@ fn run_check(instances: &[(&'static str, Protocol, Vec<u64>)]) -> bool {
         for &agents in agent_counts {
             let initial = protocol.initial_config_with_count(agents);
             let sequential = ReachabilityGraph::build(protocol.net(), [initial.clone()], &limits);
-            for workers in [1usize, 2, Parallelism::auto().workers()] {
+            for workers in [1usize, 2, 3, 4] {
                 let parallel = ReachabilityGraph::build_with(
                     protocol.net(),
                     [initial.clone()],
@@ -150,16 +154,30 @@ fn main() {
                 "parallel and sequential graphs diverge on {family} at {agents} agents"
             );
             let nodes = sequential.len();
-            let (seq_ns, par_ns) = min_ns_interleaved(
+            let [seq_ns, par1_ns, par_ns] = min_ns_interleaved(
                 runs,
-                || ReachabilityGraph::build(net, [initial.clone()], &limits).len(),
-                || ReachabilityGraph::build_with(net, [initial.clone()], &limits, auto).len(),
+                &mut [
+                    &mut || ReachabilityGraph::build(net, [initial.clone()], &limits).len(),
+                    &mut || {
+                        ReachabilityGraph::build_with(
+                            net,
+                            [initial.clone()],
+                            &limits,
+                            Parallelism::Parallel(1),
+                        )
+                        .len()
+                    },
+                    &mut || {
+                        ReachabilityGraph::build_with(net, [initial.clone()], &limits, auto).len()
+                    },
+                ],
             );
             rows.push(Row {
                 family,
                 agents,
                 nodes,
                 seq_ns,
+                par1_ns,
                 par_ns,
             });
         }
@@ -170,7 +188,9 @@ fn main() {
         "agents",
         "nodes",
         "sequential (ms)",
+        "pipeline@1 (ms)",
         "parallel (ms)",
+        "overhead",
         "speedup",
     ]);
     for row in &rows {
@@ -179,24 +199,32 @@ fn main() {
             row.agents.to_string(),
             row.nodes.to_string(),
             fmt_f64(row.seq_ns as f64 / 1e6),
+            fmt_f64(row.par1_ns as f64 / 1e6),
             fmt_f64(row.par_ns as f64 / 1e6),
+            format!(
+                "{:+.1}%",
+                (row.par1_ns as f64 / row.seq_ns.max(1) as f64 - 1.0) * 100.0
+            ),
             fmt_f64(row.seq_ns as f64 / row.par_ns.max(1) as f64),
         ]);
     }
     table.print(&format!(
-        "Sequential vs parallel exploration ({} workers, {host_threads} hardware threads)",
+        "Sequential vs pipelined parallel exploration ({} workers, {host_threads} hardware threads; \
+         overhead = Parallel(1) machinery vs sequential)",
         auto.workers()
     ));
 
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.3}, \"workers\": {}, \"host_threads\": {}}}{}\n",
+            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"seq_ns\": {}, \"par1_ns\": {}, \"par_ns\": {}, \"machinery_overhead\": {:.4}, \"speedup\": {:.3}, \"workers\": {}, \"host_threads\": {}}}{}\n",
             row.family,
             row.agents,
             row.nodes,
             row.seq_ns,
+            row.par1_ns,
             row.par_ns,
+            row.par1_ns as f64 / row.seq_ns.max(1) as f64 - 1.0,
             row.seq_ns as f64 / row.par_ns.max(1) as f64,
             auto.workers(),
             host_threads,

@@ -16,8 +16,16 @@
 //! into independent shards, each a [`ConfigArena`] behind its own lock, so
 //! worker threads interning different rows rarely contend. Sharded ids
 //! ([`ShardedConfigId`]) are scratch identifiers local to one build; the
-//! deterministic post-pass of [`ReachabilityGraph::build_with`] renumbers
+//! deterministic commit pass of [`ReachabilityGraph::build_with`] renumbers
 //! them into dense BFS-ordered [`ConfigId`]s.
+//!
+//! To support the *pipelined* renumbering protocol (main thread commits
+//! level *d* while workers already expand level *d+1*), the scratch arena
+//! retains **two levels** of rows at a time: ids are absolute and stay
+//! valid while older epochs are retired with
+//! [`ShardedArena::retire_below`], so a row first seen at level *d* keeps
+//! its stable [`ShardedConfigId`] through the whole window in which level
+//! *d+1* workers may still rediscover it.
 //!
 //! [`ReachabilityGraph::build_with`]: crate::ReachabilityGraph::build_with
 
@@ -63,6 +71,13 @@ impl ConfigId {
 #[derive(Debug, Clone, Default)]
 pub struct ConfigArena {
     width: usize,
+    /// Number of *retired* leading rows (see [`retire_below`]): ids stay
+    /// absolute, row `id` lives at buffer position `id - base`. Always 0
+    /// for the global arenas; only the pipelined engine's scratch shards
+    /// retire epochs.
+    ///
+    /// [`retire_below`]: Self::retire_below
+    base: usize,
     data: Vec<u64>,
     totals: Vec<u64>,
     /// Cached row hashes, parallel to `totals`: the sharded parallel engine
@@ -77,6 +92,7 @@ impl ConfigArena {
     pub fn new(width: usize) -> Self {
         ConfigArena {
             width,
+            base: 0,
             data: Vec::new(),
             totals: Vec::new(),
             hashes: Vec::new(),
@@ -90,26 +106,27 @@ impl ConfigArena {
         self.width
     }
 
-    /// Number of distinct interned configurations.
+    /// Number of distinct interned configurations (retired rows included:
+    /// ids are absolute, so this is also the next id to be assigned).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.totals.len()
+        self.base + self.totals.len()
     }
 
     /// Returns `true` if no configuration has been interned.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.totals.is_empty()
+        self.len() == 0
     }
 
     /// The dense row of configuration `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this arena.
+    /// Panics if `id` does not belong to this arena (or was retired).
     #[must_use]
     pub fn row(&self, id: ConfigId) -> &[u64] {
-        let start = id.index() * self.width;
+        let start = (id.index() - self.base) * self.width;
         &self.data[start..start + self.width]
     }
 
@@ -117,10 +134,10 @@ impl ConfigArena {
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this arena.
+    /// Panics if `id` does not belong to this arena (or was retired).
     #[must_use]
     pub fn total(&self, id: ConfigId) -> u64 {
-        self.totals[id.index()]
+        self.totals[id.index() - self.base]
     }
 
     /// Interns `row`, returning the id of the unique stored copy.
@@ -159,10 +176,10 @@ impl ConfigArena {
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this arena.
+    /// Panics if `id` does not belong to this arena (or was retired).
     #[must_use]
     pub(crate) fn row_hash(&self, id: ConfigId) -> u64 {
-        self.hashes[id.index()]
+        self.hashes[id.index() - self.base]
     }
 
     /// The id of `row` if it is already interned.
@@ -184,18 +201,37 @@ impl ConfigArena {
             .find(|&id| self.row(id) == row)
     }
 
-    /// Removes every interned row, keeping the allocated capacity — the
-    /// parallel engine recycles per-level scratch arenas this way.
-    pub(crate) fn clear(&mut self) {
-        self.data.clear();
-        self.totals.clear();
-        self.hashes.clear();
-        self.index.clear();
+    /// Retires every row with absolute id below `abs`: the storage is
+    /// released and the rows disappear from dedup lookups, but id
+    /// assignment keeps counting upwards so the remaining (and all future)
+    /// ids stay stable. The pipelined exploration engine uses this to keep
+    /// exactly two levels of scratch rows alive.
+    pub(crate) fn retire_below(&mut self, abs: usize) {
+        let cut = abs.clamp(self.base, self.len());
+        let retired = cut - self.base;
+        if retired == 0 {
+            return;
+        }
+        // Remove the retired rows' probe entries through their cached
+        // hashes — O(retired), not O(index capacity).
+        for offset in 0..retired {
+            let hash = self.hashes[offset];
+            if let Some(ids) = self.index.get_mut(&hash) {
+                ids.retain(|&id| id as usize >= cut);
+                if ids.is_empty() {
+                    self.index.remove(&hash);
+                }
+            }
+        }
+        self.data.drain(..retired * self.width);
+        self.totals.drain(..retired);
+        self.hashes.drain(..retired);
+        self.base = cut;
     }
 
-    /// Iterates over all interned rows in id order.
+    /// Iterates over all live (non-retired) rows in id order.
     pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
-        (0..self.len()).map(move |i| self.row(ConfigId(i as u32)))
+        (self.base..self.len()).map(move |i| self.row(ConfigId(i as u32)))
     }
 }
 
@@ -338,13 +374,49 @@ impl ShardedArena {
         }
     }
 
-    /// Removes every interned row, keeping shard capacity. Takes `&self`
-    /// (shards have interior mutability); callers are responsible for not
-    /// racing this with concurrent interns — the parallel engine only
-    /// clears between levels, while its workers are parked.
-    pub(crate) fn clear(&self) {
-        for shard in &self.shards {
-            spin_lock(shard).clear();
+    /// Per-shard next local id, i.e. the number of rows ever interned into
+    /// each shard (retired rows included). Two successive snapshots
+    /// delimit an *epoch*: every row interned between them has a local id
+    /// in the snapshot range of its shard. The pipelined engine snapshots
+    /// at each level handoff while all workers are parked.
+    #[must_use]
+    pub(crate) fn snapshot_lens(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .map(|s| u32::try_from(spin_lock(s).len()).expect("shard id fits u32"))
+            .collect()
+    }
+
+    /// Calls `f` with `(shard, local id, agent total, row)` for every live
+    /// row whose local id falls in `from[shard]..to[shard]`, in shard-major
+    /// local-minor order — the deterministic enumeration of one epoch that
+    /// the pipelined engine turns into the next level's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range addresses retired or not-yet-interned rows.
+    pub(crate) fn for_each_in_range(
+        &self,
+        from: &[u32],
+        to: &[u32],
+        mut f: impl FnMut(usize, u32, u64, &[u64]),
+    ) {
+        for (shard_index, shard) in self.shards.iter().enumerate() {
+            let shard = spin_lock(shard);
+            for local in from[shard_index]..to[shard_index] {
+                let id = ConfigId(local);
+                f(shard_index, local, shard.total(id), shard.row(id));
+            }
+        }
+    }
+
+    /// Retires, per shard, every row with local id below `lens[shard]`
+    /// (see [`ConfigArena::retire_below`]): surviving and future ids stay
+    /// stable, retired rows leave dedup. `lens` is a snapshot previously
+    /// returned by [`snapshot_lens`](Self::snapshot_lens).
+    pub(crate) fn retire_below(&self, lens: &[u32]) {
+        for (shard, &cut) in self.shards.iter().zip(lens) {
+            spin_lock(shard).retire_below(cut as usize);
         }
     }
 
@@ -475,6 +547,56 @@ mod tests {
             assert_eq!(row, &[1, 2, 3]);
             assert_eq!(hash, hash_row(&[1, 2, 3]));
         });
+    }
+
+    #[test]
+    fn retire_below_keeps_ids_stable_and_drops_dedup() {
+        let mut arena = ConfigArena::new(2);
+        let a = arena.intern(&[1, 1]);
+        let b = arena.intern(&[2, 2]);
+        arena.retire_below(1);
+        assert_eq!(arena.len(), 2, "retired rows still count toward ids");
+        assert_eq!(arena.row(b), &[2, 2]);
+        assert_eq!(arena.total(b), 4);
+        assert_eq!(arena.lookup(&[1, 1]), None, "retired rows leave dedup");
+        assert_eq!(arena.lookup(&[2, 2]), Some(b));
+        // Re-interning a retired row assigns a fresh id: ids never recycle.
+        let a2 = arena.intern(&[1, 1]);
+        assert_eq!(a2, ConfigId(2));
+        assert_ne!(a2, a);
+        let rows: Vec<&[u64]> = arena.rows().collect();
+        assert_eq!(rows, vec![&[2, 2][..], &[1, 1]]);
+        // Retiring everything (or past the end) is safe and idempotent.
+        arena.retire_below(100);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.rows().count(), 0);
+        arena.retire_below(0);
+        assert_eq!(arena.len(), 3);
+    }
+
+    #[test]
+    fn sharded_retirement_keeps_the_newest_epoch() {
+        let arena = ShardedArena::new(1, 4);
+        let epoch0 = arena.snapshot_lens();
+        assert_eq!(epoch0, vec![0; 4]);
+        let a = arena.intern(&[10]);
+        let b = arena.intern(&[20]);
+        let epoch1 = arena.snapshot_lens();
+        let c = arena.intern(&[30]);
+        // Enumerate the first epoch (rows a, b) deterministically.
+        let mut seen = Vec::new();
+        arena.for_each_in_range(&epoch0, &epoch1, |shard, local, total, row| {
+            seen.push((shard, local, total, row.to_vec()));
+        });
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|(_, _, total, row)| *total == row[0]));
+        // Retire the first epoch; the newer row keeps its stable id.
+        arena.retire_below(&epoch1);
+        assert_eq!(arena.lookup(&[10]), None);
+        assert_eq!(arena.lookup(&[20]), None);
+        assert_eq!(arena.lookup(&[30]), Some(c));
+        arena.with_row(c, |_, row| assert_eq!(row, &[30]));
+        let _ = (a, b);
     }
 
     #[test]

@@ -345,7 +345,7 @@ pub fn covering_word<P: Clone + Ord>(
             if arena.lookup(&succ).is_some() {
                 continue;
             }
-            if arena.len() >= limits.max_configurations {
+            if arena.len() >= limits.effective_max_configurations() {
                 // Every already-interned configuration was cover-checked
                 // above when first produced, so once the budget blocks new
                 // interns no cover can ever be found: stop immediately.

@@ -18,6 +18,33 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
+/// The largest number of configurations any exploration can store: the
+/// `u32` id space of [`ConfigArena`](crate::arena::ConfigArena).
+///
+/// [`ExplorationLimits::max_configurations`] values above this ceiling are
+/// clamped, so an over-sized budget degrades into a truncated build
+/// (`is_complete() == false`) instead of an id-overflow panic deep inside
+/// the arena.
+pub const MAX_GRAPH_CONFIGURATIONS: usize = u32::MAX as usize;
+
+/// Test-only fault injection for the parallel engine.
+///
+/// Hidden from the documented API: the `tests/parallel_poison.rs`
+/// integration test sets [`PANIC_IN_WORKERS`](fault_injection::PANIC_IN_WORKERS)
+/// to prove that a panicking worker thread poisons the whole build — the
+/// panic propagates out of [`ReachabilityGraph::build_with`] — instead of
+/// deadlocking the pipeline barrier. While set, worker dispatch also
+/// ignores the minimum level size so tiny test graphs still spawn workers.
+#[doc(hidden)]
+pub mod fault_injection {
+    use std::sync::atomic::AtomicBool;
+
+    /// When `true`, every spawned exploration worker panics at its next
+    /// wakeup (the main thread never does — it must survive to observe
+    /// the poisoning).
+    pub static PANIC_IN_WORKERS: AtomicBool = AtomicBool::new(false);
+}
+
 /// Limits for forward exploration.
 ///
 /// An exploration is *complete* when it terminated without hitting any limit;
@@ -44,6 +71,13 @@ impl Default for ExplorationLimits {
 }
 
 impl ExplorationLimits {
+    /// The configuration budget actually enforced: `max_configurations`
+    /// clamped to the arena's `u32` id space
+    /// ([`MAX_GRAPH_CONFIGURATIONS`]).
+    pub(crate) fn effective_max_configurations(&self) -> usize {
+        self.max_configurations.min(MAX_GRAPH_CONFIGURATIONS)
+    }
+
     /// Limits with the given configuration budget and no other restrictions.
     #[must_use]
     pub fn with_max_configurations(max_configurations: usize) -> Self {
@@ -111,22 +145,30 @@ enum SuccessorRef {
     Fresh(ShardedConfigId),
 }
 
-/// One expanded chunk of a level's frontier: the flat successor list (in
-/// node-major, transition-minor order) and the per-node successor counts.
+/// One expanded chunk of a level's job: the flat successor list (in
+/// node-major, transition-minor order) and, per node, its `(offset, len)`
+/// span within that list — emitted by the workers directly so the commit
+/// pass gets random access without re-walking or copying edges.
 struct ChunkResult {
     chunk: usize,
     edges: Vec<(u32, SuccessorRef)>,
-    counts: Vec<u32>,
+    spans: Vec<(u32, u32)>,
 }
 
 /// One BFS level's shared work description for the parallel engine.
 ///
-/// The main thread publishes a job (frontier rows, width-strided, in
-/// expansion order), all workers claim chunks via `next_chunk` and push
-/// their [`ChunkResult`]s into `results`; the main thread then reassembles
-/// the chunks in order for the deterministic renumbering pass.
+/// The main thread publishes a job (one scratch epoch's rows in
+/// deterministic shard-major order), all workers claim chunks via
+/// `next_chunk` and push their [`ChunkResult`]s into `results`; the main
+/// thread later reassembles the chunks for that level's deterministic
+/// commit pass — which, under the pipelined protocol, runs **while** the
+/// workers are already expanding the next job.
 struct LevelJob {
     rows: Vec<u64>,
+    /// Per-node flag: `false` = the node is over the agent budget and is
+    /// stored without being expanded (workers report zero successors and
+    /// the commit pass records the incompleteness).
+    expand: Vec<bool>,
     width: usize,
     count: usize,
     chunk_size: usize,
@@ -138,6 +180,7 @@ impl LevelJob {
     fn empty() -> Self {
         LevelJob {
             rows: Vec::new(),
+            expand: Vec::new(),
             width: 0,
             count: 0,
             chunk_size: 1,
@@ -145,6 +188,253 @@ impl LevelJob {
             results: Mutex::new(Vec::new()),
         }
     }
+}
+
+/// Maps a frontier node back to its position in the level job that
+/// expanded it.
+enum JobIndex {
+    /// The job was built after the previous commit, from the frontier's
+    /// contiguous arena rows in id order (the inline path): a node's
+    /// position is its id offset, and the commit scans sequentially.
+    Identity,
+    /// The job was built before the previous commit, from one scratch
+    /// epoch in shard-major, local-minor order (the pipelined path): a
+    /// row's position is its shard's cumulative offset plus its local id
+    /// relative to the epoch start of that shard.
+    Epoch { start: Vec<u32>, offset: Vec<u32> },
+}
+
+impl JobIndex {
+    fn position(&self, id_offset: usize, sids: &[ShardedConfigId]) -> usize {
+        match self {
+            JobIndex::Identity => id_offset,
+            JobIndex::Epoch { start, offset } => {
+                let sid = sids[id_offset];
+                offset[sid.shard()] as usize + (sid.local() - start[sid.shard()] as usize)
+            }
+        }
+    }
+}
+
+/// Epoch-tagged map from scratch [`ShardedConfigId`]s to committed global
+/// ids (`u32::MAX` = not committed). Entries are stored relative to a
+/// per-shard retirement base, so the map — like the scratch arena itself —
+/// only ever holds the two live epochs of the pipeline.
+struct SidMap {
+    base: Vec<u32>,
+    slots: Vec<Vec<u32>>,
+}
+
+impl SidMap {
+    fn new(shards: usize) -> Self {
+        SidMap {
+            base: vec![0; shards],
+            slots: vec![Vec::new(); shards],
+        }
+    }
+
+    fn get(&self, sid: ShardedConfigId) -> Option<u32> {
+        let slot = sid
+            .local()
+            .checked_sub(self.base[sid.shard()] as usize)
+            .expect("retired scratch id queried");
+        match self.slots[sid.shard()].get(slot) {
+            Some(&global) if global != u32::MAX => Some(global),
+            _ => None,
+        }
+    }
+
+    fn set(&mut self, sid: ShardedConfigId, global: u32) {
+        let slot = sid
+            .local()
+            .checked_sub(self.base[sid.shard()] as usize)
+            .expect("retired scratch id assigned");
+        let slots = &mut self.slots[sid.shard()];
+        if slots.len() <= slot {
+            slots.resize(slot + 1, u32::MAX);
+        }
+        slots[slot] = global;
+    }
+
+    /// Drops every entry whose local id lies below `lens[shard]` — the
+    /// epoch analogue of [`ShardedArena::retire_below`]. Retired entries
+    /// are never queried again: commits only resolve scratch ids from the
+    /// two live epochs.
+    fn retire_below(&mut self, lens: &[u32]) {
+        for (shard, &cut) in lens.iter().enumerate() {
+            let cut = cut.max(self.base[shard]);
+            let drop = (cut - self.base[shard]) as usize;
+            let slots = &mut self.slots[shard];
+            slots.drain(..drop.min(slots.len()));
+            self.base[shard] = cut;
+        }
+    }
+}
+
+/// Random-access view over one level's expansion results: for each job
+/// position, the successor references produced for that node, in
+/// transition order. Chunks are kept as the workers produced them — the
+/// per-node spans they emitted make lookup O(1) without copying a single
+/// edge.
+struct LevelResults {
+    results: Vec<ChunkResult>,
+    chunk_size: usize,
+}
+
+impl LevelResults {
+    fn assemble(mut results: Vec<ChunkResult>, count: usize, chunk_size: usize) -> Self {
+        results.sort_unstable_by_key(|r| r.chunk);
+        debug_assert!(results.iter().enumerate().all(|(i, r)| r.chunk == i));
+        debug_assert_eq!(
+            results.iter().map(|r| r.spans.len()).sum::<usize>(),
+            count,
+            "every job position reported successors"
+        );
+        let _ = count;
+        LevelResults {
+            results,
+            chunk_size,
+        }
+    }
+
+    fn successors(&self, position: usize) -> &[(u32, SuccessorRef)] {
+        let chunk = &self.results[position / self.chunk_size];
+        let (offset, len) = chunk.spans[position - chunk.chunk * self.chunk_size];
+        &chunk.edges[offset as usize..offset as usize + len as usize]
+    }
+}
+
+/// Gathers one scratch epoch into a level job plus the [`JobIndex`] that
+/// maps a node's scratch id back to its job position. `rows`/`expand` are
+/// recycled buffers from a committed job.
+fn build_level_job(
+    sharded: &ShardedArena,
+    from: &[u32],
+    to: &[u32],
+    limits: &ExplorationLimits,
+    width: usize,
+    mut rows: Vec<u64>,
+    mut expand: Vec<bool>,
+) -> (LevelJob, JobIndex) {
+    rows.clear();
+    expand.clear();
+    let mut offset = Vec::with_capacity(from.len());
+    let mut count = 0usize;
+    for shard in 0..from.len() {
+        offset.push(u32::try_from(count).expect("job position fits u32"));
+        count += (to[shard] - from[shard]) as usize;
+    }
+    rows.reserve(count * width);
+    expand.reserve(count);
+    sharded.for_each_in_range(from, to, |_, _, total, row| {
+        expand.push(limits.max_agents.is_none_or(|max| total <= max));
+        rows.extend_from_slice(row);
+    });
+    (
+        LevelJob {
+            rows,
+            expand,
+            width,
+            count,
+            chunk_size: count.max(1),
+            next_chunk: AtomicUsize::new(0),
+            results: Mutex::new(Vec::new()),
+        },
+        JobIndex::Epoch {
+            start: from.to_vec(),
+            offset,
+        },
+    )
+}
+
+/// Builds an inline level job from the frontier's already-published arena
+/// rows, in id order — the [`JobIndex::Identity`] layout whose commit
+/// scans results sequentially (no shard indirection, no random access).
+fn build_frontier_job(
+    arena: &ConfigArena,
+    frontier: std::ops::Range<usize>,
+    limits: &ExplorationLimits,
+    width: usize,
+    mut rows: Vec<u64>,
+    mut expand: Vec<bool>,
+) -> LevelJob {
+    rows.clear();
+    expand.clear();
+    let count = frontier.len();
+    rows.reserve(count * width);
+    expand.reserve(count);
+    for id in frontier {
+        let id = ConfigId(u32::try_from(id).expect("node id fits u32"));
+        let total = arena.total(id);
+        expand.push(limits.max_agents.is_none_or(|max| total <= max));
+        rows.extend_from_slice(arena.row(id));
+    }
+    LevelJob {
+        rows,
+        expand,
+        width,
+        count,
+        chunk_size: count.max(1),
+        next_chunk: AtomicUsize::new(0),
+        results: Mutex::new(Vec::new()),
+    }
+}
+
+/// The deterministic commit of one level: replays the expansion results in
+/// frontier × transition order, assigning dense ids exactly as the
+/// sequential BFS would — resolving already-known successors through the
+/// epoch-tagged [`SidMap`] and admitting first-seen rows against the
+/// configuration budget. Returns the scratch ids committed as the next
+/// frontier, in id order.
+///
+/// This pass never touches the frozen arena (rows are published to it at
+/// the next pipeline sync), which is what lets it run concurrently with
+/// the workers' expansion of the next level.
+#[allow(clippy::too_many_arguments)]
+fn commit_level(
+    frontier: std::ops::Range<usize>,
+    frontier_sids: &[ShardedConfigId],
+    index: &JobIndex,
+    job: &LevelJob,
+    results: &LevelResults,
+    map: &mut SidMap,
+    edges: &mut EdgeLists,
+    next_id: &mut usize,
+    cap: usize,
+    complete: &mut bool,
+) -> Vec<ShardedConfigId> {
+    let mut committed = Vec::new();
+    for global in frontier.clone() {
+        let position = index.position(global - frontier.start, frontier_sids);
+        if !job.expand[position] {
+            // Over the agent budget: stored but never expanded, exactly
+            // like the sequential search (which reports incompleteness).
+            *complete = false;
+            continue;
+        }
+        for &(transition, successor) in results.successors(position) {
+            let to = match successor {
+                SuccessorRef::Known(id) => id as usize,
+                SuccessorRef::Fresh(sid) => match map.get(sid) {
+                    Some(assigned) => assigned as usize,
+                    None => {
+                        if *next_id >= cap {
+                            *complete = false;
+                            continue;
+                        }
+                        let assigned = *next_id;
+                        *next_id += 1;
+                        map.set(sid, assigned as u32);
+                        edges.push(Vec::new());
+                        committed.push(sid);
+                        assigned
+                    }
+                },
+            };
+            edges[global].push((transition as usize, to));
+        }
+    }
+    committed
 }
 
 /// Worker body: claims frontier chunks, fires every transition, and
@@ -170,10 +460,14 @@ fn expand_level_chunks(
         let end = (start + job.chunk_size).min(job.count);
         let mut edges: Vec<(u32, SuccessorRef)> =
             Vec::with_capacity((end - start) * transitions.len());
-        let mut counts: Vec<u32> = Vec::with_capacity(end - start);
+        let mut spans: Vec<(u32, u32)> = Vec::with_capacity(end - start);
         for node in start..end {
+            let offset = edges.len() as u32;
+            if !job.expand[node] {
+                spans.push((offset, 0));
+                continue;
+            }
             let src = &job.rows[node * job.width..(node + 1) * job.width];
-            let mut produced = 0u32;
             for (t, transition) in transitions.iter().enumerate() {
                 if !transition.fire_row(src, &mut succ) {
                     continue;
@@ -184,14 +478,13 @@ fn expand_level_chunks(
                     None => SuccessorRef::Fresh(sharded.intern_hashed(hash, &succ)),
                 };
                 edges.push((t as u32, successor));
-                produced += 1;
             }
-            counts.push(produced);
+            spans.push((offset, edges.len() as u32 - offset));
         }
         crate::arena::spin_lock(&job.results).push(ChunkResult {
             chunk,
             edges,
-            counts,
+            spans,
         });
     }
 }
@@ -263,7 +556,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                 .expect("initial supports are part of the compiled universe");
             let id = if let Some(id) = arena.lookup(&row) {
                 Some(id.index())
-            } else if arena.len() >= limits.max_configurations {
+            } else if arena.len() >= limits.effective_max_configurations() {
                 None
             } else {
                 let id = arena.intern(&row);
@@ -300,7 +593,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             if let Some(id) = arena.lookup(row) {
                 return Some(id.index());
             }
-            if arena.len() >= limits.max_configurations {
+            if arena.len() >= limits.effective_max_configurations() {
                 return None;
             }
             let id = arena.intern(row);
@@ -358,105 +651,115 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         Self::finish(engine, arena, edges, initial_ids, complete)
     }
 
-    /// The sharded level-synchronous parallel search.
+    /// The sharded **pipelined** level-synchronous parallel search.
     ///
-    /// Per level: the main thread copies the frontier rows into a job;
-    /// `workers` threads (the main thread included) fire all transitions
-    /// and resolve each successor — lock-free against the frozen,
-    /// already-numbered arena, or by interning first-seen rows into a
-    /// [`ShardedArena`] scratch (cleared every level, so it only ever
-    /// holds one frontier's fresh rows); then the main thread replays the
-    /// discoveries in frontier × transition order, assigning dense
-    /// [`ConfigId`]s exactly as the sequential BFS would. Because each
-    /// level's frontier is the contiguous id range created by the previous
-    /// renumbering, the resulting graph is bit-identical to
-    /// [`build_sequential`]'s for every worker count. Levels below
-    /// [`PARALLEL_LEVEL_MIN`](Self::build_parallel) frontier nodes are
-    /// expanded inline by the main thread (same code path, no barrier
-    /// round-trip), which keeps deep narrow graphs near sequential speed.
+    /// The engine alternates between two regimes, level by level:
+    ///
+    /// * **Direct** — while no workers are in flight (small levels, and
+    ///   every level under `Parallel(1)`), a level is one fused
+    ///   sequential step: frontier rows are expanded in id order and
+    ///   fresh successors interned straight into the arena, exactly the
+    ///   sequential BFS step. No scratch, no barriers, no deferred
+    ///   commit — deep narrow graphs run at sequential speed.
+    ///
+    /// * **Pipelined** — once a level reaches `PARALLEL_LEVEL_MIN`
+    ///   candidates (and `Parallel(n ≥ 2)` provides workers), its
+    ///   lifecycle splits into *expand* and *commit*, and the two stages
+    ///   **overlap**: while the main thread commits level *d* — replaying
+    ///   the workers\' discoveries in frontier × transition order,
+    ///   assigning dense [`ConfigId`]s exactly as the sequential BFS
+    ///   would — the workers already expand level *d+1*, resolving rows
+    ///   first seen at level *d* through their stable scratch ids
+    ///   ([`ShardedArena`] retains the two live epochs) instead of
+    ///   waiting for their global numbers. Only the brief sync point
+    ///   between levels stays serial: publishing the freshly committed
+    ///   rows into the frozen arena, retiring the oldest scratch epoch,
+    ///   and handing over the next job.
+    ///
+    /// Both regimes replay discoveries in the exact sequential interning
+    /// order (including budget truncation decisions), so the resulting
+    /// graph is bit-identical to [`build_sequential`]\'s for every worker
+    /// count.
+    ///
+    /// A panicking worker marks the build as poisoned and the panic is
+    /// re-raised from the main thread once the current level drains — the
+    /// barrier protocol never deadlocks on a dead worker.
+    ///
+    /// [`build_sequential`]: Self::build_sequential
     fn build_parallel(
         engine: CompiledNet<P>,
         initial_configs: &[Multiset<P>],
         limits: &ExplorationLimits,
         workers: usize,
     ) -> Self {
-        /// Don't wake the workers for levels smaller than this.
+        /// Don\'t wake the workers for levels smaller than this.
         const PARALLEL_LEVEL_MIN: usize = 512;
 
         let width = engine.num_places();
+        let cap = limits.effective_max_configurations();
         let (arena, mut edges, initial_ids, mut complete) =
             Self::intern_initial(&engine, initial_configs, limits);
+        let mut next_id = arena.len();
 
-        // Scratch dedup arena for rows first seen in the current level,
-        // plus its map to final ids (u32::MAX = unassigned).
+        // Scratch dedup arena plus the epoch-tagged map to final ids.
         let sharded = ShardedArena::new(width, workers * 8);
-        let mut shard_to_global: Vec<Vec<u32>> = vec![Vec::new(); sharded.num_shards()];
-        fn note(map: &mut [Vec<u32>], sid: ShardedConfigId, global: u32) {
-            let slots = &mut map[sid.shard()];
-            if slots.len() <= sid.local() {
-                slots.resize(sid.local() + 1, u32::MAX);
-            }
-            slots[sid.local()] = global;
-        }
+        let num_shards = sharded.num_shards();
+        let mut map = SidMap::new(num_shards);
 
+        // The current frontier: ids `[start, end)`, its scratch ids
+        // (empty for frontiers whose rows the arena already holds in id
+        // order), and its BFS depth.
+        let mut frontier_sids: Vec<ShardedConfigId> = Vec::new();
+        let mut frontier_start = 0usize;
+        let mut frontier_end = next_id;
+        let mut depth = 0usize;
+        // Whether the frontier\'s rows are already in the frozen arena
+        // (true except right after an overlapped commit).
+        let mut prepublished = true;
+
+        // The level whose expansion results are awaiting their commit:
+        // its job, result chunks, and position index. `None` in the
+        // direct regime.
+        let mut pending: Option<(LevelJob, JobIndex, Vec<ChunkResult>)> = None;
+
+        // Epoch boundaries (per-shard scratch lengths): `b_prev` opens the
+        // newest finished epoch, `b_prev2` the one before it. Rows retire
+        // one sync after publication, map entries one sync after that.
+        let mut b_prev2 = vec![0u32; num_shards];
+        let mut b_prev = vec![0u32; num_shards];
+
+        let transitions = engine.transitions();
         let spawned = workers.saturating_sub(1);
+        let force_workers = fault_injection::PANIC_IN_WORKERS.load(Ordering::Relaxed);
         // Two barrier crossings hand each level off: workers park between
         // levels (a busy-spin variant was measured to be strictly worse on
         // CPU-throttled hosts, where a spinning worker steals cycles from
-        // the renumbering thread).
+        // the committing thread).
         let barrier = Barrier::new(spawned + 1);
         let done = AtomicBool::new(false);
+        let worker_panicked = AtomicBool::new(false);
         let job_slot: RwLock<LevelJob> = RwLock::new(LevelJob::empty());
-        // The frontier of each level is a contiguous id range.
-        let mut level_start = 0usize;
-        let mut level_end = arena.len();
-        let mut depth = 0usize;
         // Workers read the frozen arena during a level; the main thread
-        // writes it only between levels (while the workers are parked at
-        // the barrier), so neither side ever blocks on this lock.
+        // writes it only at the sync points (while the workers are parked
+        // at the barrier), so neither side ever blocks on this lock.
         let arena_slot: RwLock<ConfigArena> = RwLock::new(arena);
-        let transitions = engine.transitions();
 
         std::thread::scope(|scope| {
             // Workers are spawned lazily, on the first level big enough to
             // use them: graphs that never reach PARALLEL_LEVEL_MIN nodes
             // per level (the small-input regime) pay no thread cost at all.
             let mut workers_spawned = false;
+            let mut spare_rows: Vec<u64> = Vec::new();
+            let mut spare_flags: Vec<bool> = Vec::new();
+            let mut src: Vec<u64> = Vec::new();
+            let mut succ: Vec<u64> = Vec::new();
 
-            let mut expand: Vec<usize> = Vec::new();
-            let mut rows: Vec<u64> = Vec::new();
-            loop {
-                if level_start >= level_end {
-                    break;
-                }
-                if let Some(max_depth) = limits.max_depth {
-                    if depth >= max_depth {
-                        complete = false;
-                        break;
-                    }
-                }
-                expand.clear();
-                rows.clear();
-                {
-                    let arena = arena_slot.read().expect("arena lock poisoned");
-                    for id in level_start..level_end {
-                        if let Some(max_agents) = limits.max_agents {
-                            if arena.total(ConfigId(id as u32)) > max_agents {
-                                complete = false;
-                                continue;
-                            }
-                        }
-                        expand.push(id);
-                        rows.extend_from_slice(arena.row(ConfigId(id as u32)));
-                    }
-                }
-                if expand.is_empty() {
-                    break;
-                }
-                let count = expand.len();
-
-                let use_workers = spawned > 0 && count >= PARALLEL_LEVEL_MIN;
-                let mut results: Vec<ChunkResult> = if use_workers {
+            // Installs the next job and wakes the workers (spawning them
+            // on first use). Duplicated as a macro because the spawn
+            // closure borrows the scope.
+            macro_rules! dispatch {
+                ($job:expr) => {{
+                    let mut next_job = $job;
                     if !workers_spawned {
                         workers_spawned = true;
                         for _ in 0..spawned {
@@ -465,10 +768,19 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                                 if done.load(Ordering::Acquire) {
                                     break;
                                 }
-                                {
-                                    let frozen = arena_slot.read().expect("arena lock poisoned");
-                                    let job = job_slot.read().expect("level job poisoned");
-                                    expand_level_chunks(&job, transitions, &frozen, &sharded);
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        if fault_injection::PANIC_IN_WORKERS.load(Ordering::Relaxed)
+                                        {
+                                            panic!("injected worker panic (fault_injection)");
+                                        }
+                                        let frozen =
+                                            arena_slot.read().expect("arena lock poisoned");
+                                        let job = job_slot.read().expect("level job poisoned");
+                                        expand_level_chunks(&job, transitions, &frozen, &sharded);
+                                    }));
+                                if outcome.is_err() {
+                                    worker_panicked.store(true, Ordering::Release);
                                 }
                                 barrier.wait();
                             });
@@ -476,103 +788,221 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                     }
                     // Enough chunks that workers stay balanced, big enough
                     // that queue-claim traffic stays negligible.
-                    let chunk_size = (count.div_ceil(workers * 4)).clamp(1, 512);
-                    {
-                        let mut slot = job_slot.write().expect("level job poisoned");
-                        *slot = LevelJob {
-                            rows: std::mem::take(&mut rows),
-                            width,
-                            count,
-                            chunk_size,
-                            next_chunk: AtomicUsize::new(0),
-                            results: Mutex::new(Vec::new()),
-                        };
-                    }
+                    next_job.chunk_size = (next_job.count.div_ceil(workers * 4)).clamp(1, 512);
+                    *job_slot.write().expect("level job poisoned") = next_job;
                     barrier.wait(); // level start: workers read the new job
+                }};
+            }
+
+            // Joins the workers\' expansion (the main thread claims chunks
+            // too) and recovers the finished job with its results.
+            macro_rules! drain {
+                () => {{
                     {
                         let frozen = arena_slot.read().expect("arena lock poisoned");
-                        let job = job_slot.read().expect("level job poisoned");
-                        expand_level_chunks(&job, transitions, &frozen, &sharded);
+                        let current = job_slot.read().expect("level job poisoned");
+                        expand_level_chunks(&current, transitions, &frozen, &sharded);
                     }
                     barrier.wait(); // level end: all successors resolved
-                    let finished = std::mem::replace(
+                    let mut finished = std::mem::replace(
                         &mut *job_slot.write().expect("level job poisoned"),
                         LevelJob::empty(),
                     );
-                    rows = finished.rows; // recycle the row buffer
-                    finished
-                        .results
-                        .into_inner()
-                        .expect("level results poisoned")
-                } else {
-                    // Small level: expand inline, workers stay parked.
-                    let job = LevelJob {
-                        rows: std::mem::take(&mut rows),
-                        width,
-                        count,
-                        chunk_size: count,
-                        next_chunk: AtomicUsize::new(0),
-                        results: Mutex::new(Vec::new()),
-                    };
-                    {
-                        let frozen = arena_slot.read().expect("arena lock poisoned");
-                        expand_level_chunks(&job, transitions, &frozen, &sharded);
-                    }
-                    rows = job.rows;
-                    job.results.into_inner().expect("level results poisoned")
-                };
-                results.sort_unstable_by_key(|r| r.chunk);
+                    let taken =
+                        std::mem::take(finished.results.get_mut().expect("level results poisoned"));
+                    (finished, taken)
+                }};
+            }
 
-                // Deterministic renumbering: replay discoveries in frontier ×
-                // transition order, exactly the sequential interning order.
-                let mut arena = arena_slot.write().expect("arena lock poisoned");
-                let mut pos = 0usize;
-                for chunk_result in &results {
-                    let mut offset = 0usize;
-                    for &produced in &chunk_result.counts {
-                        let from = expand[pos];
-                        pos += 1;
-                        for &(t, successor) in
-                            &chunk_result.edges[offset..offset + produced as usize]
-                        {
-                            let to = match successor {
-                                SuccessorRef::Known(id) => id as usize,
-                                SuccessorRef::Fresh(sid) => {
-                                    let known = shard_to_global[sid.shard()]
-                                        .get(sid.local())
-                                        .copied()
-                                        .unwrap_or(u32::MAX);
-                                    if known != u32::MAX {
-                                        known as usize
-                                    } else if arena.len() >= limits.max_configurations {
+            loop {
+                // ---- sync point: no worker is running ----
+                if worker_panicked.load(Ordering::Acquire) {
+                    break; // re-raised after the workers are released
+                }
+                // Publish the frontier\'s rows into the frozen arena: from
+                // here on every thread resolves them lock-free.
+                if !prepublished {
+                    let mut arena = arena_slot.write().expect("arena lock poisoned");
+                    for (offset, &sid) in frontier_sids.iter().enumerate() {
+                        let id =
+                            sharded.with_row(sid, |hash, row| arena.intern_prehashed(hash, row));
+                        debug_assert_eq!(
+                            id.index(),
+                            frontier_start + offset,
+                            "published ids must match the committed numbering"
+                        );
+                        let _ = (id, offset);
+                    }
+                    prepublished = true;
+                }
+                if frontier_start >= frontier_end {
+                    break;
+                }
+                if let Some(max_depth) = limits.max_depth {
+                    if depth >= max_depth {
+                        // Stored but never expanded, like the sequential
+                        // search reaching its depth budget.
+                        complete = false;
+                        break;
+                    }
+                }
+
+                let Some((mut job, job_index, results)) = pending.take() else {
+                    // ---- direct regime: no expansion in flight ----
+                    let count = frontier_end - frontier_start;
+                    if spawned > 0 && (count >= PARALLEL_LEVEL_MIN || force_workers) {
+                        // Promote: expand this frontier on the workers.
+                        // There is nothing to overlap yet — the pipeline
+                        // proper starts at the next iteration, when this
+                        // level\'s commit overlaps the next expansion.
+                        b_prev2 = std::mem::replace(&mut b_prev, sharded.snapshot_lens());
+                        let promoted = {
+                            let frozen = arena_slot.read().expect("arena lock poisoned");
+                            build_frontier_job(
+                                &frozen,
+                                frontier_start..frontier_end,
+                                limits,
+                                width,
+                                std::mem::take(&mut spare_rows),
+                                std::mem::take(&mut spare_flags),
+                            )
+                        };
+                        dispatch!(promoted);
+                        let (finished, taken) = drain!();
+                        pending = Some((finished, JobIndex::Identity, taken));
+                        continue;
+                    }
+                    // One fused sequential step: expand in id order,
+                    // interning fresh rows straight into the arena.
+                    let mut arena = arena_slot.write().expect("arena lock poisoned");
+                    for id in frontier_start..frontier_end {
+                        let node = ConfigId(u32::try_from(id).expect("node id fits u32"));
+                        if let Some(max_agents) = limits.max_agents {
+                            if arena.total(node) > max_agents {
+                                complete = false;
+                                continue;
+                            }
+                        }
+                        src.clear();
+                        src.extend_from_slice(arena.row(node));
+                        for (t, transition) in transitions.iter().enumerate() {
+                            if !transition.fire_row(&src, &mut succ) {
+                                continue;
+                            }
+                            let to = match arena.lookup(&succ) {
+                                Some(existing) => existing.index(),
+                                None => {
+                                    if arena.len() >= cap {
                                         complete = false;
                                         continue;
-                                    } else {
-                                        let id = sharded.with_row(sid, |hash, row| {
-                                            arena.intern_prehashed(hash, row)
-                                        });
-                                        edges.push(Vec::new());
-                                        note(&mut shard_to_global, sid, id.0);
-                                        id.index()
                                     }
+                                    let fresh = arena.intern(&succ);
+                                    edges.push(Vec::new());
+                                    fresh.index()
                                 }
                             };
-                            edges[from].push((t as usize, to));
+                            edges[id].push((t, to));
                         }
-                        offset += produced as usize;
                     }
-                }
-                debug_assert_eq!(pos, count, "every frontier node reported successors");
+                    next_id = arena.len();
+                    drop(arena);
+                    frontier_start = frontier_end;
+                    frontier_end = next_id;
+                    frontier_sids.clear();
+                    depth += 1;
+                    continue;
+                };
 
-                // The scratch arena only ever holds one level's fresh rows.
-                sharded.clear();
-                for slots in &mut shard_to_global {
-                    slots.clear();
+                // ---- pipelined regime: commit the pending level ----
+                // Epoch handoff: the newest scratch epoch holds the rows
+                // first seen while expanding the pending level — the
+                // candidate superset of the next one. The epoch before it
+                // was published and its rows retire now (its map entries
+                // one sync later).
+                let b_now = sharded.snapshot_lens();
+                sharded.retire_below(&b_prev);
+                map.retire_below(&b_prev2);
+                let epoch_count: usize = b_now
+                    .iter()
+                    .zip(&b_prev)
+                    .map(|(now, prev)| (now - prev) as usize)
+                    .sum();
+
+                let expand_next =
+                    epoch_count > 0 && limits.max_depth.is_none_or(|max| depth + 1 < max);
+                let use_workers = expand_next
+                    && spawned > 0
+                    && (epoch_count >= PARALLEL_LEVEL_MIN || force_workers);
+                let mut next_index = JobIndex::Identity;
+                if use_workers {
+                    // Hand the whole epoch (shard-major layout, stable
+                    // scratch ids) to the workers *before* this level\'s
+                    // commit decides the epoch\'s final ids.
+                    let (next_job, index) = build_level_job(
+                        &sharded,
+                        &b_prev,
+                        &b_now,
+                        limits,
+                        width,
+                        std::mem::take(&mut spare_rows),
+                        std::mem::take(&mut spare_flags),
+                    );
+                    next_index = index;
+                    dispatch!(next_job);
                 }
 
-                level_start = level_end;
-                level_end = arena.len();
+                // ---- overlapped region: workers expand the next level ----
+                // Commit the pending level: replay its expansion results
+                // in frontier × transition order, assigning ids exactly in
+                // the sequential interning order.
+                let level = LevelResults::assemble(results, job.count, job.chunk_size);
+                let committed = commit_level(
+                    frontier_start..frontier_end,
+                    &frontier_sids,
+                    &job_index,
+                    &job,
+                    &level,
+                    &mut map,
+                    &mut edges,
+                    &mut next_id,
+                    cap,
+                    &mut complete,
+                );
+                // Reclaim the committed job\'s buffers for the next build.
+                spare_rows = std::mem::take(&mut job.rows);
+                spare_flags = std::mem::take(&mut job.expand);
+
+                if use_workers {
+                    let (finished, taken) = drain!();
+                    pending = Some((finished, next_index, taken));
+                    prepublished = false; // published at the next sync point
+                } else {
+                    // Demote to the direct regime: publish the fresh rows
+                    // now (no worker is in flight) so the next direct step
+                    // reads them straight from the arena.
+                    let _ = next_index;
+                    let mut arena = arena_slot.write().expect("arena lock poisoned");
+                    for (offset, &sid) in committed.iter().enumerate() {
+                        let id =
+                            sharded.with_row(sid, |hash, row| arena.intern_prehashed(hash, row));
+                        debug_assert_eq!(
+                            id.index(),
+                            frontier_end + offset,
+                            "published ids must match the committed numbering"
+                        );
+                        let _ = (id, offset);
+                    }
+                    prepublished = true;
+                }
+
+                if committed.is_empty() {
+                    break;
+                }
+                frontier_start = frontier_end;
+                frontier_end = next_id;
+                frontier_sids = committed;
                 depth += 1;
+                b_prev2 = std::mem::replace(&mut b_prev, b_now);
             }
 
             if workers_spawned {
@@ -581,7 +1011,12 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             }
         });
 
+        assert!(
+            !worker_panicked.load(Ordering::Acquire),
+            "a parallel exploration worker panicked; the build is poisoned"
+        );
         let arena = arena_slot.into_inner().expect("arena lock poisoned");
+        debug_assert_eq!(arena.len(), next_id, "every committed row was published");
         Self::finish(engine, arena, edges, initial_ids, complete)
     }
 
@@ -1001,6 +1436,72 @@ mod tests {
         let graph = ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &limits);
         assert!(!graph.is_complete());
         assert!(graph.len() <= 2);
+    }
+
+    #[test]
+    fn budget_truncation_is_graceful_on_both_engines() {
+        // Tiny synthetic caps: the budget must be enforced before the
+        // arena's id-space panic path, on the sequential and the pipelined
+        // parallel engine alike, and the truncated graphs must agree.
+        let net = doubling_net();
+        for cap in [1usize, 2, 3, 5] {
+            let limits = ExplorationLimits::with_max_configurations(cap);
+            let sequential = ReachabilityGraph::build(&net, [ms(&[("a", 6)])], &limits);
+            assert!(!sequential.is_complete());
+            assert!(sequential.len() <= cap);
+            for workers in [1usize, 2, 4] {
+                let parallel = ReachabilityGraph::build_with(
+                    &net,
+                    [ms(&[("a", 6)])],
+                    &limits,
+                    Parallelism::Parallel(workers),
+                );
+                assert!(
+                    sequential.identical_to(&parallel),
+                    "truncated graphs diverge at cap {cap} workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_budget_is_clamped_to_the_arena_id_space() {
+        // A budget beyond the arena's u32 id space must degrade into a
+        // truncated build, never an id-overflow panic.
+        let limits = ExplorationLimits::with_max_configurations(usize::MAX);
+        assert_eq!(
+            limits.effective_max_configurations(),
+            MAX_GRAPH_CONFIGURATIONS
+        );
+        let exact = ExplorationLimits::with_max_configurations(MAX_GRAPH_CONFIGURATIONS);
+        assert_eq!(
+            exact.effective_max_configurations(),
+            MAX_GRAPH_CONFIGURATIONS
+        );
+        // Sanity: a small build under the clamped budget still completes.
+        let net = doubling_net();
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 4)])], &limits);
+        assert!(graph.is_complete());
+    }
+
+    #[test]
+    fn agent_budget_truncation_matches_across_engines() {
+        // Non-conservative net: a -> a + a grows without bound; the agent
+        // cap stops expansion. Sequential and pipelined builds must agree
+        // node for node, including the incompleteness flag.
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("a", 2)]))]);
+        let limits = ExplorationLimits::with_max_agents(6);
+        let sequential = ReachabilityGraph::build(&net, [ms(&[("a", 1)])], &limits);
+        assert!(!sequential.is_complete());
+        for workers in [1usize, 3] {
+            let parallel = ReachabilityGraph::build_with(
+                &net,
+                [ms(&[("a", 1)])],
+                &limits,
+                Parallelism::Parallel(workers),
+            );
+            assert!(sequential.identical_to(&parallel));
+        }
     }
 
     #[test]

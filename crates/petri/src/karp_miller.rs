@@ -22,6 +22,7 @@ use pp_multiset::Multiset;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A marking value: a finite count or ω (unbounded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -200,8 +201,40 @@ fn accelerate(row: &mut [OmegaValue], ancestor: &[OmegaValue]) {
     }
 }
 
-/// The ancestor chain of one pending tree node.
-type Branch = Vec<OmegaRow>;
+/// One node of an ancestor chain.
+///
+/// Branches are shared immutable linked lists: extending a branch for a
+/// child is one `Arc` clone instead of copying the whole ancestor vector,
+/// which is what makes the speculative next-wave expansion of the
+/// pipelined builder cheap to fan out.
+struct BranchNode {
+    row: OmegaRow,
+    parent: BranchLink,
+}
+
+impl Drop for BranchNode {
+    fn drop(&mut self) {
+        // Unlink the chain iteratively: the default recursive drop would
+        // use one stack frame per ancestor, overflowing on the deep
+        // non-branching chains an acceleration-free net produces.
+        let mut parent = self.parent.take();
+        while let Some(node) = parent {
+            match Arc::try_unwrap(node) {
+                Ok(mut node) => parent = node.parent.take(),
+                // Some other branch still shares this tail: leave it.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// A (possibly empty) ancestor chain, leaf-most node first.
+type BranchLink = Option<Arc<BranchNode>>;
+
+/// Iterates the ancestor rows of `link`, leaf to root.
+fn ancestor_rows(link: &BranchLink) -> impl Iterator<Item = &OmegaRow> {
+    std::iter::successors(link.as_deref(), |node| node.parent.as_deref()).map(|node| &node.row)
+}
 
 /// The result of expanding one pending node, computed independently of
 /// every other node (which is what makes sibling expansion parallel).
@@ -217,27 +250,28 @@ struct Expansion {
 }
 
 /// Expands one pending node: subsumption check against the branch, then one
-/// child per enabled transition, accelerated against every ancestor. Takes
-/// the compiled transitions rather than the whole engine so worker threads
-/// need no bounds on the place type.
+/// child per enabled transition, accelerated against every ancestor (root
+/// first, the classical order). Takes the compiled transitions rather than
+/// the whole engine so worker threads need no bounds on the place type.
 fn expand_node(
     transitions: &[crate::engine::CompiledTransition],
     row: &OmegaRow,
-    ancestors: &Branch,
+    parent: &BranchLink,
 ) -> Expansion {
-    if ancestors.iter().any(|a| row_le(row, a)) {
+    if ancestor_rows(parent).any(|a| row_le(row, a)) {
         return Expansion {
             subsumed: true,
             children: Vec::new(),
             overflowed: false,
         };
     }
+    let chain: Vec<&OmegaRow> = ancestor_rows(parent).collect();
     let mut children = Vec::new();
     let mut overflowed = false;
     for transition in transitions {
         match fire_row(row, transition) {
             Ok(Some(mut next)) => {
-                for ancestor in ancestors.iter().chain(std::iter::once(row)) {
+                for ancestor in chain.iter().rev().copied().chain(std::iter::once(row)) {
                     if row_le(ancestor, &next) && ancestor != &next {
                         accelerate(&mut next, ancestor);
                     }
@@ -255,6 +289,73 @@ fn expand_node(
         children,
         overflowed,
     }
+}
+
+/// Fans one wave out over `workers` cooperating threads (pure node-local
+/// work; all admission decisions stay with the caller).
+fn expand_wave(
+    items: &[(OmegaRow, BranchLink)],
+    transitions: &[crate::engine::CompiledTransition],
+    workers: usize,
+) -> Vec<Expansion> {
+    if workers > 1 && items.len() >= PARALLEL_WAVE_THRESHOLD {
+        items
+            .par_chunks(items.len().div_ceil(workers))
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|(row, parent)| expand_node(transitions, row, parent))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        items
+            .iter()
+            .map(|(row, parent)| expand_node(transitions, row, parent))
+            .collect()
+    }
+}
+
+/// Fan a wave out over threads once it holds this many pending nodes;
+/// below it, thread spawns would dominate the branch scans.
+const PARALLEL_WAVE_THRESHOLD: usize = 64;
+
+/// One wave item's admission inputs: its (already expanded) branch node
+/// plus the flags the sequential admission order needs.
+struct WaveSlot {
+    /// `None` exactly when the node was subsumed by an ancestor.
+    branch: BranchLink,
+    overflowed: bool,
+}
+
+/// The serial wave-order admission: counts every admitted node against
+/// `max_nodes` and appends its marking — exactly the sequential builder's
+/// bookkeeping, so the tree is identical across worker counts. Returns
+/// `false` when the node budget cut the wave short (the whole build
+/// stops, as in the sequential breadth-first order).
+fn admit_wave(
+    slots: &[WaveSlot],
+    rows: &mut Vec<OmegaRow>,
+    max_nodes: usize,
+    complete: &mut bool,
+) -> bool {
+    for slot in slots {
+        if rows.len() >= max_nodes {
+            *complete = false;
+            return false;
+        }
+        let Some(node) = &slot.branch else {
+            continue; // subsumed: no marking, no children
+        };
+        if slot.overflowed {
+            *complete = false;
+        }
+        rows.push(node.row.clone());
+    }
+    true
 }
 
 /// A Karp–Miller coverability tree, stored as its set of ω-markings.
@@ -282,10 +383,15 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
     /// branch, one child per enabled transition, ω-acceleration against
     /// *all* its ancestors — and the children form the next wave. Node
     /// expansion only reads the node's own branch, so with
-    /// [`Parallelism::Parallel`] the waves fan out over worker threads;
-    /// admission (budget counting and the marking list) stays sequential in
-    /// wave order, making the tree **identical** across modes and worker
-    /// counts.
+    /// [`Parallelism::Parallel`] the waves fan out over worker threads.
+    ///
+    /// Like the pipelined exploration engine, the wave-order admission
+    /// (budget counting and the marking list — the serial fraction) is
+    /// **overlapped** with expansion: while this thread admits wave *w*,
+    /// a helper thread already expands wave *w+1*'s candidate children,
+    /// whose ancestor chains are shared `Arc` links and therefore free to
+    /// hand out. Admission still runs strictly in wave order, making the
+    /// tree **identical** across modes and worker counts.
     ///
     /// The tree is reported as incomplete when the node budget is hit *or*
     /// when some branch's counters left the `u64` range (checked arithmetic
@@ -297,10 +403,6 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
         max_nodes: usize,
         parallelism: Parallelism,
     ) -> Self {
-        /// Fan a wave out over threads once it holds this many pending
-        /// nodes; below it, thread spawns would dominate the branch scans.
-        const PARALLEL_WAVE_THRESHOLD: usize = 64;
-
         let engine = CompiledNet::compile_with_places(net, initial.support().cloned());
         let dense_initial = engine
             .to_dense(initial)
@@ -313,47 +415,59 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
         let mut complete = true;
         let workers = parallelism.workers();
         let transitions = engine.transitions();
-        // Each work item carries its branch (ancestor chain) for acceleration.
-        let mut wave: Vec<(OmegaRow, Branch)> = vec![(root, Vec::new())];
-        'waves: while !wave.is_empty() {
-            let expansions: Vec<Expansion> = if workers > 1 && wave.len() >= PARALLEL_WAVE_THRESHOLD
-            {
-                wave.par_chunks(wave.len().div_ceil(workers))
-                    .map(|items| {
-                        items
-                            .iter()
-                            .map(|(row, ancestors)| expand_node(transitions, row, ancestors))
-                            .collect::<Vec<_>>()
-                    })
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .flatten()
-                    .collect()
-            } else {
-                wave.iter()
-                    .map(|(row, ancestors)| expand_node(transitions, row, ancestors))
-                    .collect()
-            };
-            let mut next_wave: Vec<(OmegaRow, Branch)> = Vec::new();
-            for ((row, ancestors), expansion) in wave.into_iter().zip(expansions) {
-                if rows.len() >= max_nodes {
-                    complete = false;
-                    break 'waves;
-                }
+        let mut wave: Vec<(OmegaRow, BranchLink)> = vec![(root, None)];
+        let mut expansions = expand_wave(&wave, transitions, workers);
+        loop {
+            // Turn the expanded wave into admission slots plus the
+            // speculative candidate items of the next wave (children keep
+            // their parent's chain through one shared Arc each).
+            let mut slots: Vec<WaveSlot> = Vec::with_capacity(wave.len());
+            let mut candidates: Vec<(OmegaRow, BranchLink)> = Vec::new();
+            for ((row, parent), expansion) in wave.drain(..).zip(expansions.drain(..)) {
                 if expansion.subsumed {
+                    slots.push(WaveSlot {
+                        branch: None,
+                        overflowed: false,
+                    });
                     continue;
                 }
-                if expansion.overflowed {
-                    complete = false;
-                }
-                rows.push(row.clone());
-                let mut branch = ancestors;
-                branch.push(row);
+                let node = Arc::new(BranchNode { row, parent });
                 for child in expansion.children {
-                    next_wave.push((child, branch.clone()));
+                    candidates.push((child, Some(node.clone())));
                 }
+                slots.push(WaveSlot {
+                    branch: Some(node),
+                    overflowed: expansion.overflowed,
+                });
             }
-            wave = next_wave;
+
+            // Overlap this wave's serial admission with the speculative
+            // expansion of the next wave. On a budget cut the speculative
+            // results are discarded — exactly the nodes the sequential
+            // builder would never have expanded.
+            let mut admitted_all = true;
+            let next_expansions = if workers > 1 && candidates.len() >= PARALLEL_WAVE_THRESHOLD {
+                std::thread::scope(|scope| {
+                    let expander =
+                        scope.spawn(|| expand_wave(&candidates, transitions, workers - 1));
+                    admitted_all = admit_wave(&slots, &mut rows, max_nodes, &mut complete);
+                    expander
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+            } else {
+                admitted_all = admit_wave(&slots, &mut rows, max_nodes, &mut complete);
+                if admitted_all && !candidates.is_empty() {
+                    expand_wave(&candidates, transitions, workers)
+                } else {
+                    Vec::new()
+                }
+            };
+            if !admitted_all || candidates.is_empty() {
+                break;
+            }
+            wave = candidates;
+            expansions = next_expansions;
         }
         let markings = rows
             .into_iter()
@@ -544,6 +658,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn deep_branch_chains_drop_without_recursion() {
+        // A 100k-deep non-branching ancestor chain (what an
+        // acceleration-free net builds) must drop iteratively: the
+        // default recursive drop would blow a 512 KiB stack long before
+        // that depth. Run in a small-stack thread so a regression shows
+        // up at any default stack size.
+        std::thread::Builder::new()
+            .stack_size(512 * 1024)
+            .spawn(|| {
+                let mut chain: BranchLink = None;
+                for depth in 0..100_000u64 {
+                    chain = Some(Arc::new(BranchNode {
+                        row: vec![OmegaValue::Finite(depth)],
+                        parent: chain,
+                    }));
+                }
+                assert_eq!(ancestor_rows(&chain).count(), 100_000);
+                drop(chain);
+            })
+            .expect("spawn small-stack thread")
+            .join()
+            .expect("deep chain drop must not overflow the stack");
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!
 //! [`Parallelism::auto`] picks `Parallel(available_parallelism)` on
 //! multi-core hosts and `Sequential` on single-core ones; the
-//! `PP_PETRI_THREADS` environment variable overrides the detected count.
+//! `PP_PETRI_THREADS` environment variable overrides the detected count:
+//! `0` forces `Sequential`, `n ≥ 1` forces `Parallel(n)`, and anything
+//! that does not parse as an integer (after trimming whitespace) falls
+//! back to hardware detection.
 
 /// How many threads a state-space fixpoint may use.
 ///
@@ -37,18 +40,19 @@ impl Parallelism {
     /// Auto-detected parallelism: `Parallel(n)` for `n` available hardware
     /// threads (at least 2), [`Sequential`](Self::Sequential) otherwise.
     ///
-    /// The `PP_PETRI_THREADS` environment variable, when set to a positive
-    /// integer, overrides the detected count — `PP_PETRI_THREADS=1` forces
-    /// `Parallel(1)`, the spawn-free sharded path used by the
-    /// single-thread CI job.
+    /// The `PP_PETRI_THREADS` environment variable overrides detection:
+    /// `0` forces `Sequential` (the classic loops, no sharding at all),
+    /// a positive integer `n` forces `Parallel(n)` —
+    /// `PP_PETRI_THREADS=1` is the spawn-free sharded path used by the
+    /// single-thread CI job — and a value that does not parse as an
+    /// integer falls back to hardware detection.
     #[must_use]
     pub fn auto() -> Self {
-        if let Ok(value) = std::env::var("PP_PETRI_THREADS") {
-            if let Ok(n) = value.trim().parse::<usize>() {
-                if n >= 1 {
-                    return Parallelism::Parallel(n);
-                }
-            }
+        if let Some(parallelism) = std::env::var("PP_PETRI_THREADS")
+            .ok()
+            .and_then(|value| Self::from_env_value(&value))
+        {
+            return parallelism;
         }
         let n = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -57,6 +61,20 @@ impl Parallelism {
             Parallelism::Sequential
         } else {
             Parallelism::Parallel(n)
+        }
+    }
+
+    /// Parses a `PP_PETRI_THREADS` value: `Some(Sequential)` for `0`,
+    /// `Some(Parallel(n))` for a positive integer (surrounding whitespace
+    /// tolerated), `None` for anything else — including the empty string —
+    /// so [`auto`](Self::auto) falls back to hardware detection instead of
+    /// silently ignoring the knob's intent.
+    #[must_use]
+    pub fn from_env_value(value: &str) -> Option<Self> {
+        match value.trim().parse::<usize>() {
+            Ok(0) => Some(Parallelism::Sequential),
+            Ok(n) => Some(Parallelism::Parallel(n)),
+            Err(_) => None,
         }
     }
 
@@ -89,5 +107,40 @@ mod tests {
         assert!(!Parallelism::Sequential.is_parallel());
         assert!(Parallelism::Parallel(1).is_parallel());
         assert!(Parallelism::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn env_value_zero_means_sequential() {
+        assert_eq!(
+            Parallelism::from_env_value("0"),
+            Some(Parallelism::Sequential)
+        );
+        assert_eq!(
+            Parallelism::from_env_value(" 0\t"),
+            Some(Parallelism::Sequential)
+        );
+    }
+
+    #[test]
+    fn env_value_positive_means_parallel() {
+        assert_eq!(
+            Parallelism::from_env_value("1"),
+            Some(Parallelism::Parallel(1))
+        );
+        assert_eq!(
+            Parallelism::from_env_value("  3 "),
+            Some(Parallelism::Parallel(3))
+        );
+        assert_eq!(
+            Parallelism::from_env_value("16"),
+            Some(Parallelism::Parallel(16))
+        );
+    }
+
+    #[test]
+    fn env_value_garbage_falls_back_to_detection() {
+        for garbage in ["", "   ", "two", "-1", "3.5", "0x4", "1 2"] {
+            assert_eq!(Parallelism::from_env_value(garbage), None, "{garbage:?}");
+        }
     }
 }

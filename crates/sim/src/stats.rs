@@ -38,8 +38,13 @@ impl Summary {
         } else {
             (sorted[count / 2 - 1] as f64 + sorted[count / 2] as f64) / 2.0
         };
-        let p95_rank = ((count as f64) * 0.95).ceil() as usize;
-        let p95 = sorted[p95_rank.clamp(1, count) - 1];
+        // Nearest-rank percentile: the ⌈0.95·count⌉-th smallest sample,
+        // computed in integer arithmetic. The float route
+        // `(count as f64 * 0.95).ceil()` overshoots by one whole rank at
+        // exact multiples (0.95 is not a binary float: 20·0.95 evaluates
+        // to 19.000000000000004, whose ceiling is 20).
+        let p95_rank = (count * 95).div_ceil(100);
+        let p95 = sorted[p95_rank - 1];
         let variance = if count > 1 {
             sorted
                 .iter()
@@ -103,5 +108,60 @@ mod tests {
         let b = Summary::of(&[1, 2, 3, 4, 5]).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.median, 3.0);
+    }
+
+    /// The nearest-rank definition, written the slow way: the smallest
+    /// sample such that at least 95% of the sample lies at or below its
+    /// rank.
+    fn naive_p95(sorted: &[u64]) -> u64 {
+        let count = sorted.len();
+        let rank = (1..=count)
+            .find(|rank| 100 * rank >= 95 * count)
+            .expect("rank = count always satisfies the bound");
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn p95_matches_naive_nearest_rank_at_every_count() {
+        // Distinct ascending values make any off-by-one rank visible.
+        // Exact multiples of 20 are the regression cases: the former
+        // float rank arithmetic returned sorted[19] instead of
+        // sorted[18] at count 20 (and sorted[95] at count 100).
+        for count in 1usize..=400 {
+            let samples: Vec<u64> = (0..count as u64).map(|v| 10 * v + 1).collect();
+            let summary = Summary::of(&samples).unwrap();
+            assert_eq!(
+                summary.p95,
+                naive_p95(&samples),
+                "p95 diverges from nearest-rank at count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn p95_at_exact_multiples() {
+        // count = 20: ⌈0.95·20⌉ = 19 ⇒ the 19th smallest, not the max.
+        let samples: Vec<u64> = (1..=20).collect();
+        assert_eq!(Summary::of(&samples).unwrap().p95, 19);
+        // count = 100: ⌈0.95·100⌉ = 95 ⇒ the 95th smallest.
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(Summary::of(&samples).unwrap().p95, 95);
+    }
+
+    // Property: the integer rank arithmetic agrees with the naive
+    // nearest-rank reference on arbitrary samples (duplicates, extremes,
+    // and awkward counts included).
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn p95_property_matches_naive(
+            samples in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..300)
+        ) {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let summary = Summary::of(&samples).unwrap();
+            proptest::prop_assert_eq!(summary.p95, naive_p95(&sorted));
+        }
     }
 }

@@ -155,6 +155,37 @@ proptest! {
     }
 
     #[test]
+    fn random_depth_truncated_nets_explore_identically(
+        (net, initial) in arb_net_and_initial(),
+        max_depth in 0usize..6,
+    ) {
+        // Depth truncation exercises the pipelined engine's level gate:
+        // a frontier at the depth budget is stored but never expanded,
+        // on every engine, with the same incompleteness verdict.
+        let limits = ExplorationLimits {
+            max_configurations: 400,
+            max_agents: Some(24),
+            max_depth: Some(max_depth),
+        };
+        let dense = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+        for workers in [1usize, 4] {
+            let parallel = ReachabilityGraph::build_with(
+                &net,
+                [initial.clone()],
+                &limits,
+                Parallelism::Parallel(workers),
+            );
+            assert_identical_graphs(&dense, &parallel);
+        }
+        let (sparse_nodes, sparse_complete) =
+            sparse_reference_exploration(&net, [initial.clone()], &limits);
+        let dense_nodes: std::collections::BTreeSet<_> =
+            dense.ids().map(|id| dense.node(id).clone()).collect();
+        prop_assert_eq!(dense_nodes, sparse_nodes);
+        prop_assert_eq!(dense.is_complete(), sparse_complete);
+    }
+
+    #[test]
     fn random_net_coverability_agrees_with_forward_search(
         (net, initial) in arb_net_and_initial(),
         target_place in 0u8..5,

@@ -71,6 +71,34 @@ fn catalog_graphs_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn truncated_dispatched_levels_stay_identical() {
+    // Levels wide enough that the pipelined engine actually dispatches
+    // jobs to spawned workers (past its minimum level size), with the
+    // configuration budget cutting exploration off mid-level — the regime
+    // where a commit replaying discoveries out of sequential order would
+    // keep different nodes.
+    let protocol = flock::flock_of_birds_unary(5);
+    let initial = protocol.initial_config_with_count(22);
+    for budget in [1500usize, 4000] {
+        let limits = ExplorationLimits::with_max_configurations(budget);
+        let sequential = ReachabilityGraph::build(protocol.net(), [initial.clone()], &limits);
+        assert!(!sequential.is_complete());
+        for workers in [2usize, 3, 4] {
+            let parallel = ReachabilityGraph::build_with(
+                protocol.net(),
+                [initial.clone()],
+                &limits,
+                Parallelism::Parallel(workers),
+            );
+            assert!(
+                sequential.identical_to(&parallel),
+                "truncated graphs differ: budget {budget} workers {workers}"
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_karp_miller_matches_sequential_on_a_large_tree() {
     // flock-of-birds at 12 agents yields waves comfortably past the
     // parallel threshold, so this actually exercises the fan-out path.
@@ -130,7 +158,7 @@ proptest! {
                 max_depth: Some(40),
             };
             let sequential = ReachabilityGraph::build(&net, [initial.clone()], &limits);
-            for workers in [1usize, 4] {
+            for workers in [1usize, 3, 4] {
                 let parallel = ReachabilityGraph::build_with(
                     &net,
                     [initial.clone()],
@@ -144,6 +172,32 @@ proptest! {
                     workers
                 );
             }
+        }
+    }
+
+    #[test]
+    fn random_agent_truncated_explorations_are_identical((net, initial) in arb_net_and_initial()) {
+        // Agent-budget truncation alone (no configuration budget): nodes
+        // over the cap are stored but never expanded, and the pipelined
+        // commit must record the exact same incompleteness and edges.
+        let limits = ExplorationLimits {
+            max_configurations: 5_000,
+            max_agents: Some(12),
+            max_depth: None,
+        };
+        let sequential = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+        for workers in [1usize, 2, 3] {
+            let parallel = ReachabilityGraph::build_with(
+                &net,
+                [initial.clone()],
+                &limits,
+                Parallelism::Parallel(workers),
+            );
+            prop_assert!(
+                sequential.identical_to(&parallel),
+                "agent-truncated graphs differ at {} workers",
+                workers
+            );
         }
     }
 

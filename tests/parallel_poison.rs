@@ -1,0 +1,84 @@
+//! A panicking worker must poison the pipelined build, not deadlock it.
+//!
+//! The pipelined exploration engine hands levels off over a barrier; a
+//! worker that dies between two crossings would classically leave the main
+//! thread (and every sibling) parked forever. The engine instead catches
+//! the worker's panic, flags the build as poisoned, drains the current
+//! level, and re-raises the panic from `build_with` — which is what this
+//! test observes, with a watchdog so a regression shows up as a test
+//! failure rather than a hung CI job.
+//!
+//! This lives in its own integration-test binary because the fault
+//! injection flag (`pp_petri::explore::fault_injection`) is process-global:
+//! no other test shares the process.
+
+use pp_multiset::Multiset;
+use pp_petri::explore::fault_injection;
+use pp_petri::{ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+    Multiset::from_pairs(pairs.iter().copied())
+}
+
+/// A small conservative net with a few levels, so the pipeline actually
+/// dispatches jobs to the (about to panic) workers. The fault injection
+/// flag makes the engine dispatch even below its usual minimum level size.
+fn doubling_net() -> PetriNet<&'static str> {
+    PetriNet::from_transitions([
+        Transition::pairwise("a", "a", "a", "b"),
+        Transition::pairwise("a", "b", "b", "b"),
+    ])
+}
+
+#[test]
+fn panicking_worker_poisons_the_build_instead_of_deadlocking() {
+    fault_injection::PANIC_IN_WORKERS.store(true, Ordering::Release);
+
+    let (sender, receiver) = mpsc::channel();
+    std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(|| {
+            ReachabilityGraph::build_with(
+                &doubling_net(),
+                [ms(&[("a", 12)])],
+                &ExplorationLimits::default(),
+                Parallelism::Parallel(4),
+            )
+            .len()
+        });
+        let _ = sender.send(outcome);
+    });
+
+    // The watchdog: a deadlocked barrier protocol would leave the build
+    // thread parked forever; 120 s is orders of magnitude above the
+    // build's normal runtime even on the throttled CI hosts.
+    let outcome = receiver
+        .recv_timeout(Duration::from_secs(120))
+        .expect("pipelined build deadlocked after a worker panic");
+    let error = outcome.expect_err("a worker panic must poison the whole build");
+    let message = error
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| error.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("poisoned"),
+        "the re-raised panic should say the build is poisoned, got: {message:?}"
+    );
+
+    fault_injection::PANIC_IN_WORKERS.store(false, Ordering::Release);
+
+    // The engine stays usable after a poisoned build: a clean run on the
+    // same inputs succeeds and matches the sequential graph.
+    let limits = ExplorationLimits::default();
+    let sequential = ReachabilityGraph::build(&doubling_net(), [ms(&[("a", 12)])], &limits);
+    let parallel = ReachabilityGraph::build_with(
+        &doubling_net(),
+        [ms(&[("a", 12)])],
+        &limits,
+        Parallelism::Parallel(4),
+    );
+    assert!(sequential.identical_to(&parallel));
+}
