@@ -5,10 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_multiset::Multiset;
-use pp_petri::cover::{shortest_covering_word, CoverabilityOracle};
 use pp_petri::explore::sparse_reference_exploration;
-use pp_petri::karp_miller::KarpMillerTree;
-use pp_petri::{ExplorationLimits, ReachabilityGraph};
+use pp_petri::{Analysis, ExplorationLimits};
 use pp_protocols::leaders_n::example_4_2;
 
 fn bench_coverability(c: &mut Criterion) {
@@ -20,19 +18,29 @@ fn bench_coverability(c: &mut Criterion) {
     let start = protocol.initial_config_with_count(6);
     let limits = ExplorationLimits::default();
 
+    // Fresh sessions per iteration: each timed sample includes the compile,
+    // like the historical one-shot entry points did.
     let mut group = c.benchmark_group("coverability_example_4_2");
     group.bench_function("backward_oracle", |b| {
         b.iter(|| {
-            let oracle = CoverabilityOracle::build(&net, target.clone());
+            let oracle = Analysis::new(&net).coverability(target.clone()).run();
             std::hint::black_box(oracle.is_coverable_from(&start))
         });
     });
     group.bench_function("forward_bfs", |b| {
-        b.iter(|| std::hint::black_box(shortest_covering_word(&net, &start, &target, &limits)));
+        b.iter(|| {
+            std::hint::black_box(
+                Analysis::new(&net)
+                    .covering_word(start.clone(), target.clone())
+                    .limits(limits)
+                    .run()
+                    .into_word(),
+            )
+        });
     });
     group.bench_function("karp_miller", |b| {
         b.iter(|| {
-            let tree = KarpMillerTree::build(&net, &start, 100_000);
+            let tree = Analysis::new(&net).karp_miller(start.clone()).run();
             std::hint::black_box(tree.covers(&target))
         });
     });
@@ -56,7 +64,13 @@ fn bench_exploration_representation(c: &mut Criterion) {
             BenchmarkId::new("dense_engine", agents),
             &start,
             |b, start| {
-                b.iter(|| ReachabilityGraph::build(&net, [start.clone()], &limits).len());
+                b.iter(|| {
+                    Analysis::new(&net)
+                        .reachability([start.clone()])
+                        .limits(limits)
+                        .run()
+                        .len()
+                });
             },
         );
         group.bench_with_input(

@@ -16,7 +16,7 @@
 //! on any divergence (wired into CI's single-thread and odd-worker jobs).
 
 use pp_bench::{fmt_f64, Table};
-use pp_petri::{ExplorationLimits, Parallelism, ReachabilityGraph};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism};
 use pp_population::Protocol;
 use pp_protocols::{flock, leaders_n, threshold};
 use std::time::Instant;
@@ -63,14 +63,16 @@ fn run_check(instances: &[(&'static str, Protocol, Vec<u64>)]) -> bool {
     for (family, protocol, agent_counts) in instances {
         for &agents in agent_counts {
             let initial = protocol.initial_config_with_count(agents);
-            let sequential = ReachabilityGraph::build(protocol.net(), [initial.clone()], &limits);
+            let sequential = Analysis::new(protocol.net())
+                .reachability([initial.clone()])
+                .limits(limits)
+                .run();
             for workers in [1usize, 2, 3, 4] {
-                let parallel = ReachabilityGraph::build_with(
-                    protocol.net(),
-                    [initial.clone()],
-                    &limits,
-                    Parallelism::Parallel(workers),
-                );
+                let parallel = Analysis::new(protocol.net())
+                    .reachability([initial.clone()])
+                    .limits(limits)
+                    .parallelism(Parallelism::Parallel(workers))
+                    .run();
                 if sequential.identical_to(&parallel) {
                     println!(
                         "check ok: {family} agents={agents} workers={workers} nodes={}",
@@ -147,8 +149,15 @@ fn main() {
         for agents in agent_counts {
             let initial = protocol.initial_config_with_count(agents);
             let net = protocol.net();
-            let sequential = ReachabilityGraph::build(net, [initial.clone()], &limits);
-            let parallel = ReachabilityGraph::build_with(net, [initial.clone()], &limits, auto);
+            let sequential = Analysis::new(net)
+                .reachability([initial.clone()])
+                .limits(limits)
+                .run();
+            let parallel = Analysis::new(net)
+                .reachability([initial.clone()])
+                .limits(limits)
+                .parallelism(auto)
+                .run();
             assert!(
                 sequential.identical_to(&parallel),
                 "parallel and sequential graphs diverge on {family} at {agents} agents"
@@ -157,18 +166,30 @@ fn main() {
             let [seq_ns, par1_ns, par_ns] = min_ns_interleaved(
                 runs,
                 &mut [
-                    &mut || ReachabilityGraph::build(net, [initial.clone()], &limits).len(),
+                    // Cold sessions per sample: each timed build includes
+                    // the compile, as the historical entry points did.
                     &mut || {
-                        ReachabilityGraph::build_with(
-                            net,
-                            [initial.clone()],
-                            &limits,
-                            Parallelism::Parallel(1),
-                        )
-                        .len()
+                        Analysis::new(net)
+                            .reachability([initial.clone()])
+                            .limits(limits)
+                            .run()
+                            .len()
                     },
                     &mut || {
-                        ReachabilityGraph::build_with(net, [initial.clone()], &limits, auto).len()
+                        Analysis::new(net)
+                            .reachability([initial.clone()])
+                            .limits(limits)
+                            .parallelism(Parallelism::Parallel(1))
+                            .run()
+                            .len()
+                    },
+                    &mut || {
+                        Analysis::new(net)
+                            .reachability([initial.clone()])
+                            .limits(limits)
+                            .parallelism(auto)
+                            .run()
+                            .len()
                     },
                 ],
             );

@@ -7,7 +7,7 @@
 
 use pp_bench::{fmt_f64, Table};
 use pp_petri::explore::sparse_reference_exploration;
-use pp_petri::{ExplorationLimits, ReachabilityGraph};
+use pp_petri::{Analysis, ExplorationLimits};
 use pp_protocols::{flock, leaders_n, threshold};
 use std::time::Instant;
 
@@ -53,7 +53,11 @@ fn main() {
         for agents in agent_counts {
             let initial = protocol.initial_config_with_count(agents);
             let net = protocol.net();
-            let dense_nodes = ReachabilityGraph::build(net, [initial.clone()], &limits).len();
+            let dense_nodes = Analysis::new(net)
+                .reachability([initial.clone()])
+                .limits(limits)
+                .run()
+                .len();
             let sparse_nodes = sparse_reference_exploration(net, [initial.clone()], &limits)
                 .0
                 .len();
@@ -61,8 +65,14 @@ fn main() {
                 dense_nodes, sparse_nodes,
                 "representations disagree on {family}"
             );
+            // Cold sessions per sample: the timed cost includes the
+            // compile, matching the historical one-shot entry point.
             let dense_ns = median_ns(runs, || {
-                ReachabilityGraph::build(net, [initial.clone()], &limits).len()
+                Analysis::new(net)
+                    .reachability([initial.clone()])
+                    .limits(limits)
+                    .run()
+                    .len()
             });
             let sparse_ns = median_ns(runs, || {
                 sparse_reference_exploration(net, [initial.clone()], &limits)

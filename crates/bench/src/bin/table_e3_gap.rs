@@ -1,4 +1,4 @@
-//! Experiment E3 — the closed gap: states vs n for the upper bound of [6]
+//! Experiment E3 — the closed gap: states vs n for the upper bound of \[6\]
 //! and the paper's Ω((log log n)^h) lower bound.
 
 use pp_bench::{fmt_f64, Table};

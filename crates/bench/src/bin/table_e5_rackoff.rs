@@ -2,9 +2,8 @@
 
 use pp_bench::{fmt_f64, Table};
 use pp_multiset::Multiset;
-use pp_petri::cover::{is_coverable, shortest_covering_word};
 use pp_petri::rackoff::covering_length_bound;
-use pp_petri::ExplorationLimits;
+use pp_petri::{Analysis, ExplorationLimits};
 use pp_protocols::{flock, leaders_n, threshold};
 
 fn main() {
@@ -30,8 +29,18 @@ fn main() {
                         target: Multiset<pp_population::StateId>,
                         start_label: String,
                         target_label: String| {
-        let coverable = is_coverable(net, &start, &target);
-        let word = shortest_covering_word(net, &start, &target, &limits);
+        // One session per case: the backward oracle and the forward word
+        // search share a single compile of the net.
+        let mut analysis = Analysis::new(net);
+        let coverable = analysis
+            .coverability(target.clone())
+            .run()
+            .is_coverable_from(&start);
+        let word = analysis
+            .covering_word(start, target.clone())
+            .limits(limits)
+            .run()
+            .into_word();
         table.row([
             name.to_owned(),
             net.num_places().to_string(),

@@ -23,10 +23,10 @@ use crate::bounds::theorem_4_3_bound_for_protocol;
 use crate::section8::Section8Constants;
 use pp_bigint::PowerBound;
 use pp_diophantine::HilbertConfig;
-use pp_petri::bottom::{find_bottom_witness, theorem_6_1_bound, BottomWitness};
+use pp_petri::bottom::{find_bottom_witness_in, theorem_6_1_bound, BottomWitness};
 use pp_petri::control::ControlNet;
 use pp_petri::cycles::{shrink_multicycle, ShrunkMulticycle};
-use pp_petri::ExplorationLimits;
+use pp_petri::{Analysis, ExplorationLimits};
 use pp_population::{Protocol, StateId};
 use std::collections::BTreeSet;
 
@@ -81,6 +81,11 @@ impl PipelineReport {
 /// The exploration `limits` bound the reachability analyses of steps 1 and 2;
 /// the analysis is exact within them and reports `None` for the objects it
 /// could not construct.
+///
+/// One [`Analysis`] session over the restricted net `T|_{P'}` is threaded
+/// through the witness search, so the net is compiled once and the
+/// truncated pumping exploration is *resumed* — not rebuilt — by the
+/// full-limit bottom search.
 #[must_use]
 pub fn analyze_protocol(protocol: &Protocol, limits: &ExplorationLimits) -> PipelineReport {
     let net = protocol.net();
@@ -92,7 +97,8 @@ pub fn analyze_protocol(protocol: &Protocol, limits: &ExplorationLimits) -> Pipe
     let restricted = net.restrict(&non_initial);
     let leaders_restricted = protocol.leaders().restrict(&non_initial);
 
-    let witness = find_bottom_witness(&restricted, &leaders_restricted, limits);
+    let mut restricted_session = Analysis::new(&restricted);
+    let witness = find_bottom_witness_in(&mut restricted_session, &leaders_restricted, limits);
 
     let mut control_states = None;
     let mut control_edges = None;

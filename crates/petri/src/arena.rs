@@ -22,8 +22,8 @@
 //! To support the *pipelined* renumbering protocol (main thread commits
 //! level *d* while workers already expand level *d+1*), the scratch arena
 //! retains **two levels** of rows at a time: ids are absolute and stay
-//! valid while older epochs are retired with
-//! [`ShardedArena::retire_below`], so a row first seen at level *d* keeps
+//! valid while older epochs are retired with the crate-internal
+//! `ShardedArena::retire_below`, so a row first seen at level *d* keeps
 //! its stable [`ShardedConfigId`] through the whole window in which level
 //! *d+1* workers may still rediscover it.
 //!

@@ -17,8 +17,9 @@
 //! on conservative nets started from small configurations, which is the case
 //! the pipeline exercises).
 
-use crate::component::{is_bottom, reach_bottom};
-use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
+use crate::component::{is_bottom, reach_bottom_in};
+use crate::session::Analysis;
+use crate::{ExplorationLimits, PetriNet};
 use pp_bigint::{Nat, PowerBound};
 use pp_multiset::Multiset;
 use std::collections::BTreeSet;
@@ -135,6 +136,24 @@ pub fn find_bottom_witness<P: Clone + Ord>(
     rho: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> Option<BottomWitness<P>> {
+    find_bottom_witness_in(&mut Analysis::new(net), rho, limits)
+}
+
+/// [`find_bottom_witness`] on an existing [`Analysis`] session.
+///
+/// The session is what makes the two-phase search cheap: the truncated
+/// pumping exploration (strategy A) and the full-limit bottom search
+/// (strategy B) start from the *same* initial configuration, so strategy B
+/// [resumes](crate::ReachabilityGraph::resume) the pump graph in place —
+/// re-expanding only its budget frontier — instead of rebuilding the
+/// reachability set from scratch.
+#[must_use]
+pub fn find_bottom_witness_in<P: Clone + Ord>(
+    analysis: &mut Analysis<P>,
+    rho: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<BottomWitness<P>> {
+    let net = analysis.net().clone();
     // Strategy A: look for a pumpable pair α ≤ β (α ≠ β) whose agreement set
     // Q yields a bottom restriction. Pumpable pairs only exist when the net
     // can grow, in which case the reachability graph is infinite anyway, so
@@ -144,7 +163,10 @@ pub fn find_bottom_witness<P: Clone + Ord>(
         max_configurations: limits.max_configurations.min(PUMP_SEARCH_NODE_LIMIT),
         ..*limits
     };
-    let graph = ReachabilityGraph::build(net, [rho.clone()], &pump_limits);
+    let graph = analysis
+        .reachability([rho.clone()])
+        .limits(pump_limits)
+        .run();
     if let Some(start) = graph.id_of(rho) {
         for alpha_id in graph.ids() {
             let alpha = graph.node(alpha_id).clone();
@@ -201,11 +223,14 @@ pub fn find_bottom_witness<P: Clone + Ord>(
     }
 
     // Strategy B: degenerate witness on a reachable bottom configuration
-    // (`reach_bottom` itself returns `None` when the exploration under the
-    // caller's full limits is incomplete).
-    let (alpha, sigma) = reach_bottom(net, rho, limits)?;
+    // (`reach_bottom_in` itself returns `None` when the exploration under
+    // the caller's full limits is incomplete). The session resumes the
+    // strategy-A pump graph here: `limits` dominates `pump_limits`, so only
+    // the pump budget's frontier re-expands.
+    drop(graph);
+    let (alpha, sigma) = reach_bottom_in(analysis, rho, limits)?;
     let q_places: BTreeSet<P> = net.places().clone();
-    let component_size = crate::component::component_size(net, &alpha, limits)?;
+    let component_size = crate::component::component_size_in(analysis, &alpha, limits)?;
     Some(BottomWitness {
         sigma,
         w: Vec::new(),

@@ -8,7 +8,8 @@
 //! general nets the analysis is performed under [`ExplorationLimits`] and
 //! returns `None` when the exploration was truncated.
 
-use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
+use crate::session::Analysis;
+use crate::{ExplorationLimits, PetriNet};
 use pp_multiset::Multiset;
 
 /// The `T`-component of `config`: all configurations mutually reachable with
@@ -19,7 +20,21 @@ pub fn component_of<P: Clone + Ord>(
     config: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> Option<Vec<Multiset<P>>> {
-    let graph = ReachabilityGraph::build(net, [config.clone()], limits);
+    component_of_in(&mut Analysis::new(net), config, limits)
+}
+
+/// [`component_of`] on an existing [`Analysis`] session (one compile per
+/// net, cached/resumable graphs across calls).
+#[must_use]
+pub fn component_of_in<P: Clone + Ord>(
+    analysis: &mut Analysis<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<Vec<Multiset<P>>> {
+    let graph = analysis
+        .reachability([config.clone()])
+        .limits(*limits)
+        .run();
     if !graph.is_complete() {
         return None;
     }
@@ -41,7 +56,20 @@ pub fn is_bottom<P: Clone + Ord>(
     config: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> Option<bool> {
-    let graph = ReachabilityGraph::build(net, [config.clone()], limits);
+    is_bottom_in(&mut Analysis::new(net), config, limits)
+}
+
+/// [`is_bottom`] on an existing [`Analysis`] session.
+#[must_use]
+pub fn is_bottom_in<P: Clone + Ord>(
+    analysis: &mut Analysis<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<bool> {
+    let graph = analysis
+        .reachability([config.clone()])
+        .limits(*limits)
+        .run();
     if !graph.is_complete() {
         return None;
     }
@@ -61,6 +89,16 @@ pub fn component_size<P: Clone + Ord>(
     component_of(net, config, limits).map(|c| c.len())
 }
 
+/// [`component_size`] on an existing [`Analysis`] session.
+#[must_use]
+pub fn component_size_in<P: Clone + Ord>(
+    analysis: &mut Analysis<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<usize> {
+    component_of_in(analysis, config, limits).map(|c| c.len())
+}
+
 /// A bottom configuration reachable from `config`, together with a witnessing
 /// word, or `None` on truncation.
 ///
@@ -74,7 +112,23 @@ pub fn reach_bottom<P: Clone + Ord>(
     config: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> Option<(Multiset<P>, Vec<usize>)> {
-    let graph = ReachabilityGraph::build(net, [config.clone()], limits);
+    reach_bottom_in(&mut Analysis::new(net), config, limits)
+}
+
+/// [`reach_bottom`] on an existing [`Analysis`] session. When the session
+/// already caches a truncated graph from `config` under dominated limits
+/// (the witness search's pump phase does exactly this), the graph is
+/// resumed instead of rebuilt.
+#[must_use]
+pub fn reach_bottom_in<P: Clone + Ord>(
+    analysis: &mut Analysis<P>,
+    config: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> Option<(Multiset<P>, Vec<usize>)> {
+    let graph = analysis
+        .reachability([config.clone()])
+        .limits(*limits)
+        .run();
     if !graph.is_complete() {
         return None;
     }

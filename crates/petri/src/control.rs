@@ -330,7 +330,16 @@ pub fn restricted_reachability<P: Clone + Ord>(
     base: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> ReachabilityGraph<P> {
-    ReachabilityGraph::build(&net.restrict(q_places), [base.restrict(q_places)], limits)
+    let restricted = net.restrict(q_places);
+    let mut analysis = crate::session::Analysis::new(&restricted);
+    let graph = analysis
+        .reachability([base.restrict(q_places)])
+        .limits(*limits)
+        .run();
+    // The ephemeral session held the only other reference; dropping it
+    // makes the unwrap free.
+    drop(analysis);
+    std::sync::Arc::try_unwrap(graph).unwrap_or_else(|shared| (*shared).clone())
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
 use pp_multiset::Multiset;
 use rayon::prelude::*;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Component-wise `a ≤ b` on dense rows of equal width.
 fn row_le(a: &[u64], b: &[u64]) -> bool {
@@ -78,12 +79,11 @@ fn merge_candidate(dense_basis: &mut Vec<Vec<u64>>, next: &mut Vec<Vec<u64>>, ca
 ///
 /// ```
 /// use pp_multiset::Multiset;
-/// use pp_petri::cover::CoverabilityOracle;
-/// use pp_petri::{PetriNet, Transition};
+/// use pp_petri::{Analysis, PetriNet, Transition};
 ///
 /// // a + a -> a + b: covering one b needs at least two a (or a b already).
 /// let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
-/// let oracle = CoverabilityOracle::build(&net, Multiset::unit("b"));
+/// let oracle = Analysis::new(&net).coverability(Multiset::unit("b")).run();
 /// assert!(oracle.is_coverable_from(&Multiset::from_pairs([("a", 2u64)])));
 /// assert!(!oracle.is_coverable_from(&Multiset::from_pairs([("a", 1u64)])));
 /// ```
@@ -91,7 +91,7 @@ fn merge_candidate(dense_basis: &mut Vec<Vec<u64>>, next: &mut Vec<Vec<u64>>, ca
 pub struct CoverabilityOracle<P: Ord> {
     target: Multiset<P>,
     basis: Vec<Multiset<P>>,
-    engine: CompiledNet<P>,
+    engine: Arc<CompiledNet<P>>,
     dense_basis: Vec<Vec<u64>>,
 }
 
@@ -101,9 +101,16 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
     ///
     /// Equivalent to [`build_with`](Self::build_with) with
     /// [`Parallelism::Sequential`].
+    #[deprecated(
+        note = "open an `Analysis` session instead: `Analysis::new(net).coverability(target).run()` compiles the net once and caches the oracle per target"
+    )]
     #[must_use]
     pub fn build(net: &PetriNet<P>, target: Multiset<P>) -> Self {
-        Self::build_with(net, target, Parallelism::Sequential)
+        let engine = Arc::new(CompiledNet::compile_with_places(
+            net,
+            target.support().cloned(),
+        ));
+        Self::build_on(engine, target, Parallelism::Sequential)
     }
 
     /// Runs the backward coverability algorithm for `target` over `net`.
@@ -121,13 +128,30 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
     ///
     /// The returned oracle's [`basis`](Self::basis) is the set of minimal
     /// configurations from which `target` is coverable.
+    #[deprecated(
+        note = "open an `Analysis` session instead: `Analysis::new(net).coverability(target).parallelism(p).run()` compiles the net once and caches the oracle per target"
+    )]
     #[must_use]
     pub fn build_with(net: &PetriNet<P>, target: Multiset<P>, parallelism: Parallelism) -> Self {
+        let engine = Arc::new(CompiledNet::compile_with_places(
+            net,
+            target.support().cloned(),
+        ));
+        Self::build_on(engine, target, parallelism)
+    }
+
+    /// Runs the backward saturation on an already-compiled engine — the
+    /// session entry point ([`Analysis`](crate::session::Analysis) owns the
+    /// shared engine). The target must fit the engine's place universe.
+    pub(crate) fn build_on(
+        engine: Arc<CompiledNet<P>>,
+        target: Multiset<P>,
+        parallelism: Parallelism,
+    ) -> Self {
         /// Fan out candidate generation once the round holds this many
         /// (row × transition) pairs; below it, thread spawns would dominate.
         const PARALLEL_CANDIDATE_THRESHOLD: usize = 256;
 
-        let engine = CompiledNet::compile_with_places(net, target.support().cloned());
         let dense_target = engine
             .to_dense(&target)
             .expect("target support is part of the compiled universe");
@@ -202,15 +226,21 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
 
 /// Forward coverability: returns `true` if `target` is coverable from `from`.
 ///
-/// This is an exact decision (it delegates to the backward algorithm); use
-/// [`shortest_covering_word`] when the witness word itself is needed.
+/// This is an exact decision (it delegates to the backward algorithm);
+/// query [`Analysis::covering_word`](crate::session::Analysis::covering_word)
+/// when the witness word itself is needed, or
+/// [`Analysis::coverability`](crate::session::Analysis::coverability) to
+/// keep (and reuse) the oracle.
 #[must_use]
 pub fn is_coverable<P: Clone + Ord>(
     net: &PetriNet<P>,
     from: &Multiset<P>,
     target: &Multiset<P>,
 ) -> bool {
-    CoverabilityOracle::build(net, target.clone()).is_coverable_from(from)
+    crate::session::Analysis::new(net)
+        .coverability(target.clone())
+        .run()
+        .is_coverable_from(from)
 }
 
 /// The result of a budgeted forward covering-word search.
@@ -250,7 +280,10 @@ impl CoveringWordOutcome {
 /// `(‖target‖∞ + ‖T‖∞)^(|P|^|P|)`; experiment E5 compares the two.
 ///
 /// This convenience wrapper conflates "not coverable" with "search
-/// truncated"; use [`covering_word`] when the distinction matters.
+/// truncated"; the session query reports the distinction.
+#[deprecated(
+    note = "open an `Analysis` session instead: `Analysis::new(net).covering_word(from, target).limits(l).run().into_word()` reuses one compile across queries and reports why a search was inconclusive"
+)]
 #[must_use]
 pub fn shortest_covering_word<P: Clone + Ord>(
     net: &PetriNet<P>,
@@ -258,7 +291,7 @@ pub fn shortest_covering_word<P: Clone + Ord>(
     target: &Multiset<P>,
     limits: &ExplorationLimits,
 ) -> Option<Vec<usize>> {
-    covering_word(net, from, target, limits).into_word()
+    one_shot_covering_word(net, from, target, limits).into_word()
 }
 
 /// A shortest covering word with an explicit outcome, found by forward
@@ -275,8 +308,23 @@ pub fn shortest_covering_word<P: Clone + Ord>(
 /// Exploration prunes configurations already dominated by a visited one only
 /// in the exact sense (identical configurations); for the small nets of the
 /// experiments this is sufficient.
+#[deprecated(
+    note = "open an `Analysis` session instead: `Analysis::new(net).covering_word(from, target).limits(l).run()` reuses one compile across queries"
+)]
 #[must_use]
 pub fn covering_word<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    from: &Multiset<P>,
+    target: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> CoveringWordOutcome {
+    one_shot_covering_word(net, from, target, limits)
+}
+
+/// The pre-session one-shot search: compiles a dedicated engine, then runs
+/// the forward BFS. Backs the deprecated [`covering_word`] /
+/// [`shortest_covering_word`] shims.
+fn one_shot_covering_word<P: Clone + Ord>(
     net: &PetriNet<P>,
     from: &Multiset<P>,
     target: &Multiset<P>,
@@ -287,6 +335,24 @@ pub fn covering_word<P: Clone + Ord>(
     }
     let engine =
         CompiledNet::compile_with_places(net, from.support().chain(target.support()).cloned());
+    forward_covering_word(&engine, from, target, limits)
+}
+
+/// The budgeted forward covering-word BFS on an already-compiled engine —
+/// the session entry point ([`Analysis::covering_word`] runs here). `from`
+/// and `target` must fit the engine's place universe; the trivial-cover
+/// fast path (`target ≤ from` ⇒ empty word) is the caller's.
+///
+/// [`Analysis::covering_word`]: crate::session::Analysis::covering_word
+pub(crate) fn forward_covering_word<P: Clone + Ord>(
+    engine: &CompiledNet<P>,
+    from: &Multiset<P>,
+    target: &Multiset<P>,
+    limits: &ExplorationLimits,
+) -> CoveringWordOutcome {
+    if target.le(from) {
+        return CoveringWordOutcome::Covered(Vec::new());
+    }
     let dense_from = engine
         .to_dense(from)
         .expect("source support is part of the compiled universe");
@@ -367,6 +433,9 @@ pub fn covering_word<P: Clone + Ord>(
 ///
 /// Convenience used by analyses that already hold a [`ReachabilityGraph`]:
 /// returns a word from the graph node `from` to some node covering `target`.
+#[deprecated(
+    note = "open an `Analysis` session instead: `Analysis::new(net).covering_word(from, target).in_reachability_graph().run()` builds, caches and resumes the graph for you"
+)]
 #[must_use]
 pub fn covering_word_in_graph<P: Clone + Ord>(
     graph: &ReachabilityGraph<P>,
@@ -380,6 +449,10 @@ pub fn covering_word_in_graph<P: Clone + Ord>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated one-shot constructors stay covered here on purpose:
+    // they are shims over the session path and must keep behaving.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::Transition;
 

@@ -11,15 +11,15 @@
 use crate::arena::{ConfigArena, ConfigId, ShardedArena, ShardedConfigId};
 use crate::engine::CompiledNet;
 use crate::parallel::Parallelism;
+use crate::session::Completion;
 use crate::PetriNet;
 use pp_multiset::Multiset;
-use std::cell::OnceCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::{Arc, Barrier, Mutex, OnceLock, RwLock};
 
 /// The largest number of configurations any exploration can store: the
-/// `u32` id space of [`ConfigArena`](crate::arena::ConfigArena).
+/// `u32` id space of [`ConfigArena`].
 ///
 /// [`ExplorationLimits::max_configurations`] values above this ceiling are
 /// clamped, so an over-sized budget degrades into a truncated build
@@ -78,6 +78,26 @@ impl ExplorationLimits {
         self.max_configurations.min(MAX_GRAPH_CONFIGURATIONS)
     }
 
+    /// Returns `true` if every limit of `self` is at least as permissive as
+    /// the corresponding limit of `other` (`None` caps count as infinite).
+    ///
+    /// This is the precondition of [`ReachabilityGraph::resume`]: a graph
+    /// built under `other` can be extended in place to `self` exactly when
+    /// `self.dominates(&other)`.
+    #[must_use]
+    pub fn dominates(&self, other: &ExplorationLimits) -> bool {
+        fn cap_ge<T: Ord>(mine: Option<T>, theirs: Option<T>) -> bool {
+            match (mine, theirs) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => a >= b,
+            }
+        }
+        self.max_configurations >= other.max_configurations
+            && cap_ge(self.max_agents, other.max_agents)
+            && cap_ge(self.max_depth, other.max_depth)
+    }
+
     /// Limits with the given configuration budget and no other restrictions.
     #[must_use]
     pub fn with_max_configurations(max_configurations: usize) -> Self {
@@ -102,39 +122,113 @@ impl ExplorationLimits {
 /// initial configurations.
 ///
 /// Nodes are configurations, edges are labelled by transition indices of the
-/// underlying net.
+/// underlying net. Graphs are built through an
+/// [`Analysis`](crate::session::Analysis) session, which compiles the net
+/// once and can **resume** a truncated graph in place when a later query
+/// raises the budgets (see [`resume`](Self::resume)).
 ///
 /// # Examples
 ///
 /// ```
 /// use pp_multiset::Multiset;
-/// use pp_petri::{ExplorationLimits, PetriNet, ReachabilityGraph, Transition};
+/// use pp_petri::{Analysis, PetriNet, Transition};
 ///
 /// let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "b", "b")]);
 /// let start = Multiset::from_pairs([("a", 4u64)]);
-/// let graph = ReachabilityGraph::build(&net, [start], &ExplorationLimits::default());
-/// assert!(graph.is_complete());
+/// let graph = Analysis::new(&net).reachability([start]).run();
+/// assert!(graph.completion().is_complete());
 /// assert_eq!(graph.len(), 3); // 4a, 2a+2b, 4b
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph<P: Ord> {
-    engine: CompiledNet<P>,
+    engine: Arc<CompiledNet<P>>,
     arena: ConfigArena,
     /// Sparse views of the arena rows, converted lazily on first access
     /// (many callers only need ids, lengths or dense rows).
-    sparse_views: Vec<OnceCell<Multiset<P>>>,
+    sparse_views: Vec<OnceLock<Multiset<P>>>,
     edges: Vec<Vec<(usize, usize)>>,
     initial: Vec<usize>,
-    complete: bool,
+    completion: Completion,
+    /// The limits the graph was (last) built under; [`resume`](Self::resume)
+    /// extends them in place.
+    limits: ExplorationLimits,
+    /// BFS discovery depth per node (node ids are assigned in discovery
+    /// order, so this is also the order depths were decided in).
+    depths: Vec<u32>,
+    /// The nodes that are stored but not fully expanded (ascending ids):
+    /// over the agent cap, at the depth cap, or with successors the
+    /// configuration budget refused to intern. This is exactly the frontier
+    /// [`resume`](Self::resume) re-expands.
+    dirty: Vec<DirtyNode>,
+    /// Dense rows of initial configurations the budget refused to intern,
+    /// in supplied order — replayed first on resume.
+    pending_initials: Vec<Vec<u64>>,
 }
 
 /// Outgoing adjacency lists: per node, `(transition index, successor id)`.
 type EdgeLists = Vec<Vec<(usize, usize)>>;
 
+/// One entry of the dirty frontier: a node stored but not fully expanded,
+/// plus the arena length at the moment the build moved past it.
+///
+/// The watermark decides whether an in-place [`ReachabilityGraph::resume`]
+/// can stay bit-identical to a cold build: re-expanding the node appends
+/// its fresh successors at the end of the id sequence, which matches the
+/// cold numbering exactly when nothing was interned after the node was
+/// skipped (`watermark == len`). Budget-refused nodes always satisfy this
+/// (interning stops globally when the budget fills), and so do depth-capped
+/// frontiers (they are the maximal-depth tail); an *agent-capped* node in
+/// the middle of the sequence does not — a cold build at a raised cap would
+/// insert its successors mid-sequence — so resume falls back to a cold
+/// rebuild when such a hole re-expands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirtyNode {
+    id: u32,
+    watermark: u32,
+}
+
+/// Which exploration limits bit during a build. The flags are set at the
+/// exact decision points the sequential search would set them, in both
+/// engines, so they are deterministic across modes and worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Truncation {
+    config: bool,
+    agents: bool,
+    depth: bool,
+}
+
+impl Truncation {
+    /// The dominant [`Completion`] for these flags under `limits`
+    /// (configuration budget → agent cap → depth cap; a budget that was
+    /// clamped by the arena id space reports [`Completion::IdSpace`]).
+    fn completion(self, limits: &ExplorationLimits) -> Completion {
+        if self.config {
+            if limits.max_configurations > MAX_GRAPH_CONFIGURATIONS {
+                Completion::IdSpace
+            } else {
+                Completion::ConfigBudget
+            }
+        } else if self.agents {
+            Completion::AgentCap
+        } else if self.depth {
+            Completion::DepthCap
+        } else {
+            Completion::Complete
+        }
+    }
+}
+
 /// The seed state both build paths start from: the arena and edge lists
-/// holding the interned initial configurations, the initial ids, and
-/// whether the configuration budget was already exceeded.
-type SeedState = (ConfigArena, EdgeLists, Vec<usize>, bool);
+/// holding the interned initial configurations, their ids and depths, the
+/// initial rows the budget refused, and the flags recorded so far.
+struct SeedState {
+    arena: ConfigArena,
+    edges: EdgeLists,
+    initial_ids: Vec<usize>,
+    depths: Vec<u32>,
+    pending_initials: Vec<Vec<u64>>,
+    trunc: Truncation,
+}
 
 /// A successor reference produced by the worker phase of one level.
 #[derive(Debug, Clone, Copy)]
@@ -401,17 +495,27 @@ fn commit_level(
     edges: &mut EdgeLists,
     next_id: &mut usize,
     cap: usize,
-    complete: &mut bool,
+    trunc: &mut Truncation,
+    dirty: &mut Vec<DirtyNode>,
+    depths: &mut Vec<u32>,
+    child_depth: u32,
 ) -> Vec<ShardedConfigId> {
     let mut committed = Vec::new();
     for global in frontier.clone() {
         let position = index.position(global - frontier.start, frontier_sids);
         if !job.expand[position] {
             // Over the agent budget: stored but never expanded, exactly
-            // like the sequential search (which reports incompleteness).
-            *complete = false;
+            // like the sequential search (which records the same dirty
+            // node, watermark and truncation flag — `next_id` mirrors the
+            // sequential arena length at this point of the replay).
+            trunc.agents = true;
+            dirty.push(DirtyNode {
+                id: u32::try_from(global).expect("node id fits u32"),
+                watermark: u32::try_from(*next_id).expect("arena len fits u32"),
+            });
             continue;
         }
+        let mut blocked = false;
         for &(transition, successor) in results.successors(position) {
             let to = match successor {
                 SuccessorRef::Known(id) => id as usize,
@@ -419,19 +523,27 @@ fn commit_level(
                     Some(assigned) => assigned as usize,
                     None => {
                         if *next_id >= cap {
-                            *complete = false;
+                            trunc.config = true;
+                            blocked = true;
                             continue;
                         }
                         let assigned = *next_id;
                         *next_id += 1;
                         map.set(sid, assigned as u32);
                         edges.push(Vec::new());
+                        depths.push(child_depth);
                         committed.push(sid);
                         assigned
                     }
                 },
             };
             edges[global].push((transition as usize, to));
+        }
+        if blocked {
+            dirty.push(DirtyNode {
+                id: u32::try_from(global).expect("node id fits u32"),
+                watermark: u32::try_from(*next_id).expect("arena len fits u32"),
+            });
         }
     }
     committed
@@ -489,20 +601,124 @@ fn expand_level_chunks(
     }
 }
 
+/// Expands one node in the sequential interning order: rebuilds its edge
+/// list from scratch (fire every transition in index order, resolve each
+/// successor by dedup lookup or a budgeted intern). Returns `true` when the
+/// configuration budget refused some successor — the node stays dirty.
+///
+/// This single body is the semantic definition of "expanding a node"; the
+/// cold sequential build, the resume replay and the resume continuation all
+/// share it, which is what makes resumed graphs bit-identical to cold ones.
+#[allow(clippy::too_many_arguments)]
+fn expand_one(
+    engine: &CompiledNet<impl Clone + Ord>,
+    arena: &mut ConfigArena,
+    edges: &mut EdgeLists,
+    depths: &mut Vec<u32>,
+    id: usize,
+    depth: u32,
+    cap: usize,
+    trunc: &mut Truncation,
+    src: &mut Vec<u64>,
+    succ: &mut Vec<u64>,
+) -> bool {
+    src.clear();
+    src.extend_from_slice(arena.row(ConfigId(id as u32)));
+    edges[id].clear();
+    let mut blocked = false;
+    for (t, transition) in engine.transitions().iter().enumerate() {
+        if !transition.fire_row(src, succ) {
+            continue;
+        }
+        let to = if let Some(existing) = arena.lookup(succ) {
+            existing.index()
+        } else if arena.len() >= cap {
+            trunc.config = true;
+            blocked = true;
+            continue;
+        } else {
+            let fresh = arena.intern(succ);
+            edges.push(Vec::new());
+            depths.push(depth + 1);
+            fresh.index()
+        };
+        edges[id].push((t, to));
+    }
+    blocked
+}
+
+/// The sequential breadth-first expansion of nodes `start..` in id order.
+///
+/// Node ids are assigned in discovery order, so scanning ids *is* the BFS
+/// queue: every node interned during the scan is reached by the scan. Used
+/// by the cold sequential build (`start = 0`) and by the continuation phase
+/// of [`ReachabilityGraph::resume`] (`start` = first fresh id).
+#[allow(clippy::too_many_arguments)]
+fn scan_expand(
+    engine: &CompiledNet<impl Clone + Ord>,
+    arena: &mut ConfigArena,
+    edges: &mut EdgeLists,
+    depths: &mut Vec<u32>,
+    dirty: &mut Vec<DirtyNode>,
+    trunc: &mut Truncation,
+    limits: &ExplorationLimits,
+    start: usize,
+) {
+    let cap = limits.effective_max_configurations();
+    let mut src = Vec::new();
+    let mut succ = Vec::new();
+    let mut id = start;
+    while id < arena.len() {
+        let depth = depths[id];
+        if limits.max_depth.is_some_and(|max| depth as usize >= max) {
+            trunc.depth = true;
+            dirty.push(DirtyNode {
+                id: id as u32,
+                watermark: u32::try_from(arena.len()).expect("arena len fits u32"),
+            });
+            id += 1;
+            continue;
+        }
+        if limits
+            .max_agents
+            .is_some_and(|max| arena.total(ConfigId(id as u32)) > max)
+        {
+            trunc.agents = true;
+            dirty.push(DirtyNode {
+                id: id as u32,
+                watermark: u32::try_from(arena.len()).expect("arena len fits u32"),
+            });
+            id += 1;
+            continue;
+        }
+        if expand_one(
+            engine, arena, edges, depths, id, depth, cap, trunc, &mut src, &mut succ,
+        ) {
+            dirty.push(DirtyNode {
+                id: id as u32,
+                watermark: u32::try_from(arena.len()).expect("arena len fits u32"),
+            });
+        }
+        id += 1;
+    }
+}
+
 impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// Explores the reachability graph of `net` from `initial` breadth-first
     /// on the single-threaded engine.
     ///
     /// Equivalent to [`build_with`](Self::build_with) with
-    /// [`Parallelism::Sequential`]; callers with large graphs pick the
-    /// sharded multi-threaded engine through that entry point.
+    /// [`Parallelism::Sequential`].
+    #[deprecated(
+        note = "open an `Analysis` session instead: `Analysis::new(net).reachability(initial).limits(l).run()` compiles the net once and can resume truncated graphs"
+    )]
     #[must_use]
     pub fn build<I: IntoIterator<Item = Multiset<P>>>(
         net: &PetriNet<P>,
         initial: I,
         limits: &ExplorationLimits,
     ) -> Self {
-        Self::build_with(net, initial, limits, Parallelism::Sequential)
+        Self::build_one_shot(net, initial, limits, Parallelism::Sequential)
     }
 
     /// Explores the reachability graph of `net` from `initial` breadth-first.
@@ -517,8 +733,11 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// cooperating worker threads over a hash-sharded scratch arena
     /// ([`ShardedArena`]) and the discoveries are renumbered afterwards in
     /// the exact order the sequential search would have made them — node
-    /// ids, edges, and the completeness flag are **identical** across all
+    /// ids, edges, and the completion taxonomy are **identical** across all
     /// modes and worker counts, so parallelism is purely a speed knob.
+    #[deprecated(
+        note = "open an `Analysis` session instead: `Analysis::new(net).reachability(initial).limits(l).parallelism(p).run()` compiles the net once and can resume truncated graphs"
+    )]
     #[must_use]
     pub fn build_with<I: IntoIterator<Item = Multiset<P>>>(
         net: &PetriNet<P>,
@@ -526,30 +745,56 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         limits: &ExplorationLimits,
         parallelism: Parallelism,
     ) -> Self {
+        Self::build_one_shot(net, initial, limits, parallelism)
+    }
+
+    /// The pre-session one-shot build: compiles a dedicated engine over the
+    /// net plus the initial supports, then explores. Backs the deprecated
+    /// [`build`](Self::build)/[`build_with`](Self::build_with) shims.
+    fn build_one_shot<I: IntoIterator<Item = Multiset<P>>>(
+        net: &PetriNet<P>,
+        initial: I,
+        limits: &ExplorationLimits,
+        parallelism: Parallelism,
+    ) -> Self {
         let initial_configs: Vec<Multiset<P>> = initial.into_iter().collect();
-        let engine = CompiledNet::compile_with_places(
+        let engine = Arc::new(CompiledNet::compile_with_places(
             net,
             initial_configs.iter().flat_map(|c| c.support().cloned()),
-        );
+        ));
+        Self::build_on(engine, &initial_configs, limits, parallelism)
+    }
+
+    /// Explores from `initial` on an already-compiled engine — the session
+    /// entry point ([`Analysis`](crate::session::Analysis) owns the shared
+    /// engine). Every initial configuration must fit the engine's place
+    /// universe.
+    pub(crate) fn build_on(
+        engine: Arc<CompiledNet<P>>,
+        initial_configs: &[Multiset<P>],
+        limits: &ExplorationLimits,
+        parallelism: Parallelism,
+    ) -> Self {
         if parallelism.is_parallel() {
-            Self::build_parallel(engine, &initial_configs, limits, parallelism.workers())
+            Self::build_parallel(engine, initial_configs, limits, parallelism.workers())
         } else {
-            Self::build_sequential(engine, &initial_configs, limits)
+            Self::build_sequential(engine, initial_configs, limits)
         }
     }
 
-    /// Interns the initial configurations, returning the arena, edge lists,
-    /// initial ids, and whether the budget was already exceeded. Both build
-    /// paths start from this state, so their numbering agrees from node 0.
+    /// Interns the initial configurations, returning the seed state both
+    /// build paths start from, so their numbering agrees from node 0.
     fn intern_initial(
         engine: &CompiledNet<P>,
         initial_configs: &[Multiset<P>],
         limits: &ExplorationLimits,
     ) -> SeedState {
         let mut arena = ConfigArena::new(engine.num_places());
-        let mut edges: Vec<Vec<(usize, usize)>> = Vec::new();
+        let mut edges: EdgeLists = Vec::new();
         let mut initial_ids: Vec<usize> = Vec::new();
-        let mut complete = true;
+        let mut depths: Vec<u32> = Vec::new();
+        let mut pending_initials: Vec<Vec<u64>> = Vec::new();
+        let mut trunc = Truncation::default();
         for config in initial_configs {
             let row = engine
                 .to_dense(config)
@@ -561,6 +806,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             } else {
                 let id = arena.intern(&row);
                 edges.push(Vec::new());
+                depths.push(0);
                 Some(id.index())
             };
             match id {
@@ -569,86 +815,57 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                         initial_ids.push(id);
                     }
                 }
-                None => complete = false,
+                None => {
+                    trunc.config = true;
+                    pending_initials.push(row);
+                }
             }
         }
-        (arena, edges, initial_ids, complete)
+        SeedState {
+            arena,
+            edges,
+            initial_ids,
+            depths,
+            pending_initials,
+            trunc,
+        }
     }
 
     fn build_sequential(
-        engine: CompiledNet<P>,
+        engine: Arc<CompiledNet<P>>,
         initial_configs: &[Multiset<P>],
         limits: &ExplorationLimits,
     ) -> Self {
-        let (mut arena, mut edges, initial_ids, mut complete) =
-            Self::intern_initial(&engine, initial_configs, limits);
-
-        // Interns a row within the configuration budget; `None` when full.
-        fn intern_row(
-            arena: &mut ConfigArena,
-            edges: &mut Vec<Vec<(usize, usize)>>,
-            row: &[u64],
-            limits: &ExplorationLimits,
-        ) -> Option<usize> {
-            if let Some(id) = arena.lookup(row) {
-                return Some(id.index());
-            }
-            if arena.len() >= limits.effective_max_configurations() {
-                return None;
-            }
-            let id = arena.intern(row);
-            edges.push(Vec::new());
-            Some(id.index())
-        }
-
-        let mut queue: VecDeque<(usize, usize)> = initial_ids.iter().map(|&id| (id, 0)).collect();
-        let mut expanded = vec![false; arena.len()];
-        let mut src = Vec::new();
-        let mut succ = Vec::new();
-        while let Some((id, depth)) = queue.pop_front() {
-            if expanded.get(id).copied().unwrap_or(false) {
-                continue;
-            }
-            if expanded.len() < arena.len() {
-                expanded.resize(arena.len(), false);
-            }
-            expanded[id] = true;
-            if let Some(max_depth) = limits.max_depth {
-                if depth >= max_depth {
-                    complete = false;
-                    continue;
-                }
-            }
-            if let Some(max_agents) = limits.max_agents {
-                if arena.total(ConfigId(id as u32)) > max_agents {
-                    complete = false;
-                    continue;
-                }
-            }
-            src.clear();
-            src.extend_from_slice(arena.row(ConfigId(id as u32)));
-            for (t, transition) in engine.transitions().iter().enumerate() {
-                if !transition.fire_row(&src, &mut succ) {
-                    continue;
-                }
-                match intern_row(&mut arena, &mut edges, &succ, limits) {
-                    Some(succ_id) => {
-                        edges[id].push((t, succ_id));
-                        if !expanded.get(succ_id).copied().unwrap_or(false) {
-                            if expanded.len() < arena.len() {
-                                expanded.resize(arena.len(), false);
-                            }
-                            queue.push_back((succ_id, depth + 1));
-                        }
-                    }
-                    None => {
-                        complete = false;
-                    }
-                }
-            }
-        }
-
-        Self::finish(engine, arena, edges, initial_ids, complete)
+        let SeedState {
+            mut arena,
+            mut edges,
+            initial_ids,
+            mut depths,
+            pending_initials,
+            mut trunc,
+        } = Self::intern_initial(&engine, initial_configs, limits);
+        let mut dirty: Vec<DirtyNode> = Vec::new();
+        scan_expand(
+            &engine,
+            &mut arena,
+            &mut edges,
+            &mut depths,
+            &mut dirty,
+            &mut trunc,
+            limits,
+            0,
+        );
+        Self::finish(
+            engine,
+            arena,
+            edges,
+            initial_ids,
+            depths,
+            dirty,
+            pending_initials,
+            trunc,
+            limits,
+        )
     }
 
     /// The sharded **pipelined** level-synchronous parallel search.
@@ -687,7 +904,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     ///
     /// [`build_sequential`]: Self::build_sequential
     fn build_parallel(
-        engine: CompiledNet<P>,
+        engine: Arc<CompiledNet<P>>,
         initial_configs: &[Multiset<P>],
         limits: &ExplorationLimits,
         workers: usize,
@@ -697,8 +914,15 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
 
         let width = engine.num_places();
         let cap = limits.effective_max_configurations();
-        let (arena, mut edges, initial_ids, mut complete) =
-            Self::intern_initial(&engine, initial_configs, limits);
+        let SeedState {
+            arena,
+            mut edges,
+            initial_ids,
+            mut depths,
+            pending_initials,
+            mut trunc,
+        } = Self::intern_initial(&engine, initial_configs, limits);
+        let mut dirty: Vec<DirtyNode> = Vec::new();
         let mut next_id = arena.len();
 
         // Scratch dedup arena plus the epoch-tagged map to final ids.
@@ -841,8 +1065,18 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                 if let Some(max_depth) = limits.max_depth {
                     if depth >= max_depth {
                         // Stored but never expanded, like the sequential
-                        // search reaching its depth budget.
-                        complete = false;
+                        // search reaching its depth budget: every frontier
+                        // node is recorded as dirty, in id order, with the
+                        // final arena length as its watermark (nothing
+                        // interns after this point).
+                        trunc.depth = true;
+                        let watermark = u32::try_from(next_id).expect("arena len fits u32");
+                        for id in frontier_start..frontier_end {
+                            dirty.push(DirtyNode {
+                                id: u32::try_from(id).expect("node id fits u32"),
+                                watermark,
+                            });
+                        }
                         break;
                     }
                 }
@@ -879,12 +1113,18 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                         let node = ConfigId(u32::try_from(id).expect("node id fits u32"));
                         if let Some(max_agents) = limits.max_agents {
                             if arena.total(node) > max_agents {
-                                complete = false;
+                                trunc.agents = true;
+                                dirty.push(DirtyNode {
+                                    id: node.0,
+                                    watermark: u32::try_from(arena.len())
+                                        .expect("arena len fits u32"),
+                                });
                                 continue;
                             }
                         }
                         src.clear();
                         src.extend_from_slice(arena.row(node));
+                        let mut blocked = false;
                         for (t, transition) in transitions.iter().enumerate() {
                             if !transition.fire_row(&src, &mut succ) {
                                 continue;
@@ -893,15 +1133,23 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                                 Some(existing) => existing.index(),
                                 None => {
                                     if arena.len() >= cap {
-                                        complete = false;
+                                        trunc.config = true;
+                                        blocked = true;
                                         continue;
                                     }
                                     let fresh = arena.intern(&succ);
                                     edges.push(Vec::new());
+                                    depths.push(u32::try_from(depth + 1).expect("depth fits u32"));
                                     fresh.index()
                                 }
                             };
                             edges[id].push((t, to));
+                        }
+                        if blocked {
+                            dirty.push(DirtyNode {
+                                id: node.0,
+                                watermark: u32::try_from(arena.len()).expect("arena len fits u32"),
+                            });
                         }
                     }
                     next_id = arena.len();
@@ -966,7 +1214,10 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                     &mut edges,
                     &mut next_id,
                     cap,
-                    &mut complete,
+                    &mut trunc,
+                    &mut dirty,
+                    &mut depths,
+                    u32::try_from(depth + 1).expect("depth fits u32"),
                 );
                 // Reclaim the committed job\'s buffers for the next build.
                 spare_rows = std::mem::take(&mut job.rows);
@@ -1017,28 +1268,53 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         );
         let arena = arena_slot.into_inner().expect("arena lock poisoned");
         debug_assert_eq!(arena.len(), next_id, "every committed row was published");
-        Self::finish(engine, arena, edges, initial_ids, complete)
+        Self::finish(
+            engine,
+            arena,
+            edges,
+            initial_ids,
+            depths,
+            dirty,
+            pending_initials,
+            trunc,
+            limits,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
-        engine: CompiledNet<P>,
+        engine: Arc<CompiledNet<P>>,
         arena: ConfigArena,
         edges: EdgeLists,
         initial: Vec<usize>,
-        complete: bool,
+        depths: Vec<u32>,
+        dirty: Vec<DirtyNode>,
+        pending_initials: Vec<Vec<u64>>,
+        trunc: Truncation,
+        limits: &ExplorationLimits,
     ) -> Self {
-        let sparse_views = (0..arena.len()).map(|_| OnceCell::new()).collect();
+        debug_assert_eq!(depths.len(), arena.len(), "one depth per node");
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0].id < w[1].id),
+            "dirty ids ascend"
+        );
+        let sparse_views = (0..arena.len()).map(|_| OnceLock::new()).collect();
         ReachabilityGraph {
             engine,
             arena,
             sparse_views,
             edges,
             initial,
-            complete,
+            completion: trunc.completion(limits),
+            limits: *limits,
+            depths,
+            dirty,
+            pending_initials,
         }
     }
 
-    /// The compiled engine the graph was explored with.
+    /// The compiled engine the graph was explored with (shared with the
+    /// [`Analysis`](crate::session::Analysis) session that built it).
     #[must_use]
     pub fn engine(&self) -> &CompiledNet<P> {
         &self.engine
@@ -1069,9 +1345,214 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     }
 
     /// Returns `true` if no exploration limit was hit.
+    ///
+    /// Shim over [`completion`](Self::completion), which additionally says
+    /// *which* limit truncated the graph.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.complete
+        self.completion.is_complete()
+    }
+
+    /// How the exploration ended: [`Completion::Complete`], or the dominant
+    /// limit that truncated it.
+    #[must_use]
+    pub fn completion(&self) -> Completion {
+        self.completion
+    }
+
+    /// The exploration limits the graph was (last) built under.
+    #[must_use]
+    pub fn limits(&self) -> &ExplorationLimits {
+        &self.limits
+    }
+
+    /// The BFS discovery depth of node `id` (0 for initial configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn depth_of(&self, id: usize) -> usize {
+        self.depths[id] as usize
+    }
+
+    /// Extends a (possibly truncated) graph in place to the raised
+    /// `limits`: the interned arena and every recorded edge list are
+    /// reused, and only the *dirty frontier* — nodes stored but not fully
+    /// expanded (over the agent cap, at the depth cap, or with successors
+    /// the configuration budget refused) — re-expands, followed by the
+    /// standard breadth-first continuation over the freshly admitted nodes.
+    ///
+    /// The result is **bit-identical** ([`identical_to`](Self::identical_to))
+    /// to a cold build at `limits`, for graphs originally built by the
+    /// sequential or the parallel engine alike: node numbering replays the
+    /// exact sequential interning order, which both engines produce.
+    /// Resuming a complete graph only updates the recorded limits.
+    ///
+    /// One shape cannot be replayed in place: an *agent-capped* node in the
+    /// middle of the id sequence (later nodes kept interning after it was
+    /// skipped) whose cap is now raised — a cold build would insert its
+    /// successors mid-sequence. Such resumes transparently fall back to a
+    /// cold rebuild (still mutating `self`), detected through the per-node
+    /// watermarks of the dirty frontier; raising only `max_configurations`
+    /// and/or `max_depth` always stays on the in-place path.
+    ///
+    /// This is the engine behind the [`Analysis`](crate::session::Analysis)
+    /// session's resumable budgets; the re-expansion itself runs
+    /// sequentially (the dirty frontier is typically a thin budget
+    /// boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limits` does not [dominate](ExplorationLimits::dominates)
+    /// the limits the graph was built under — lowering a budget cannot be
+    /// replayed in place; build a fresh graph instead.
+    pub fn resume(&mut self, limits: &ExplorationLimits) {
+        assert!(
+            limits.dominates(&self.limits),
+            "resume requires limits that dominate the built limits"
+        );
+        let cap = limits.effective_max_configurations();
+        let mut trunc = Truncation::default();
+        let first_new = self.arena.len();
+
+        // In-place replay appends fresh ids at the end; that matches the
+        // cold numbering only if every dirty node that will now re-expand
+        // was skipped *after* the last intern of the old build (watermark
+        // == arena length). A re-expandable mid-sequence hole — an
+        // agent-capped node that later nodes out-interned — forces the
+        // cold-rebuild path.
+        let reopens_hole = self.dirty.iter().any(|d| {
+            (d.watermark as usize) < first_new
+                && limits
+                    .max_depth
+                    .is_none_or(|max| (self.depths[d.id as usize] as usize) < max)
+                && limits
+                    .max_agents
+                    .is_none_or(|max| self.arena.total(ConfigId(d.id)) <= max)
+        });
+        if reopens_hole {
+            let initial_configs: Vec<Multiset<P>> = self
+                .initial
+                .iter()
+                .map(|&id| self.engine.to_sparse(self.arena.row(ConfigId(id as u32))))
+                .chain(
+                    self.pending_initials
+                        .iter()
+                        .map(|row| self.engine.to_sparse(row)),
+                )
+                .collect();
+            *self = Self::build_sequential(self.engine.clone(), &initial_configs, limits);
+            return;
+        }
+
+        // Phase 1: initial configurations the old budget refused, in
+        // supplied order — exactly where a cold build would intern them
+        // (a refused initial implies the arena was full, so no expansion
+        // discovery ever claimed an id after it).
+        let pending = std::mem::take(&mut self.pending_initials);
+        for row in pending {
+            let id = if let Some(id) = self.arena.lookup(&row) {
+                Some(id.index())
+            } else if self.arena.len() >= cap {
+                None
+            } else {
+                let id = self.arena.intern(&row);
+                self.edges.push(Vec::new());
+                self.depths.push(0);
+                Some(id.index())
+            };
+            match id {
+                Some(id) => {
+                    if !self.initial.contains(&id) {
+                        self.initial.push(id);
+                    }
+                }
+                None => {
+                    trunc.config = true;
+                    self.pending_initials.push(row);
+                }
+            }
+        }
+
+        // Phase 2: replay the dirty frontier in id order — the order the
+        // cold build expands them in — rebuilding each node's edge list
+        // from scratch (deterministic, so recorded edges are reproduced
+        // and the refused ones appear exactly where a cold build puts
+        // them). Nodes still over a cap keep their old watermark (their
+        // hole, if any, stays closed); re-marked nodes get the current
+        // arena length, exactly as a cold build would record it.
+        let old_dirty = std::mem::take(&mut self.dirty);
+        let mut dirty: Vec<DirtyNode> = Vec::new();
+        let mut src = Vec::new();
+        let mut succ = Vec::new();
+        for node in old_dirty {
+            let id = node.id;
+            let depth = self.depths[id as usize];
+            // A node still over a cap is re-recorded with the watermark a
+            // cold build would give it: a mid-sequence hole keeps its old
+            // one (no fresh intern can precede it on the in-place path),
+            // while a tail node sees everything interned so far.
+            let still_capped = DirtyNode {
+                id,
+                watermark: if node.watermark as usize == first_new {
+                    u32::try_from(self.arena.len()).expect("arena len fits u32")
+                } else {
+                    node.watermark
+                },
+            };
+            if limits.max_depth.is_some_and(|max| depth as usize >= max) {
+                trunc.depth = true;
+                dirty.push(still_capped);
+                continue;
+            }
+            if limits
+                .max_agents
+                .is_some_and(|max| self.arena.total(ConfigId(id)) > max)
+            {
+                trunc.agents = true;
+                dirty.push(still_capped);
+                continue;
+            }
+            if expand_one(
+                &*self.engine,
+                &mut self.arena,
+                &mut self.edges,
+                &mut self.depths,
+                id as usize,
+                depth,
+                cap,
+                &mut trunc,
+                &mut src,
+                &mut succ,
+            ) {
+                dirty.push(DirtyNode {
+                    id,
+                    watermark: u32::try_from(self.arena.len()).expect("arena len fits u32"),
+                });
+            }
+        }
+
+        // Phase 3: the breadth-first continuation over every node admitted
+        // since the old budget — freshly interned ids all lie past the old
+        // arena length, and id order is BFS order.
+        scan_expand(
+            &*self.engine,
+            &mut self.arena,
+            &mut self.edges,
+            &mut self.depths,
+            &mut dirty,
+            &mut trunc,
+            limits,
+            first_new,
+        );
+
+        self.dirty = dirty;
+        self.limits = *limits;
+        self.completion = trunc.completion(limits);
+        self.sparse_views
+            .resize_with(self.arena.len(), OnceLock::new);
+        debug_assert_eq!(self.depths.len(), self.arena.len(), "one depth per node");
     }
 
     /// The configuration of node `id`.
@@ -1108,18 +1589,23 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     }
 
     /// Returns `true` if `self` and `other` are the same graph node for
-    /// node: same numbering, dense rows, edges, initial ids and
-    /// completeness flag.
+    /// node: same numbering, dense rows, edges, depths, initial ids,
+    /// completion, dirty frontier and pending initials.
     ///
-    /// This is the parallel engine's determinism contract in one call —
-    /// builds of the same input under any two [`Parallelism`] modes must
-    /// satisfy it. The equivalence tests and `bench_parallel_explore
-    /// --check` all go through this single definition.
+    /// This is the determinism contract of the whole engine family in one
+    /// call — builds of the same input under any two [`Parallelism`] modes
+    /// must satisfy it, and a [`resume`](Self::resume)d graph must satisfy
+    /// it against a cold build at the final limits. The equivalence tests
+    /// and `bench_parallel_explore --check` all go through this single
+    /// definition.
     #[must_use]
     pub fn identical_to(&self, other: &Self) -> bool {
         self.len() == other.len()
-            && self.complete == other.complete
+            && self.completion == other.completion
             && self.initial == other.initial
+            && self.depths == other.depths
+            && self.dirty == other.dirty
+            && self.pending_initials == other.pending_initials
             && self.ids().all(|id| {
                 self.dense_node(id) == other.dense_node(id)
                     && self.successors(id) == other.successors(id)
@@ -1401,6 +1887,10 @@ where
 
 #[cfg(test)]
 mod tests {
+    // The deprecated one-shot constructors stay covered here on purpose:
+    // they are shims over the session path and must keep behaving.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::Transition;
 
@@ -1591,6 +2081,175 @@ mod tests {
         for &id in first {
             for &(_, to) in graph.successors(id) {
                 assert!(first.contains(&to));
+            }
+        }
+    }
+
+    #[test]
+    fn resume_extends_truncated_graphs_bit_identically() {
+        let net = doubling_net();
+        let start = [ms(&[("a", 6)])];
+        for (small, large) in [(1usize, 2), (1, 7), (2, 4), (3, 250_000)] {
+            let small_limits = ExplorationLimits::with_max_configurations(small);
+            let large_limits = ExplorationLimits::with_max_configurations(large);
+            let mut resumed = ReachabilityGraph::build(&net, start.clone(), &small_limits);
+            resumed.resume(&large_limits);
+            let cold = ReachabilityGraph::build(&net, start.clone(), &large_limits);
+            assert!(resumed.identical_to(&cold), "cap {small} -> {large}");
+            assert_eq!(resumed.limits(), &large_limits);
+        }
+    }
+
+    #[test]
+    fn resume_chains_compose() {
+        // B -> B' -> B'' must equal a cold build at B'' at every stop.
+        let net = doubling_net();
+        let start = [ms(&[("a", 7)])];
+        let mut resumed = ReachabilityGraph::build(
+            &net,
+            start.clone(),
+            &ExplorationLimits::with_max_configurations(1),
+        );
+        for budget in [2usize, 3, 5, 100] {
+            let limits = ExplorationLimits::with_max_configurations(budget);
+            resumed.resume(&limits);
+            let cold = ReachabilityGraph::build(&net, start.clone(), &limits);
+            assert!(resumed.identical_to(&cold), "chained resume to {budget}");
+        }
+        assert!(resumed.is_complete());
+    }
+
+    #[test]
+    fn resume_through_agent_and_depth_caps() {
+        // Non-conservative growth capped by agents, then the cap raised;
+        // and a depth-capped graph deepened. Both must replay bit-identically.
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("a", 2)]))]);
+        let mut resumed = ReachabilityGraph::build(
+            &net,
+            [ms(&[("a", 1)])],
+            &ExplorationLimits::with_max_agents(3),
+        );
+        assert_eq!(resumed.completion(), Completion::AgentCap);
+        resumed.resume(&ExplorationLimits::with_max_agents(9));
+        let cold = ReachabilityGraph::build(
+            &net,
+            [ms(&[("a", 1)])],
+            &ExplorationLimits::with_max_agents(9),
+        );
+        assert!(resumed.identical_to(&cold));
+
+        let net = doubling_net();
+        let depth = |d: usize| ExplorationLimits {
+            max_depth: Some(d),
+            ..Default::default()
+        };
+        let mut resumed = ReachabilityGraph::build(&net, [ms(&[("a", 6)])], &depth(1));
+        assert_eq!(resumed.completion(), Completion::DepthCap);
+        for d in [2usize, 3, 50] {
+            resumed.resume(&depth(d));
+            let cold = ReachabilityGraph::build(&net, [ms(&[("a", 6)])], &depth(d));
+            assert!(resumed.identical_to(&cold), "depth {d}");
+        }
+        // Lifting the depth cap entirely completes the graph.
+        resumed.resume(&ExplorationLimits::default());
+        assert!(resumed.is_complete());
+    }
+
+    #[test]
+    fn resume_interns_pending_initials_in_cold_order() {
+        // Budget 1 refuses two of the three initials; the resumed graph
+        // must intern them exactly where a cold build numbers them.
+        let net = doubling_net();
+        let initials = [ms(&[("a", 2)]), ms(&[("b", 2)]), ms(&[("a", 1), ("b", 1)])];
+        let mut resumed = ReachabilityGraph::build(
+            &net,
+            initials.clone(),
+            &ExplorationLimits::with_max_configurations(1),
+        );
+        assert_eq!(resumed.initial_ids().len(), 1);
+        resumed.resume(&ExplorationLimits::default());
+        let cold = ReachabilityGraph::build(&net, initials, &ExplorationLimits::default());
+        assert!(resumed.identical_to(&cold));
+        assert_eq!(resumed.initial_ids().len(), 3);
+        assert!(resumed.is_complete());
+    }
+
+    #[test]
+    fn resume_on_a_complete_graph_is_a_no_op() {
+        let net = doubling_net();
+        let cold = ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &ExplorationLimits::default());
+        let mut resumed = cold.clone();
+        resumed.resume(&ExplorationLimits::with_max_configurations(usize::MAX));
+        assert_eq!(resumed.len(), cold.len());
+        assert!(resumed.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "dominate")]
+    fn resume_rejects_lowered_limits() {
+        let net = doubling_net();
+        let mut graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &ExplorationLimits::default());
+        graph.resume(&ExplorationLimits::with_max_configurations(1));
+    }
+
+    #[test]
+    fn limit_dominance_is_pointwise() {
+        let base = ExplorationLimits {
+            max_configurations: 100,
+            max_agents: Some(10),
+            max_depth: Some(5),
+        };
+        assert!(base.dominates(&base));
+        let unlimited = ExplorationLimits {
+            max_configurations: 100,
+            max_agents: None,
+            max_depth: None,
+        };
+        assert!(unlimited.dominates(&base));
+        assert!(!base.dominates(&unlimited));
+        let smaller = ExplorationLimits {
+            max_configurations: 99,
+            ..base
+        };
+        assert!(base.dominates(&smaller));
+        assert!(!smaller.dominates(&base));
+    }
+
+    #[test]
+    fn completion_reports_the_dominant_reason() {
+        let net = doubling_net();
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 5)])], &ExplorationLimits::default());
+        assert_eq!(graph.completion(), Completion::Complete);
+        let capped = ReachabilityGraph::build(
+            &net,
+            [ms(&[("a", 5)])],
+            &ExplorationLimits::with_max_configurations(2),
+        );
+        assert_eq!(capped.completion(), Completion::ConfigBudget);
+        // A budget beyond the arena id space reports the id space, not the
+        // caller's number.
+        let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("a", 2)]))]);
+        let limits = ExplorationLimits {
+            max_configurations: usize::MAX,
+            max_agents: Some(4),
+            max_depth: None,
+        };
+        let graph = ReachabilityGraph::build(&net, [ms(&[("a", 1)])], &limits);
+        assert_eq!(graph.completion(), Completion::AgentCap);
+        assert!(!graph.is_complete());
+    }
+
+    #[test]
+    fn depths_follow_bfs_levels() {
+        let net = doubling_net();
+        let graph =
+            ReachabilityGraph::build(&net, [ms(&[("a", 4)])], &ExplorationLimits::default());
+        assert_eq!(graph.depth_of(graph.initial_ids()[0]), 0);
+        for id in graph.ids() {
+            for &(_, to) in graph.successors(id) {
+                assert!(graph.depth_of(to) <= graph.depth_of(id) + 1);
             }
         }
     }

@@ -17,6 +17,7 @@
 
 use crate::engine::CompiledNet;
 use crate::parallel::Parallelism;
+use crate::session::Completion;
 use crate::PetriNet;
 use pp_multiset::Multiset;
 use rayon::prelude::*;
@@ -331,6 +332,28 @@ struct WaveSlot {
     overflowed: bool,
 }
 
+/// Which limits bit during a tree construction; the admission runs
+/// strictly in wave order in every mode, so the flags are deterministic
+/// across worker counts.
+#[derive(Debug, Clone, Copy, Default)]
+struct KmTruncation {
+    budget: bool,
+    overflow: bool,
+}
+
+impl KmTruncation {
+    /// The dominant [`Completion`]: node budget before ω-overflow.
+    fn completion(self) -> Completion {
+        if self.budget {
+            Completion::ConfigBudget
+        } else if self.overflow {
+            Completion::OmegaOverflow
+        } else {
+            Completion::Complete
+        }
+    }
+}
+
 /// The serial wave-order admission: counts every admitted node against
 /// `max_nodes` and appends its marking — exactly the sequential builder's
 /// bookkeeping, so the tree is identical across worker counts. Returns
@@ -340,18 +363,18 @@ fn admit_wave(
     slots: &[WaveSlot],
     rows: &mut Vec<OmegaRow>,
     max_nodes: usize,
-    complete: &mut bool,
+    trunc: &mut KmTruncation,
 ) -> bool {
     for slot in slots {
         if rows.len() >= max_nodes {
-            *complete = false;
+            trunc.budget = true;
             return false;
         }
         let Some(node) = &slot.branch else {
             continue; // subsumed: no marking, no children
         };
         if slot.overflowed {
-            *complete = false;
+            trunc.overflow = true;
         }
         rows.push(node.row.clone());
     }
@@ -362,7 +385,7 @@ fn admit_wave(
 #[derive(Debug, Clone)]
 pub struct KarpMillerTree<P: Ord> {
     markings: Vec<OmegaMarking<P>>,
-    complete: bool,
+    completion: Completion,
 }
 
 impl<P: Clone + Ord> KarpMillerTree<P> {
@@ -371,9 +394,13 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
     ///
     /// Equivalent to [`build_with`](Self::build_with) with
     /// [`Parallelism::Sequential`].
+    #[deprecated(
+        note = "open an `Analysis` session instead: `Analysis::new(net).karp_miller(initial).max_nodes(n).run()` compiles the net once and caches the tree"
+    )]
     #[must_use]
     pub fn build(net: &PetriNet<P>, initial: &Multiset<P>, max_nodes: usize) -> Self {
-        Self::build_with(net, initial, max_nodes, Parallelism::Sequential)
+        let engine = CompiledNet::compile_with_places(net, initial.support().cloned());
+        Self::build_on(&engine, initial, max_nodes, Parallelism::Sequential)
     }
 
     /// Builds the tree from `initial`, exploring at most `max_nodes` nodes.
@@ -395,7 +422,11 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
     ///
     /// The tree is reported as incomplete when the node budget is hit *or*
     /// when some branch's counters left the `u64` range (checked arithmetic
-    /// instead of the former panic).
+    /// instead of the former panic); [`completion`](Self::completion) says
+    /// which.
+    #[deprecated(
+        note = "open an `Analysis` session instead: `Analysis::new(net).karp_miller(initial).max_nodes(n).parallelism(p).run()` compiles the net once and caches the tree"
+    )]
     #[must_use]
     pub fn build_with(
         net: &PetriNet<P>,
@@ -404,6 +435,18 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
         parallelism: Parallelism,
     ) -> Self {
         let engine = CompiledNet::compile_with_places(net, initial.support().cloned());
+        Self::build_on(&engine, initial, max_nodes, parallelism)
+    }
+
+    /// Builds the tree on an already-compiled engine — the session entry
+    /// point ([`Analysis`](crate::session::Analysis) owns the shared
+    /// engine). The initial configuration must fit the engine's universe.
+    pub(crate) fn build_on(
+        engine: &CompiledNet<P>,
+        initial: &Multiset<P>,
+        max_nodes: usize,
+        parallelism: Parallelism,
+    ) -> Self {
         let dense_initial = engine
             .to_dense(initial)
             .expect("initial support is part of the compiled universe");
@@ -412,7 +455,7 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
             .map(|&c| OmegaValue::Finite(c))
             .collect();
         let mut rows: Vec<OmegaRow> = Vec::new();
-        let mut complete = true;
+        let mut trunc = KmTruncation::default();
         let workers = parallelism.workers();
         let transitions = engine.transitions();
         let mut wave: Vec<(OmegaRow, BranchLink)> = vec![(root, None)];
@@ -450,13 +493,13 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
                 std::thread::scope(|scope| {
                     let expander =
                         scope.spawn(|| expand_wave(&candidates, transitions, workers - 1));
-                    admitted_all = admit_wave(&slots, &mut rows, max_nodes, &mut complete);
+                    admitted_all = admit_wave(&slots, &mut rows, max_nodes, &mut trunc);
                     expander
                         .join()
                         .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
                 })
             } else {
-                admitted_all = admit_wave(&slots, &mut rows, max_nodes, &mut complete);
+                admitted_all = admit_wave(&slots, &mut rows, max_nodes, &mut trunc);
                 if admitted_all && !candidates.is_empty() {
                     expand_wave(&candidates, transitions, workers)
                 } else {
@@ -481,7 +524,10 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
                 marking
             })
             .collect();
-        KarpMillerTree { markings, complete }
+        KarpMillerTree {
+            markings,
+            completion: trunc.completion(),
+        }
     }
 
     /// The ω-markings of the tree.
@@ -492,9 +538,20 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
 
     /// Returns `true` if the tree was fully built within the node budget
     /// and without counter overflow.
+    ///
+    /// Shim over [`completion`](Self::completion), which additionally says
+    /// *which* limit truncated the tree.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.complete
+        self.completion.is_complete()
+    }
+
+    /// How the construction ended: [`Completion::Complete`], the node
+    /// budget ([`Completion::ConfigBudget`]) or a counter overflow
+    /// ([`Completion::OmegaOverflow`]).
+    #[must_use]
+    pub fn completion(&self) -> Completion {
+        self.completion
     }
 
     /// Returns `true` if some marking of the tree covers `config`.
@@ -524,6 +581,10 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated one-shot constructors stay covered here on purpose:
+    // they are shims over the session path and must keep behaving.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::cover::is_coverable;
     use crate::Transition;

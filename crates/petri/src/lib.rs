@@ -21,10 +21,14 @@
 //! All state-space traversal runs on the shared dense engine: a
 //! hash-interning [`arena::ConfigArena`] of dense configuration rows and a
 //! precompiled [`engine::CompiledNet`] whose successor generation works on
-//! slices instead of tree merges. The public entry points keep speaking
-//! sparse `Multiset` configurations and convert at the boundary — see
-//! `DESIGN.md` for the architecture and `explore::sparse_reference_exploration`
-//! for the retained differential-testing baseline.
+//! slices instead of tree merges. The public entry point is the
+//! [`session::Analysis`] session, which compiles a net once and serves
+//! every query — forward exploration (with resumable budgets), backward
+//! coverability, Karp–Miller trees, covering words — on that shared
+//! substrate, still speaking sparse `Multiset` configurations at the
+//! boundary. See `DESIGN.md` ("The session layer") for the architecture
+//! and `explore::sparse_reference_exploration` for the retained
+//! differential-testing baseline.
 //!
 //! # Examples
 //!
@@ -57,6 +61,7 @@ pub mod explore;
 pub mod karp_miller;
 pub mod parallel;
 pub mod rackoff;
+pub mod session;
 pub mod stabilized;
 
 mod net;
@@ -67,4 +72,5 @@ pub use engine::{CompiledNet, CompiledTransition, DenseConfig};
 pub use explore::{ExplorationLimits, ReachabilityGraph};
 pub use net::PetriNet;
 pub use parallel::Parallelism;
+pub use session::{Analysis, Completion};
 pub use transition::Transition;

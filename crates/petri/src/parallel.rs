@@ -10,7 +10,7 @@
 //!   right choice for small inputs, where thread coordination would cost
 //!   more than it saves, and for callers that already parallelize at a
 //!   coarser grain (e.g. `pp_population::verify` fanning out over inputs).
-//! * [`Parallelism::Parallel(n)`] — the sharded level-synchronous engine
+//! * [`Parallelism::Parallel`]`(n)` — the sharded level-synchronous engine
 //!   with `n` cooperating workers (the calling thread included).
 //!   `Parallel(1)` still exercises the sharded code path, just without
 //!   spawning — which is exactly what the single-thread CI job pins via

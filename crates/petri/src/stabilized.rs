@@ -14,9 +14,11 @@
 //! exploration budget needed.
 
 use crate::cover::CoverabilityOracle;
+use crate::session::Analysis;
 use crate::PetriNet;
 use pp_multiset::Multiset;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Exact decision procedure for `(T, F)`-stabilization.
 ///
@@ -38,7 +40,7 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone)]
 pub struct StabilityChecker<P: Ord> {
     allowed: BTreeSet<P>,
-    forbidden_oracles: Vec<(P, CoverabilityOracle<P>)>,
+    forbidden_oracles: Vec<(P, Arc<CoverabilityOracle<P>>)>,
 }
 
 impl<P: Clone + Ord> StabilityChecker<P> {
@@ -49,15 +51,26 @@ impl<P: Clone + Ord> StabilityChecker<P> {
     /// configuration is stabilized iff it can never cover any of them.
     #[must_use]
     pub fn new(net: &PetriNet<P>, allowed: &BTreeSet<P>) -> Self {
-        let forbidden_oracles = net
+        Self::new_in(&mut Analysis::new(net), allowed)
+    }
+
+    /// [`new`](Self::new) on an existing [`Analysis`] session: the net is
+    /// compiled once for all per-place oracles (and any the session already
+    /// cached are reused as-is).
+    #[must_use]
+    pub fn new_in(analysis: &mut Analysis<P>, allowed: &BTreeSet<P>) -> Self {
+        let forbidden: Vec<P> = analysis
+            .net()
             .places()
             .iter()
             .filter(|p| !allowed.contains(*p))
+            .cloned()
+            .collect();
+        let forbidden_oracles = forbidden
+            .into_iter()
             .map(|p| {
-                (
-                    p.clone(),
-                    CoverabilityOracle::build(net, Multiset::unit(p.clone())),
-                )
+                let oracle = analysis.coverability(Multiset::unit(p.clone())).run();
+                (p, oracle)
             })
             .collect();
         StabilityChecker {
@@ -128,7 +141,7 @@ impl<P: Clone + Ord> StabilityChecker<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ExplorationLimits, ReachabilityGraph, Transition};
+    use crate::{ExplorationLimits, Transition};
 
     fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
         Multiset::from_pairs(pairs.iter().copied())
@@ -209,8 +222,9 @@ mod tests {
         configs.sort();
         configs.dedup();
         let limits = ExplorationLimits::default();
+        let mut analysis = Analysis::new(&net);
         for config in configs.iter().filter(|c| c.total() <= 3) {
-            let graph = ReachabilityGraph::build(&net, [config.clone()], &limits);
+            let graph = analysis.reachability([config.clone()]).limits(limits).run();
             assert!(graph.is_complete());
             let brute = graph
                 .ids()

@@ -14,30 +14,44 @@ use crate::output::Output;
 use crate::protocol::{Protocol, StateId};
 use pp_multiset::Multiset;
 use pp_petri::stabilized::StabilityChecker;
-use pp_petri::{ExplorationLimits, ReachabilityGraph};
+use pp_petri::{Analysis, ExplorationLimits};
 
 /// Exact (where possible) output-stability checks for a protocol.
 ///
-/// The checker precomputes the two coverability-based stability oracles once;
-/// cloning a protocol's checker is cheap compared to rebuilding it.
+/// The checker precomputes the two coverability-based stability oracles
+/// once, on one [`Analysis`] session — the protocol's net is compiled a
+/// single time for all per-place oracles *and* for every later bounded
+/// exploration. Cloning a protocol's checker is cheap compared to
+/// rebuilding it (the session and its caches are shared).
 #[derive(Debug, Clone)]
 pub struct ProtocolStability {
     zero_checker: StabilityChecker<StateId>,
     one_checker: StabilityChecker<StateId>,
     conservative: bool,
+    analysis: Analysis<StateId>,
 }
 
 impl ProtocolStability {
     /// Builds the stability checker for `protocol`.
     #[must_use]
     pub fn new(protocol: &Protocol) -> Self {
+        let mut analysis = Analysis::new(protocol.net());
         let zero_states = protocol.states_with_output(Output::Zero);
         let one_states = protocol.states_with_output(Output::One);
         ProtocolStability {
-            zero_checker: StabilityChecker::new(protocol.net(), &zero_states),
-            one_checker: StabilityChecker::new(protocol.net(), &one_states),
+            zero_checker: StabilityChecker::new_in(&mut analysis, &zero_states),
+            one_checker: StabilityChecker::new_in(&mut analysis, &one_states),
             conservative: protocol.is_conservative(),
+            analysis,
         }
+    }
+
+    /// The analysis session the checker was built on: the compiled net is
+    /// shared, so consumers that explore the same protocol (the verifier)
+    /// clone this instead of recompiling.
+    #[must_use]
+    pub fn analysis(&self) -> &Analysis<StateId> {
+        &self.analysis
     }
 
     /// Returns `true` if `config` is 0-output stable (an element of `S₀`).
@@ -62,6 +76,20 @@ impl ProtocolStability {
         config: &Multiset<StateId>,
         limits: &ExplorationLimits,
     ) -> Option<bool> {
+        let mut analysis = self.analysis.clone();
+        self.is_one_output_stable_in(&mut analysis, protocol, config, limits)
+    }
+
+    /// [`is_one_output_stable`](Self::is_one_output_stable) running its
+    /// bounded exploration (the non-conservative emptiness check) on the
+    /// caller's [`Analysis`] session.
+    pub(crate) fn is_one_output_stable_in(
+        &self,
+        analysis: &mut Analysis<StateId>,
+        _protocol: &Protocol,
+        config: &Multiset<StateId>,
+        limits: &ExplorationLimits,
+    ) -> Option<bool> {
         if config.is_empty() {
             return Some(false);
         }
@@ -74,7 +102,10 @@ impl ProtocolStability {
             return Some(true);
         }
         // Non-conservative: check that the empty configuration is unreachable.
-        let graph = ReachabilityGraph::build(protocol.net(), [config.clone()], limits);
+        let graph = analysis
+            .reachability([config.clone()])
+            .limits(*limits)
+            .run();
         let reaches_empty = graph.ids().any(|id| graph.node(id).is_empty());
         if reaches_empty {
             Some(false)
@@ -98,6 +129,23 @@ impl ProtocolStability {
     ) -> Option<bool> {
         if value {
             self.is_one_output_stable(protocol, config, limits)
+        } else {
+            Some(self.is_zero_output_stable(config))
+        }
+    }
+
+    /// [`is_output_stable`](Self::is_output_stable) running any bounded
+    /// exploration on the caller's [`Analysis`] session.
+    pub(crate) fn is_output_stable_in(
+        &self,
+        analysis: &mut Analysis<StateId>,
+        protocol: &Protocol,
+        config: &Multiset<StateId>,
+        value: bool,
+        limits: &ExplorationLimits,
+    ) -> Option<bool> {
+        if value {
+            self.is_one_output_stable_in(analysis, protocol, config, limits)
         } else {
             Some(self.is_zero_output_stable(config))
         }

@@ -19,7 +19,7 @@ use crate::predicate::Predicate;
 use crate::protocol::{Protocol, StateId};
 use crate::stable::ProtocolStability;
 use pp_multiset::Multiset;
-use pp_petri::{ExplorationLimits, Parallelism, ReachabilityGraph};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism};
 use rayon::prelude::*;
 
 /// Verdict categories for a single input.
@@ -132,6 +132,32 @@ pub fn verify_input_with(
     limits: &ExplorationLimits,
     parallelism: Parallelism,
 ) -> InputReport {
+    // The stability checker already holds the compiled net: clone its
+    // session (an `Arc` bump, no recompile) for this input's exploration.
+    let mut analysis = stability.analysis().clone();
+    verify_input_in(
+        &mut analysis,
+        protocol,
+        stability,
+        predicate,
+        input,
+        limits,
+        parallelism,
+    )
+}
+
+/// [`verify_input_with`] on an existing [`Analysis`] session: the input's
+/// reachability graph and every per-node stability exploration run on the
+/// session's shared engine.
+fn verify_input_in(
+    analysis: &mut Analysis<StateId>,
+    protocol: &Protocol,
+    stability: &ProtocolStability,
+    predicate: &Predicate,
+    input: &Multiset<String>,
+    limits: &ExplorationLimits,
+    parallelism: Parallelism,
+) -> InputReport {
     let expected = predicate.eval(input);
     let initial = match protocol.initial_config(input) {
         Ok(config) => config,
@@ -144,7 +170,11 @@ pub fn verify_input_with(
             }
         }
     };
-    let graph = ReachabilityGraph::build_with(protocol.net(), [initial], limits, parallelism);
+    let graph = analysis
+        .reachability([initial])
+        .limits(*limits)
+        .parallelism(parallelism)
+        .run();
     if !graph.is_complete() {
         return InputReport {
             input: input.clone(),
@@ -153,11 +183,20 @@ pub fn verify_input_with(
             explored_configurations: graph.len(),
         };
     }
-    // Mark the nodes that are expected-output stable.
+    // Mark the nodes that are expected-output stable. The per-node
+    // explorations run on their own session clone so the input's graph
+    // stays cached in `analysis` (one engine, shared by all of them).
+    let mut stability_session = analysis.clone();
     let mut stable_nodes = Vec::new();
     let mut undecided = false;
     for id in graph.ids() {
-        match stability.is_output_stable(protocol, graph.node(id), expected, limits) {
+        match stability.is_output_stable_in(
+            &mut stability_session,
+            protocol,
+            graph.node(id),
+            expected,
+            limits,
+        ) {
             Some(true) => stable_nodes.push(id),
             Some(false) => {}
             None => undecided = true,
@@ -197,6 +236,11 @@ pub fn verify_input_with(
 
 /// Verifies a family of explicit inputs.
 ///
+/// One [`Analysis`] session backs the whole family: the protocol's net is
+/// compiled exactly once (inside the [`ProtocolStability`] checker) and
+/// every input's exploration — and every per-node stability exploration —
+/// runs on a cheap clone of that session instead of recompiling.
+///
 /// Inputs are independent, so the verifier parallelizes — but at the grain
 /// that pays: with at least as many inputs as hardware threads (or only
 /// small inputs), it fans out *across* inputs (one rayon task per input,
@@ -231,9 +275,21 @@ where
     let reports: Vec<InputReport> = if across_inputs {
         inputs
             .into_par_iter()
-            .map(|input| verify_input(protocol, &stability, predicate, &input, limits))
+            .map(|input| {
+                let mut analysis = stability.analysis().clone();
+                verify_input_in(
+                    &mut analysis,
+                    protocol,
+                    &stability,
+                    predicate,
+                    &input,
+                    limits,
+                    Parallelism::Sequential,
+                )
+            })
             .collect()
     } else {
+        let mut analysis = stability.analysis().clone();
         inputs
             .iter()
             .map(|input| {
@@ -242,7 +298,15 @@ where
                 } else {
                     Parallelism::Sequential
                 };
-                verify_input_with(protocol, &stability, predicate, input, limits, mode)
+                verify_input_in(
+                    &mut analysis,
+                    protocol,
+                    &stability,
+                    predicate,
+                    input,
+                    limits,
+                    mode,
+                )
             })
             .collect()
     };

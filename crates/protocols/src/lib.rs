@@ -16,7 +16,7 @@
 //!   baseline mentioned in Section 9 for leaderless protocols;
 //! * [`majority::majority`] — the classical 4-state majority protocol;
 //! * [`modulo::modulo_with_leader`] — a 1-leader protocol for `x ≡ r (mod m)`;
-//! * [`threshold::remainder_free_threshold`] — a leader-based protocol for
+//! * [`threshold::binary_threshold_with_leader`] — a leader-based protocol for
 //!   `x ≥ n` with `Θ(log n)` states for arbitrary `n` (binary representation
 //!   held by a chain of leader agents).
 //!

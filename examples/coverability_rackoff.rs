@@ -4,9 +4,8 @@
 //! Run with: `cargo run --example coverability_rackoff`
 
 use pp_multiset::Multiset;
-use pp_petri::cover::{shortest_covering_word, CoverabilityOracle};
 use pp_petri::rackoff::covering_length_bound;
-use pp_petri::ExplorationLimits;
+use pp_petri::Analysis;
 use pp_protocols::leaders_n::example_4_2;
 
 fn main() {
@@ -14,9 +13,13 @@ fn main() {
     let net = protocol.net();
     let id = |name: &str| protocol.state_id(name).unwrap();
 
+    // One session over the protocol net: the backward oracle and every
+    // forward witness search below share a single compile.
+    let mut analysis = Analysis::new(net);
+
     // Can the accepting flags p and q ever be populated simultaneously?
     let target = Multiset::from_pairs([(id("p"), 1u64), (id("q"), 1)]);
-    let oracle = CoverabilityOracle::build(net, target.clone());
+    let oracle = analysis.coverability(target.clone()).run();
     println!(
         "backward coverability basis for p + q: {} minimal configurations",
         oracle.basis().len()
@@ -31,7 +34,10 @@ fn main() {
     for input in [1u64, 3, 6] {
         let start = protocol.initial_config_with_count(input);
         let coverable = oracle.is_coverable_from(&start);
-        let word = shortest_covering_word(net, &start, &target, &ExplorationLimits::default());
+        let word = analysis
+            .covering_word(start, target.clone())
+            .run()
+            .into_word();
         println!(
             "from ρ_L + {input}·i : coverable = {coverable}, shortest witness = {:?} transitions, Rackoff bound ≈ 10^{:.0}",
             word.map(|w| w.len()),

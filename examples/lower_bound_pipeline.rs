@@ -5,18 +5,40 @@
 //! with control-states of Section 7, its total cycle (Lemma 7.2) and the
 //! shrunken multicycle of Lemma 7.3, together with the Section 8 constants.
 //!
+//! `analyze_protocol` threads one `Analysis` session through the whole
+//! chain (one compile of the restricted net; the truncated pumping
+//! exploration is resumed, not rebuilt, by the bottom search); the
+//! boundedness probe below shows the same session API used directly.
+//!
 //! Run with: `cargo run --example lower_bound_pipeline`
 
-use pp_petri::ExplorationLimits;
+use pp_petri::{Analysis, ExplorationLimits};
 use pp_protocols::{leaders_n, modulo};
 use pp_statecomplexity::analyze_protocol;
 
 fn main() {
     let limits = ExplorationLimits::with_max_configurations(800);
     for protocol in [leaders_n::example_4_2(2), modulo::modulo_with_leader(2, 0)] {
+        // A direct session query first: is the protocol bounded from a
+        // small input? (Karp–Miller on the same compiled net the pipeline
+        // will reuse conceptually.)
+        let mut session = Analysis::new(protocol.net());
+        let tree = session
+            .karp_miller(protocol.initial_config_with_count(3))
+            .max_nodes(20_000)
+            .run();
         let report = analyze_protocol(&protocol, &limits);
         println!("================================================================");
         println!("protocol          : {}", report.protocol_name);
+        println!(
+            "boundedness       : 3-agent input {} ({})",
+            if tree.is_bounded() {
+                "bounded"
+            } else {
+                "unbounded"
+            },
+            tree.completion()
+        );
         println!(
             "shape             : |P| = {}, width = {}, leaders = {}",
             report.states, report.width, report.leaders

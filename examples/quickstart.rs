@@ -1,10 +1,11 @@
-//! Quickstart: build the paper's Example 4.2 protocol, verify that it stably
-//! computes the counting predicate, look at its state-complexity bounds, and
-//! watch it run under a random scheduler.
+//! Quickstart: build the paper's Example 4.2 protocol, open an `Analysis`
+//! session over its net, verify that it stably computes the counting
+//! predicate, look at its state-complexity bounds, and watch it run under a
+//! random scheduler.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pp_petri::ExplorationLimits;
+use pp_petri::{Analysis, ExplorationLimits};
 use pp_population::verify::verify_counting_inputs;
 use pp_population::Predicate;
 use pp_protocols::leaders_n::example_4_2;
@@ -20,7 +21,45 @@ fn main() {
     println!("width          : {}", protocol.width());
     println!("leaders |ρ_L|  : {}", protocol.num_leaders());
 
-    // ---- 2. Verify stable computation exhaustively ----------------------
+    // ---- 2. Open one analysis session over the protocol's net -----------
+    // The session compiles the net once; every query below — and every
+    // query the verifier runs internally — works on that shared substrate.
+    let mut analysis = Analysis::new(protocol.net());
+    let start = protocol.initial_config_with_count(2 * n);
+
+    // A budgeted first look at the state space...
+    let peek = analysis
+        .reachability([start.clone()])
+        .limits(ExplorationLimits::with_max_configurations(8))
+        .run();
+    println!(
+        "state space    : peeked at {} configurations ({})",
+        peek.len(),
+        peek.completion()
+    );
+    drop(peek);
+    // ...then the budget is raised: the session *resumes* the truncated
+    // graph in place instead of rebuilding it.
+    let graph = analysis.reachability([start.clone()]).run();
+    println!(
+        "state space    : resumed to {} configurations ({})",
+        graph.len(),
+        graph.completion()
+    );
+
+    // An exact coverability query on the same compiled net: can both
+    // accepting flags p and q ever be populated at once?
+    let p = protocol.state_id("p").unwrap();
+    let q = protocol.state_id("q").unwrap();
+    let target = pp_multiset::Multiset::from_pairs([(p, 1u64), (q, 1)]);
+    let oracle = analysis.coverability(target).run();
+    println!(
+        "coverability   : p + q coverable from ρ_L + {}·i = {}",
+        2 * n,
+        oracle.is_coverable_from(&start)
+    );
+
+    // ---- 3. Verify stable computation exhaustively ----------------------
     let predicate = Predicate::counting("i", n);
     let report =
         verify_counting_inputs(&protocol, &predicate, n + 3, &ExplorationLimits::default());
@@ -39,7 +78,7 @@ fn main() {
             .sum::<usize>()
     );
 
-    // ---- 3. State-complexity bounds (the paper's contribution) ----------
+    // ---- 4. State-complexity bounds (the paper's contribution) ----------
     let bound = theorem_4_3_bound_for_protocol(&protocol);
     println!(
         "Theorem 4.3    : this shape can decide thresholds up to {} (≈ 10^{:.0})",
@@ -47,7 +86,7 @@ fn main() {
         bound.approx_log10()
     );
 
-    // ---- 4. Simulate a population under the random scheduler ------------
+    // ---- 5. Simulate a population under the random scheduler ------------
     for agents in [n - 1, n, 10 * n] {
         let stats =
             ConvergenceExperiment::new(&protocol, &protocol.initial_config_with_count(agents))

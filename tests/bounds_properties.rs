@@ -3,8 +3,9 @@
 
 use pp_bigint::Nat;
 use pp_multiset::Multiset;
-use pp_petri::cover::{is_coverable, shortest_covering_word};
+use pp_petri::cover::is_coverable;
 use pp_petri::rackoff::covering_length_bound;
+use pp_petri::Analysis;
 use pp_petri::ExplorationLimits;
 use pp_protocols::leaders_n::example_4_2;
 use pp_statecomplexity::{corollary_4_4_min_states, theorem_4_3_bound};
@@ -57,7 +58,10 @@ proptest! {
         let target = Multiset::from_pairs([(p, p_count), (q, q_count)]);
         let start = protocol.initial_config_with_count(input);
         let coverable = is_coverable(net, &start, &target);
-        let word = shortest_covering_word(net, &start, &target, &ExplorationLimits::default());
+        let word = Analysis::new(net)
+            .covering_word(start.clone(), target.clone())
+            .run()
+            .into_word();
         prop_assert_eq!(coverable, word.is_some());
         if let Some(word) = word {
             let bound = covering_length_bound(net, &target);

@@ -2,24 +2,64 @@
 //! parallel — must explore exactly the same state spaces as the sparse
 //! reference path.
 //!
-//! `ReachabilityGraph::build` runs on the `ConfigArena`/`CompiledNet`
+//! `Analysis::reachability` runs on the `ConfigArena`/`CompiledNet`
 //! engine; `sparse_reference_exploration` is the pre-engine
 //! `BTreeMap`-based breadth-first search kept as the baseline; and
-//! `ReachabilityGraph::build_with(…, Parallelism::Parallel(n))` is the
-//! sharded level-synchronous engine. All follow the same BFS order, so the
+//! `.parallelism(Parallelism::Parallel(n))` selects the sharded
+//! level-synchronous engine. All follow the same BFS order, so the
 //! three-way check is strict: the parallel graph must match the sequential
 //! one *node id for node id and edge for edge* (the deterministic
 //! renumbering guarantee), and both must match the sparse reference's node
 //! set and completeness flag — on the whole protocol catalog and on random
-//! nets, truncated or not.
+//! nets, truncated or not. Resumed graphs are held to the same standard:
+//! truncate at a small budget, resume to a larger one, compare bit-for-bit
+//! against a cold build at the larger budget.
 
 use pp_multiset::Multiset;
-use pp_petri::cover::{is_coverable, shortest_covering_word};
+use pp_petri::cover::{is_coverable, CoveringWordOutcome};
 use pp_petri::explore::sparse_reference_exploration;
-use pp_petri::{ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
 use pp_protocols::counting_entries;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A cold session build (compile + explore), the way every test here
+/// builds graphs.
+fn build<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    initial: &Multiset<P>,
+    limits: &ExplorationLimits,
+    parallelism: Parallelism,
+) -> Arc<ReachabilityGraph<P>> {
+    Analysis::new(net)
+        .parallelism(parallelism)
+        .reachability([initial.clone()])
+        .limits(*limits)
+        .run()
+}
+
+/// A graph truncated at `small`, then resumed to `large` through the
+/// session cache (the caller's handle is dropped first, so the resume is
+/// the in-place path).
+fn build_resumed<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    initial: &Multiset<P>,
+    small: &ExplorationLimits,
+    large: &ExplorationLimits,
+    parallelism: Parallelism,
+) -> Arc<ReachabilityGraph<P>> {
+    let mut analysis = Analysis::new(net).parallelism(parallelism);
+    let truncated = analysis
+        .reachability([initial.clone()])
+        .limits(*small)
+        .run();
+    drop(truncated);
+    analysis
+        .reachability([initial.clone()])
+        .limits(*large)
+        .run()
+}
 
 /// Asserts the one canonical graph-identity predicate
 /// ([`ReachabilityGraph::identical_to`]) with a size hint on failure.
@@ -42,16 +82,11 @@ fn assert_same_graph<P: Clone + Ord + std::fmt::Debug>(
     initial: Multiset<P>,
     limits: &ExplorationLimits,
 ) {
-    let dense = ReachabilityGraph::build(net, [initial.clone()], limits);
+    let dense = build(net, &initial, limits, Parallelism::Sequential);
     // Three-way leg 1: the parallel engine is bit-identical to the
     // sequential one, for several worker counts.
     for workers in [1usize, 3] {
-        let parallel = ReachabilityGraph::build_with(
-            net,
-            [initial.clone()],
-            limits,
-            Parallelism::Parallel(workers),
-        );
+        let parallel = build(net, &initial, limits, Parallelism::Parallel(workers));
         assert_identical_graphs(&dense, &parallel);
     }
     // Three-way leg 2: both match the sparse reference node set.
@@ -138,13 +173,8 @@ proptest! {
             max_agents: Some(24),
             max_depth: None,
         };
-        let dense = ReachabilityGraph::build(&net, [initial.clone()], &limits);
-        let parallel = ReachabilityGraph::build_with(
-            &net,
-            [initial.clone()],
-            &limits,
-            Parallelism::Parallel(3),
-        );
+        let dense = build(&net, &initial, &limits, Parallelism::Sequential);
+        let parallel = build(&net, &initial, &limits, Parallelism::Parallel(3));
         assert_identical_graphs(&dense, &parallel);
         let (sparse_nodes, sparse_complete) =
             sparse_reference_exploration(&net, [initial.clone()], &limits);
@@ -167,14 +197,9 @@ proptest! {
             max_agents: Some(24),
             max_depth: Some(max_depth),
         };
-        let dense = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+        let dense = build(&net, &initial, &limits, Parallelism::Sequential);
         for workers in [1usize, 4] {
-            let parallel = ReachabilityGraph::build_with(
-                &net,
-                [initial.clone()],
-                &limits,
-                Parallelism::Parallel(workers),
-            );
+            let parallel = build(&net, &initial, &limits, Parallelism::Parallel(workers));
             assert_identical_graphs(&dense, &parallel);
         }
         let (sparse_nodes, sparse_complete) =
@@ -198,9 +223,74 @@ proptest! {
         }
         let target = Multiset::from_pairs([(target_place, target_count)]);
         let backward = is_coverable(&net, &initial, &target);
-        let forward =
-            shortest_covering_word(&net, &initial, &target, &ExplorationLimits::default())
-                .is_some();
+        let forward = matches!(
+            Analysis::new(&net)
+                .covering_word(initial.clone(), target.clone())
+                .run(),
+            CoveringWordOutcome::Covered(_)
+        );
         prop_assert_eq!(backward, forward);
+    }
+
+    #[test]
+    fn random_resumed_graphs_match_cold_builds(
+        (net, initial) in arb_net_and_initial(),
+        small_budget in 1usize..40,
+    ) {
+        // The resumable-budget contract on random nets: truncate at a small
+        // configuration budget, resume to the full limits, and the result
+        // must be bit-identical to a cold build at the full limits — for
+        // the sequential and the parallel engine alike.
+        let small = ExplorationLimits {
+            max_configurations: small_budget,
+            max_agents: Some(24),
+            max_depth: None,
+        };
+        let large = ExplorationLimits {
+            max_configurations: 400,
+            max_agents: Some(24),
+            max_depth: None,
+        };
+        for parallelism in [Parallelism::Sequential, Parallelism::Parallel(3)] {
+            let cold = build(&net, &initial, &large, parallelism);
+            let resumed = build_resumed(&net, &initial, &small, &large, parallelism);
+            prop_assert!(
+                resumed.identical_to(&cold),
+                "resumed != cold at budget {} ({:?})",
+                small_budget,
+                parallelism
+            );
+        }
+    }
+
+    #[test]
+    fn random_agent_and_depth_resumes_match_cold_builds(
+        (net, initial) in arb_net_and_initial(),
+        small_agents in 1u64..12,
+        small_depth in 0usize..4,
+    ) {
+        // Agent- and depth-capped truncations resumed to looser caps: the
+        // replayed frontier must reproduce the cold build exactly.
+        let small = ExplorationLimits {
+            max_configurations: 400,
+            max_agents: Some(small_agents),
+            max_depth: Some(small_depth),
+        };
+        let large = ExplorationLimits {
+            max_configurations: 400,
+            max_agents: Some(24),
+            max_depth: Some(12),
+        };
+        for parallelism in [Parallelism::Sequential, Parallelism::Parallel(3)] {
+            let cold = build(&net, &initial, &large, parallelism);
+            let resumed = build_resumed(&net, &initial, &small, &large, parallelism);
+            prop_assert!(
+                resumed.identical_to(&cold),
+                "resumed != cold from agents {} depth {} ({:?})",
+                small_agents,
+                small_depth,
+                parallelism
+            );
+        }
     }
 }

@@ -9,14 +9,27 @@
 //! would immediately show up.
 
 use pp_multiset::Multiset;
-use pp_petri::cover::CoverabilityOracle;
-use pp_petri::karp_miller::KarpMillerTree;
-use pp_petri::{ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
 use pp_population::stable::ProtocolStability;
 use pp_population::verify::{verify_input, verify_input_with};
 use pp_population::Predicate;
 use pp_protocols::{counting_entries, flock};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A cold session build (compile + explore) at the given parallelism.
+fn build<P: Clone + Ord>(
+    net: &PetriNet<P>,
+    initial: &Multiset<P>,
+    limits: &ExplorationLimits,
+    parallelism: Parallelism,
+) -> Arc<ReachabilityGraph<P>> {
+    Analysis::new(net)
+        .parallelism(parallelism)
+        .reachability([initial.clone()])
+        .limits(*limits)
+        .run()
+}
 
 /// A random small net over places `0..places` plus a random initial
 /// configuration over the same places (mirrors the generator of
@@ -49,19 +62,9 @@ fn catalog_graphs_are_identical_across_worker_counts() {
         }
         let initial = entry.protocol.initial_config_with_count(6);
         let net = entry.protocol.net();
-        let reference = ReachabilityGraph::build_with(
-            net,
-            [initial.clone()],
-            &limits,
-            Parallelism::Parallel(2),
-        );
+        let reference = build(net, &initial, &limits, Parallelism::Parallel(2));
         for workers in [1usize, 3, 7] {
-            let other = ReachabilityGraph::build_with(
-                net,
-                [initial.clone()],
-                &limits,
-                Parallelism::Parallel(workers),
-            );
+            let other = build(net, &initial, &limits, Parallelism::Parallel(workers));
             assert!(
                 reference.identical_to(&other),
                 "graphs differ at {workers} workers"
@@ -81,12 +84,12 @@ fn truncated_dispatched_levels_stay_identical() {
     let initial = protocol.initial_config_with_count(22);
     for budget in [1500usize, 4000] {
         let limits = ExplorationLimits::with_max_configurations(budget);
-        let sequential = ReachabilityGraph::build(protocol.net(), [initial.clone()], &limits);
+        let sequential = build(protocol.net(), &initial, &limits, Parallelism::Sequential);
         assert!(!sequential.is_complete());
         for workers in [2usize, 3, 4] {
-            let parallel = ReachabilityGraph::build_with(
+            let parallel = build(
                 protocol.net(),
-                [initial.clone()],
+                &initial,
                 &limits,
                 Parallelism::Parallel(workers),
             );
@@ -99,14 +102,45 @@ fn truncated_dispatched_levels_stay_identical() {
 }
 
 #[test]
+fn resumed_dispatched_levels_match_cold_builds() {
+    // Resume across the budget regimes where the pipelined engine actually
+    // dispatches worker jobs: truncate mid-level at a dispatched budget,
+    // then raise the budget and compare against cold builds — for the
+    // sequential engine and for worker counts whose chunk boundaries do
+    // not align with the frontier.
+    let protocol = flock::flock_of_birds_unary(5);
+    let initial = protocol.initial_config_with_count(22);
+    let small = ExplorationLimits::with_max_configurations(1500);
+    let large = ExplorationLimits::with_max_configurations(4000);
+    for parallelism in [Parallelism::Sequential, Parallelism::Parallel(3)] {
+        let cold = build(protocol.net(), &initial, &large, parallelism);
+        let mut analysis = Analysis::new(protocol.net()).parallelism(parallelism);
+        let truncated = analysis.reachability([initial.clone()]).limits(small).run();
+        assert!(!truncated.is_complete());
+        drop(truncated);
+        let resumed = analysis.reachability([initial.clone()]).limits(large).run();
+        assert!(
+            resumed.identical_to(&cold),
+            "resumed graph differs from cold at {parallelism:?}"
+        );
+    }
+}
+
+#[test]
 fn parallel_karp_miller_matches_sequential_on_a_large_tree() {
     // flock-of-birds at 12 agents yields waves comfortably past the
     // parallel threshold, so this actually exercises the fan-out path.
     let protocol = flock::flock_of_birds_unary(4);
     let start = protocol.initial_config_with_count(12);
-    let sequential = KarpMillerTree::build(protocol.net(), &start, 200_000);
-    let parallel =
-        KarpMillerTree::build_with(protocol.net(), &start, 200_000, Parallelism::Parallel(3));
+    let sequential = Analysis::new(protocol.net())
+        .karp_miller(start.clone())
+        .max_nodes(200_000)
+        .run();
+    let parallel = Analysis::new(protocol.net())
+        .karp_miller(start)
+        .max_nodes(200_000)
+        .parallelism(Parallelism::Parallel(3))
+        .run();
     assert_eq!(sequential.markings(), parallel.markings());
     assert_eq!(sequential.is_complete(), parallel.is_complete());
     assert!(sequential.markings().len() > 64);
@@ -157,14 +191,9 @@ proptest! {
                 max_agents: Some(20),
                 max_depth: Some(40),
             };
-            let sequential = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+            let sequential = build(&net, &initial, &limits, Parallelism::Sequential);
             for workers in [1usize, 3, 4] {
-                let parallel = ReachabilityGraph::build_with(
-                    &net,
-                    [initial.clone()],
-                    &limits,
-                    Parallelism::Parallel(workers),
-                );
+                let parallel = build(&net, &initial, &limits, Parallelism::Parallel(workers));
                 prop_assert!(
                     sequential.identical_to(&parallel),
                     "graphs differ: budget {} workers {}",
@@ -185,14 +214,9 @@ proptest! {
             max_agents: Some(12),
             max_depth: None,
         };
-        let sequential = ReachabilityGraph::build(&net, [initial.clone()], &limits);
+        let sequential = build(&net, &initial, &limits, Parallelism::Sequential);
         for workers in [1usize, 2, 3] {
-            let parallel = ReachabilityGraph::build_with(
-                &net,
-                [initial.clone()],
-                &limits,
-                Parallelism::Parallel(workers),
-            );
+            let parallel = build(&net, &initial, &limits, Parallelism::Parallel(workers));
             prop_assert!(
                 sequential.identical_to(&parallel),
                 "agent-truncated graphs differ at {} workers",
@@ -203,12 +227,15 @@ proptest! {
 
     #[test]
     fn random_karp_miller_trees_are_identical((net, initial) in arb_net_and_initial()) {
-        let sequential = KarpMillerTree::build(&net, &initial, 2_000);
+        let sequential = Analysis::new(&net).karp_miller(initial.clone()).max_nodes(2_000).run();
         for workers in [1usize, 4] {
-            let parallel =
-                KarpMillerTree::build_with(&net, &initial, 2_000, Parallelism::Parallel(workers));
+            let parallel = Analysis::new(&net)
+                .karp_miller(initial.clone())
+                .max_nodes(2_000)
+                .parallelism(Parallelism::Parallel(workers))
+                .run();
             prop_assert_eq!(sequential.markings(), parallel.markings());
-            prop_assert_eq!(sequential.is_complete(), parallel.is_complete());
+            prop_assert_eq!(sequential.completion(), parallel.completion());
         }
     }
 
@@ -219,15 +246,61 @@ proptest! {
         target_count in 1u64..3,
     ) {
         let target = Multiset::from_pairs([(target_place, target_count)]);
-        let sequential = CoverabilityOracle::build(&net, target.clone());
+        let sequential = Analysis::new(&net).coverability(target.clone()).run();
         for workers in [1usize, 4] {
-            let parallel =
-                CoverabilityOracle::build_with(&net, target.clone(), Parallelism::Parallel(workers));
+            let parallel = Analysis::new(&net)
+                .coverability(target.clone())
+                .parallelism(Parallelism::Parallel(workers))
+                .run();
             prop_assert_eq!(sequential.basis(), parallel.basis());
             prop_assert_eq!(
                 sequential.is_coverable_from(&initial),
                 parallel.is_coverable_from(&initial)
             );
+        }
+    }
+
+    #[test]
+    fn random_resumes_are_identical_across_worker_counts(
+        (net, initial) in arb_net_and_initial(),
+        budget in 2usize..30,
+    ) {
+        // Budget-, agent- and depth-capped truncations resumed in two
+        // steps, starting from graphs built by either engine: every stop
+        // must be bit-identical to a cold build at that stop's limits.
+        let stops = [
+            ExplorationLimits {
+                max_configurations: budget,
+                max_agents: Some(8),
+                max_depth: Some(3),
+            },
+            ExplorationLimits {
+                max_configurations: budget * 4,
+                max_agents: Some(14),
+                max_depth: Some(8),
+            },
+            ExplorationLimits {
+                max_configurations: 2_000,
+                max_agents: Some(20),
+                max_depth: None,
+            },
+        ];
+        for parallelism in [Parallelism::Sequential, Parallelism::Parallel(3)] {
+            let mut analysis = Analysis::new(&net).parallelism(parallelism);
+            for limits in &stops {
+                let resumed = analysis
+                    .reachability([initial.clone()])
+                    .limits(*limits)
+                    .run();
+                let cold = build(&net, &initial, limits, parallelism);
+                prop_assert!(
+                    resumed.identical_to(&cold),
+                    "stop {:?} diverges under {:?}",
+                    limits,
+                    parallelism
+                );
+                drop(resumed);
+            }
         }
     }
 }

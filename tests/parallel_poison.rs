@@ -14,7 +14,7 @@
 
 use pp_multiset::Multiset;
 use pp_petri::explore::fault_injection;
-use pp_petri::{ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism, PetriNet, Transition};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::time::Duration;
@@ -40,13 +40,11 @@ fn panicking_worker_poisons_the_build_instead_of_deadlocking() {
     let (sender, receiver) = mpsc::channel();
     std::thread::spawn(move || {
         let outcome = std::panic::catch_unwind(|| {
-            ReachabilityGraph::build_with(
-                &doubling_net(),
-                [ms(&[("a", 12)])],
-                &ExplorationLimits::default(),
-                Parallelism::Parallel(4),
-            )
-            .len()
+            Analysis::new(&doubling_net())
+                .parallelism(Parallelism::Parallel(4))
+                .reachability([ms(&[("a", 12)])])
+                .run()
+                .len()
         });
         let _ = sender.send(outcome);
     });
@@ -73,12 +71,14 @@ fn panicking_worker_poisons_the_build_instead_of_deadlocking() {
     // The engine stays usable after a poisoned build: a clean run on the
     // same inputs succeeds and matches the sequential graph.
     let limits = ExplorationLimits::default();
-    let sequential = ReachabilityGraph::build(&doubling_net(), [ms(&[("a", 12)])], &limits);
-    let parallel = ReachabilityGraph::build_with(
-        &doubling_net(),
-        [ms(&[("a", 12)])],
-        &limits,
-        Parallelism::Parallel(4),
-    );
+    let sequential = Analysis::new(&doubling_net())
+        .reachability([ms(&[("a", 12)])])
+        .limits(limits)
+        .run();
+    let parallel = Analysis::new(&doubling_net())
+        .parallelism(Parallelism::Parallel(4))
+        .reachability([ms(&[("a", 12)])])
+        .limits(limits)
+        .run();
     assert!(sequential.identical_to(&parallel));
 }
