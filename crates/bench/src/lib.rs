@@ -2,8 +2,11 @@
 //!
 //! The experiment index lives in `DESIGN.md`; every experiment `E1`–`E12` has
 //! a binary in `src/bin/` that prints its table to stdout using the small
-//! formatting helpers of this crate, and the timing-sensitive pipelines have
-//! Criterion benches under `benches/`.
+//! formatting helpers of this crate, the engine ablations
+//! (`bench_sparse_dense`, `bench_parallel_explore`, `bench_session_reuse`,
+//! `bench_batch_throughput` — E12b–E15) additionally write gated
+//! `BENCH_*.json` files, and the timing-sensitive pipelines have Criterion
+//! benches under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -101,6 +101,9 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
     ///
     /// Equivalent to [`build_with`](Self::build_with) with
     /// [`Parallelism::Sequential`].
+    ///
+    /// **Deprecated**: use the session API instead —
+    /// [`Analysis::new`](crate::session::Analysis::new)`(net).coverability(target).run()`.
     #[deprecated(
         note = "open an `Analysis` session instead: `Analysis::new(net).coverability(target).run()` compiles the net once and caches the oracle per target"
     )]
@@ -128,6 +131,9 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
     ///
     /// The returned oracle's [`basis`](Self::basis) is the set of minimal
     /// configurations from which `target` is coverable.
+    ///
+    /// **Deprecated**: use the session API instead —
+    /// [`Analysis::new`](crate::session::Analysis::new)`(net).coverability(target).parallelism(p).run()`.
     #[deprecated(
         note = "open an `Analysis` session instead: `Analysis::new(net).coverability(target).parallelism(p).run()` compiles the net once and caches the oracle per target"
     )]
@@ -281,6 +287,9 @@ impl CoveringWordOutcome {
 ///
 /// This convenience wrapper conflates "not coverable" with "search
 /// truncated"; the session query reports the distinction.
+///
+/// **Deprecated**: use the session API instead —
+/// [`Analysis::new`](crate::session::Analysis::new)`(net).covering_word(from, target).limits(l).run().into_word()`.
 #[deprecated(
     note = "open an `Analysis` session instead: `Analysis::new(net).covering_word(from, target).limits(l).run().into_word()` reuses one compile across queries and reports why a search was inconclusive"
 )]
@@ -308,6 +317,9 @@ pub fn shortest_covering_word<P: Clone + Ord>(
 /// Exploration prunes configurations already dominated by a visited one only
 /// in the exact sense (identical configurations); for the small nets of the
 /// experiments this is sufficient.
+///
+/// **Deprecated**: use the session API instead —
+/// [`Analysis::new`](crate::session::Analysis::new)`(net).covering_word(from, target).limits(l).run()`.
 #[deprecated(
     note = "open an `Analysis` session instead: `Analysis::new(net).covering_word(from, target).limits(l).run()` reuses one compile across queries"
 )]
@@ -433,6 +445,9 @@ pub(crate) fn forward_covering_word<P: Clone + Ord>(
 ///
 /// Convenience used by analyses that already hold a [`ReachabilityGraph`]:
 /// returns a word from the graph node `from` to some node covering `target`.
+///
+/// **Deprecated**: use the session API instead —
+/// [`Analysis::new`](crate::session::Analysis::new)`(net).covering_word(from, target).in_reachability_graph().run()`.
 #[deprecated(
     note = "open an `Analysis` session instead: `Analysis::new(net).covering_word(from, target).in_reachability_graph().run()` builds, caches and resumes the graph for you"
 )]

@@ -709,6 +709,9 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     ///
     /// Equivalent to [`build_with`](Self::build_with) with
     /// [`Parallelism::Sequential`].
+    ///
+    /// **Deprecated**: use the session API instead —
+    /// [`Analysis::new`](crate::session::Analysis::new)`(net).reachability(initial).limits(l).run()`.
     #[deprecated(
         note = "open an `Analysis` session instead: `Analysis::new(net).reachability(initial).limits(l).run()` compiles the net once and can resume truncated graphs"
     )]
@@ -735,6 +738,9 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// the exact order the sequential search would have made them — node
     /// ids, edges, and the completion taxonomy are **identical** across all
     /// modes and worker counts, so parallelism is purely a speed knob.
+    ///
+    /// **Deprecated**: use the session API instead —
+    /// [`Analysis::new`](crate::session::Analysis::new)`(net).reachability(initial).limits(l).parallelism(p).run()`.
     #[deprecated(
         note = "open an `Analysis` session instead: `Analysis::new(net).reachability(initial).limits(l).parallelism(p).run()` compiles the net once and can resume truncated graphs"
     )]

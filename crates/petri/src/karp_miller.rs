@@ -394,6 +394,9 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
     ///
     /// Equivalent to [`build_with`](Self::build_with) with
     /// [`Parallelism::Sequential`].
+    ///
+    /// **Deprecated**: use the session API instead —
+    /// [`Analysis::new`](crate::session::Analysis::new)`(net).karp_miller(initial).max_nodes(n).run()`.
     #[deprecated(
         note = "open an `Analysis` session instead: `Analysis::new(net).karp_miller(initial).max_nodes(n).run()` compiles the net once and caches the tree"
     )]
@@ -424,6 +427,9 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
     /// when some branch's counters left the `u64` range (checked arithmetic
     /// instead of the former panic); [`completion`](Self::completion) says
     /// which.
+    ///
+    /// **Deprecated**: use the session API instead —
+    /// [`Analysis::new`](crate::session::Analysis::new)`(net).karp_miller(initial).max_nodes(n).parallelism(p).run()`.
     #[deprecated(
         note = "open an `Analysis` session instead: `Analysis::new(net).karp_miller(initial).max_nodes(n).parallelism(p).run()` compiles the net once and caches the tree"
     )]

@@ -26,9 +26,12 @@
 //! every query — forward exploration (with resumable budgets), backward
 //! coverability, Karp–Miller trees, covering words — on that shared
 //! substrate, still speaking sparse `Multiset` configurations at the
-//! boundary. See `DESIGN.md` ("The session layer") for the architecture
-//! and `explore::sparse_reference_exploration` for the retained
-//! differential-testing baseline.
+//! boundary. Above the session sits the [`batch`] scheduler: fleets of
+//! jobs over many nets, deduplicated behind shared sessions and run under
+//! one fair-shared token budget, every result bit-identical to a solo
+//! query. See `DESIGN.md` ("The session layer", "The batch layer") for
+//! the architecture and `explore::sparse_reference_exploration` for the
+//! retained differential-testing baseline.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod batch;
 pub mod bottom;
 pub mod component;
 pub mod control;
@@ -68,6 +72,7 @@ mod net;
 mod transition;
 
 pub use arena::{ConfigArena, ConfigId, ShardedArena, ShardedConfigId};
+pub use batch::{Batch, BatchJob, BatchOutcome, BatchQuery, BatchReport, JobReport};
 pub use engine::{CompiledNet, CompiledTransition, DenseConfig};
 pub use explore::{ExplorationLimits, ReachabilityGraph};
 pub use net::PetriNet;

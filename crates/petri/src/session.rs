@@ -265,6 +265,23 @@ impl<P: Clone + Ord> Analysis<P> {
     /// A forward-exploration query from `initials`.
     ///
     /// Defaults: [`ExplorationLimits::default`], the session's parallelism.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_multiset::Multiset;
+    /// use pp_petri::{Analysis, ExplorationLimits, Parallelism, PetriNet, Transition};
+    ///
+    /// let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "b", "b")]);
+    /// let mut analysis = Analysis::new(&net);
+    /// let graph = analysis
+    ///     .reachability([Multiset::from_pairs([("a", 4u64)])])
+    ///     .limits(ExplorationLimits::with_max_configurations(1_000))
+    ///     .parallelism(Parallelism::Sequential)
+    ///     .run();
+    /// assert!(graph.completion().is_complete());
+    /// assert_eq!(graph.len(), 3); // 4a, 2a+2b, 4b
+    /// ```
     pub fn reachability<I: IntoIterator<Item = Multiset<P>>>(
         &mut self,
         initials: I,
@@ -279,6 +296,20 @@ impl<P: Clone + Ord> Analysis<P> {
     }
 
     /// An exact backward-coverability query for `target`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_multiset::Multiset;
+    /// use pp_petri::{Analysis, PetriNet, Transition};
+    ///
+    /// let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
+    /// let mut analysis = Analysis::new(&net);
+    /// let oracle = analysis.coverability(Multiset::from_pairs([("b", 2u64)])).run();
+    /// // Three a's suffice to produce two b's; two do not.
+    /// assert!(oracle.is_coverable_from(&Multiset::from_pairs([("a", 3u64)])));
+    /// assert!(!oracle.is_coverable_from(&Multiset::from_pairs([("a", 2u64)])));
+    /// ```
     pub fn coverability(&mut self, target: Multiset<P>) -> CoverabilityQuery<'_, P> {
         let parallelism = self.parallelism;
         CoverabilityQuery {
@@ -291,6 +322,27 @@ impl<P: Clone + Ord> Analysis<P> {
     /// A Karp–Miller coverability-tree query from `initial`.
     ///
     /// Defaults: a 100 000 node budget, the session's parallelism.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_multiset::Multiset;
+    /// use pp_petri::{Analysis, PetriNet, Transition};
+    ///
+    /// // a -> a + b pumps b without bound.
+    /// let net = PetriNet::from_transitions([Transition::new(
+    ///     Multiset::from_pairs([("a", 1u64)]),
+    ///     Multiset::from_pairs([("a", 1u64), ("b", 1)]),
+    /// )]);
+    /// let mut analysis = Analysis::new(&net);
+    /// let tree = analysis
+    ///     .karp_miller(Multiset::from_pairs([("a", 1u64)]))
+    ///     .max_nodes(10_000)
+    ///     .run();
+    /// assert!(tree.completion().is_complete());
+    /// assert!(tree.place_is_bounded(&"a"));
+    /// assert!(!tree.place_is_bounded(&"b"));
+    /// ```
     pub fn karp_miller(&mut self, initial: Multiset<P>) -> KarpMillerQuery<'_, P> {
         let parallelism = self.parallelism;
         KarpMillerQuery {
@@ -308,6 +360,30 @@ impl<P: Clone + Ord> Analysis<P> {
     /// breadth-first search (see
     /// [`CoveringWordQuery::in_reachability_graph`] for the variant that
     /// searches the session's cached graph).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_multiset::Multiset;
+    /// use pp_petri::cover::CoveringWordOutcome;
+    /// use pp_petri::{Analysis, PetriNet, Transition};
+    ///
+    /// let net = PetriNet::from_transitions([
+    ///     Transition::pairwise("a", "a", "a", "b"),
+    ///     Transition::pairwise("a", "b", "b", "b"),
+    /// ]);
+    /// let mut analysis = Analysis::new(&net);
+    /// let outcome = analysis
+    ///     .covering_word(
+    ///         Multiset::from_pairs([("a", 3u64)]),
+    ///         Multiset::from_pairs([("b", 3u64)]),
+    ///     )
+    ///     .run();
+    /// let CoveringWordOutcome::Covered(word) = outcome else {
+    ///     panic!("3b is coverable from 3a");
+    /// };
+    /// assert_eq!(word.len(), 3); // the shortest such word
+    /// ```
     pub fn covering_word(
         &mut self,
         from: Multiset<P>,

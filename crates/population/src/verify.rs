@@ -19,8 +19,10 @@ use crate::predicate::Predicate;
 use crate::protocol::{Protocol, StateId};
 use crate::stable::ProtocolStability;
 use pp_multiset::Multiset;
-use pp_petri::{Analysis, ExplorationLimits, Parallelism};
+use pp_petri::batch::{Batch, BatchJob, BatchOutcome};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism, ReachabilityGraph};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Verdict categories for a single input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,6 +177,24 @@ fn verify_input_in(
         .limits(*limits)
         .parallelism(parallelism)
         .run();
+    verdict_from_graph(
+        analysis, protocol, stability, input, expected, &graph, limits,
+    )
+}
+
+/// The verdict for one input, given its (already-built) reachability
+/// graph: mark the expected-output-stable nodes with the exact oracles and
+/// check that every node can reach one. Per-node stability explorations
+/// run on a clone of `analysis` (one engine, shared by all of them).
+fn verdict_from_graph(
+    analysis: &Analysis<StateId>,
+    protocol: &Protocol,
+    stability: &ProtocolStability,
+    input: &Multiset<String>,
+    expected: bool,
+    graph: &ReachabilityGraph<StateId>,
+    limits: &ExplorationLimits,
+) -> InputReport {
     if !graph.is_complete() {
         return InputReport {
             input: input.clone(),
@@ -183,9 +203,6 @@ fn verify_input_in(
             explored_configurations: graph.len(),
         };
     }
-    // Mark the nodes that are expected-output stable. The per-node
-    // explorations run on their own session clone so the input's graph
-    // stays cached in `analysis` (one engine, shared by all of them).
     let mut stability_session = analysis.clone();
     let mut stable_nodes = Vec::new();
     let mut undecided = false;
@@ -241,16 +258,23 @@ fn verify_input_in(
 /// every input's exploration — and every per-node stability exploration —
 /// runs on a cheap clone of that session instead of recompiling.
 ///
+/// The verifier is a client of the batch service layer
+/// ([`pp_petri::batch`]): every input becomes one reachability job on the
+/// protocol's net, the batch runner dedups the compile behind the
+/// stability checker's seeded session (and outright shares the result of
+/// duplicated inputs), and the per-input verdicts are then computed from
+/// the returned graphs.
+///
 /// Inputs are independent, so the verifier parallelizes — but at the grain
 /// that pays: with at least as many inputs as hardware threads (or only
-/// small inputs), it fans out *across* inputs (one rayon task per input,
-/// each exploring sequentially); with fewer jobs of which at least one is
-/// large, it runs inputs in order and lets every input of
+/// small inputs), it fans the batch (and the verdict pass) out *across*
+/// inputs, each exploring sequentially; with fewer jobs of which at least
+/// one is large, it runs inputs in order and lets every input of
 /// [`WITHIN_INPUT_AGENT_THRESHOLD`] or more agents use *within-input*
 /// parallelism (the sharded level-synchronous exploration engine). Both
 /// the per-input semantics and the order of the returned reports are
-/// identical across all strategies, because the parallel engine is
-/// deterministic.
+/// identical across all strategies, because the parallel engine — and the
+/// batch layer on top of it — is deterministic.
 #[must_use]
 pub fn verify_inputs<I>(
     protocol: &Protocol,
@@ -272,43 +296,93 @@ where
         .iter()
         .any(|input| input.total() >= WITHIN_INPUT_AGENT_THRESHOLD);
     let across_inputs = !auto.is_parallel() || inputs.len() >= auto.workers() || !any_large;
-    let reports: Vec<InputReport> = if across_inputs {
-        inputs
-            .into_par_iter()
-            .map(|input| {
-                let mut analysis = stability.analysis().clone();
-                verify_input_in(
-                    &mut analysis,
-                    protocol,
-                    &stability,
-                    predicate,
-                    &input,
-                    limits,
-                    Parallelism::Sequential,
-                )
-            })
-            .collect()
-    } else {
-        let mut analysis = stability.analysis().clone();
-        inputs
-            .iter()
-            .map(|input| {
-                let mode = if input.total() >= WITHIN_INPUT_AGENT_THRESHOLD {
+
+    // Phase 1 — one batch builds every input's reachability graph on the
+    // stability checker's compiled engine (inputs over unknown states get
+    // no job and stay Unknown).
+    let mut batch = Batch::new()
+        .seed_session(stability.analysis())
+        .parallelism(if across_inputs {
+            auto
+        } else {
+            Parallelism::Sequential
+        });
+    let mut job_of: Vec<Option<usize>> = Vec::with_capacity(inputs.len());
+    let mut job_count = 0usize;
+    for (index, input) in inputs.iter().enumerate() {
+        match protocol.initial_config(input) {
+            Ok(initial) => {
+                let exploration = if !across_inputs && input.total() >= WITHIN_INPUT_AGENT_THRESHOLD
+                {
                     auto
                 } else {
                     Parallelism::Sequential
                 };
-                verify_input_in(
-                    &mut analysis,
-                    protocol,
-                    &stability,
-                    predicate,
-                    input,
-                    limits,
-                    mode,
-                )
-            })
-            .collect()
+                batch = batch.job(
+                    BatchJob::reachability(
+                        format!("input-{index}"),
+                        protocol.net().clone(),
+                        [initial],
+                    )
+                    .limits(*limits)
+                    .exploration(exploration),
+                );
+                job_of.push(Some(job_count));
+                job_count += 1;
+            }
+            Err(_) => job_of.push(None),
+        }
+    }
+    let batch_report = batch.run();
+    // Pull each job's graph out of the consumed report so phase 2 owns the
+    // only `Arc` per input and releases it the moment its verdict is done:
+    // the whole-family peak exists only at this phase boundary, not for
+    // the duration of the verdict pass.
+    let mut outcomes: Vec<Option<Arc<ReachabilityGraph<StateId>>>> = batch_report
+        .jobs
+        .into_iter()
+        .map(|job| match job.outcome {
+            BatchOutcome::Reachability(graph) => Some(graph),
+            _ => None,
+        })
+        .collect();
+
+    // Phase 2 — verdicts from the graphs, fanned out across inputs at the
+    // same grain as the batch above. Each task drops its input's graph as
+    // soon as the verdict is computed.
+    type VerdictTask = (Multiset<String>, Option<Arc<ReachabilityGraph<StateId>>>);
+    let tasks: Vec<VerdictTask> = inputs
+        .into_iter()
+        .zip(job_of)
+        .map(|(input, job)| {
+            let graph = job.and_then(|index| outcomes[index].take());
+            (input, graph)
+        })
+        .collect();
+    let verdict_of = |(input, graph): VerdictTask| {
+        let expected = predicate.eval(&input);
+        let Some(graph) = graph else {
+            return InputReport {
+                input,
+                expected,
+                verdict: Verdict::Unknown,
+                explored_configurations: 0,
+            };
+        };
+        verdict_from_graph(
+            stability.analysis(),
+            protocol,
+            &stability,
+            &input,
+            expected,
+            &graph,
+            limits,
+        )
+    };
+    let reports: Vec<InputReport> = if across_inputs {
+        tasks.into_par_iter().map(verdict_of).collect()
+    } else {
+        tasks.into_iter().map(verdict_of).collect()
     };
     VerificationReport {
         protocol_name: protocol.name().to_owned(),

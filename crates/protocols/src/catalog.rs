@@ -86,6 +86,32 @@ pub fn counting_entries(n: u64) -> Vec<CatalogEntry> {
     entries
 }
 
+/// The full catalog for the threshold `n`: every counting-predicate
+/// construction ([`counting_entries`]) followed by the non-counting ones
+/// ([`other_entries`]), in a fixed order.
+///
+/// This is the job list of the batch experiments: `pp_protocols::batch`
+/// turns each entry into one analysis job and runs the whole catalog as a
+/// single batch.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let entries = pp_protocols::catalog::all(8);
+/// assert!(entries.len() >= 6);
+/// assert!(entries.iter().any(|e| e.family == "majority"));
+/// ```
+#[must_use]
+pub fn all(n: u64) -> Vec<CatalogEntry> {
+    let mut entries = counting_entries(n);
+    entries.extend(other_entries());
+    entries
+}
+
 /// The non-counting entries of the catalog (majority and a congruence).
 #[must_use]
 pub fn other_entries() -> Vec<CatalogEntry> {

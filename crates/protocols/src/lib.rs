@@ -21,12 +21,16 @@
 //!   held by a chain of leader agents).
 //!
 //! Every constructor returns a [`pp_population::Protocol`] together with the
-//! predicate it claims to compute (see [`catalog`]); the claim is validated in
-//! tests by the exhaustive verifier of `pp-population`.
+//! predicate it claims to compute (see [`catalog`], and [`catalog::all`] for
+//! the combined list); the claim is validated in tests by the exhaustive
+//! verifier of `pp-population`. The [`batch`] module turns the catalog into
+//! a batch workload: one analysis job per entry, scheduled as a single
+//! batch through the service layer of `pp-petri`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod catalog;
 pub mod flock;
 pub mod leaders_n;

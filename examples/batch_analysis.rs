@@ -1,0 +1,98 @@
+//! Batch analysis: run a fleet of protocol queries as one scheduled batch.
+//!
+//! The batch service layer (`pp_statecomplexity::batch`, on top of
+//! `pp_petri::batch`) is the front door for many-query workloads: jobs
+//! over equal nets share one compiled engine, identical jobs share one
+//! result, a shared token pool is fair-shared and redistributed, and every
+//! job's result is bit-identical to a solo run at its final budget.
+//!
+//! Run with: `cargo run --example batch_analysis`
+
+use pp_petri::{ExplorationLimits, Parallelism};
+use pp_protocols::leaders_n::example_4_2;
+use pp_protocols::{batch::run_catalog, flock};
+use pp_statecomplexity::batch::ProtocolBatch;
+
+fn main() {
+    // ---- 1. A mixed batch over two protocol families --------------------
+    // Example 4.2's net does not depend on n, so all three reachability
+    // jobs (and the coverability job) compile exactly one engine; the
+    // flock family brings a second net. One `run()` answers everything.
+    let e42 = example_4_2(2);
+    let flock = flock::flock_of_birds_unary(4);
+    let p = e42.state_id("p").unwrap();
+    let q = e42.state_id("q").unwrap();
+    let both = pp_multiset::Multiset::from_pairs([(p, 1u64), (q, 1)]);
+
+    let report = ProtocolBatch::new()
+        .reachability(&e42, 6)
+        .reachability(&example_4_2(3), 6) // same net, other leader count
+        .reachability(&flock, 8)
+        .coverability(&e42, both)
+        .karp_miller(&flock, 6, 50_000)
+        .run();
+
+    println!("## Mixed batch\n");
+    println!(
+        "{} jobs, {} distinct nets, {} compile cache hits, {} rounds\n",
+        report.jobs.len(),
+        report.distinct_nets,
+        report.compile_cache_hits,
+        report.rounds,
+    );
+    for job in &report.jobs {
+        println!(
+            "  {:<28} {:<10} explored {:>6}  shared-compile {}",
+            job.name,
+            format!("{}", job.completion),
+            job.explored,
+            job.shared_compile,
+        );
+    }
+
+    // ---- 2. A shared budget pool: fair share + redistribution -----------
+    // Three flock explorations compete for 120 stored configurations. The
+    // smallest completes below its fair share and refunds tokens; the
+    // others pick them up in the next round, each result still
+    // bit-identical to a solo run at its final budget.
+    let mut pooled = ProtocolBatch::new()
+        .limits(ExplorationLimits::with_max_configurations(100_000))
+        .pool(120)
+        .parallelism(Parallelism::Parallel(2));
+    for agents in [3, 9, 10] {
+        pooled = pooled.reachability(&flock, agents);
+    }
+    let pooled = pooled.run();
+    println!("\n## Pooled batch (120 tokens over three jobs)\n");
+    let pool = pooled.pool.expect("pooled run");
+    println!(
+        "granted {} / {} tokens ({} refunded and redistributed, {} unspent), {} rounds\n",
+        pool.granted, pool.total, pool.refunded, pool.unspent, pooled.rounds,
+    );
+    for job in &pooled.jobs {
+        println!(
+            "  {:<28} final budget {:>6}  explored {:>6}  ({})",
+            job.name, job.final_limits.max_configurations, job.explored, job.completion,
+        );
+    }
+
+    // ---- 3. The full catalog as one batch -------------------------------
+    // Every construction of the catalog for n = 4, explored from 6 agents,
+    // scheduled as a single batch.
+    let catalog = run_catalog(4, 6, None, Parallelism::Parallel(2));
+    println!("\n## Catalog batch (n = 4, 6 agents)\n");
+    for job in &catalog.jobs {
+        println!(
+            "  {:<28} {:<10} {:>6} configurations",
+            job.name,
+            format!("{}", job.completion),
+            job.explored,
+        );
+    }
+    println!(
+        "\n{} catalog jobs in {:?} ({} compile cache hits)",
+        catalog.jobs.len(),
+        catalog.elapsed,
+        catalog.compile_cache_hits,
+    );
+}

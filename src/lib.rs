@@ -1,8 +1,12 @@
 //! Umbrella crate for the State Complexity Suite.
 //!
 //! Re-exports the public APIs of all member crates so that the examples and
-//! integration tests can use a single dependency. See the README for the
-//! architecture overview and `DESIGN.md` for the per-experiment index.
+//! integration tests can use a single dependency. The crate documentation
+//! below is the repository README verbatim — including it here makes
+//! `cargo test --doc` compile and run the README's quickstart snippet, so
+//! the front-page example can never rot. See `DESIGN.md` for the
+//! architecture and the per-experiment index.
+#![doc = include_str!("../README.md")]
 
 pub use pp_bigint as bigint;
 pub use pp_diophantine as diophantine;
