@@ -35,6 +35,9 @@ struct Row {
     distinct_nets: usize,
     compile_hits: usize,
     result_hits: usize,
+    /// Mean stored arena bytes per node over the batch's graphs (each net
+    /// picks its own packed row layout, so this is a fleet average).
+    bytes_per_node: f64,
     solo_ns: u128,
     batch_ns: u128,
     batch_par_ns: u128,
@@ -128,6 +131,15 @@ fn main() {
             std::hint::black_box(report.jobs.len());
         }
         let report = last_report.expect("at least one run");
+        let bytes_per_node = {
+            let per_graph: Vec<usize> = report
+                .jobs
+                .iter()
+                .filter_map(|job| job.outcome.as_reachability())
+                .map(|graph| graph.bytes_per_node())
+                .collect();
+            per_graph.iter().sum::<usize>() as f64 / per_graph.len().max(1) as f64
+        };
 
         if check {
             // Unpooled: every job == solo at its own limits.
@@ -163,6 +175,7 @@ fn main() {
             distinct_nets: report.distinct_nets,
             compile_hits: report.compile_cache_hits,
             result_hits: report.result_cache_hits,
+            bytes_per_node,
             solo_ns,
             batch_ns,
             batch_par_ns,
@@ -175,6 +188,7 @@ fn main() {
         "nets",
         "compile hits",
         "result hits",
+        "B/node",
         "solo (ms)",
         "batch (ms)",
         "batch par(2) (ms)",
@@ -189,6 +203,7 @@ fn main() {
             row.distinct_nets.to_string(),
             row.compile_hits.to_string(),
             row.result_hits.to_string(),
+            fmt_f64(row.bytes_per_node),
             fmt_f64(row.solo_ns as f64 / 1e6),
             fmt_f64(row.batch_ns as f64 / 1e6),
             fmt_f64(row.batch_par_ns as f64 / 1e6),
@@ -215,12 +230,13 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"n\": {}, \"jobs\": {}, \"distinct_nets\": {}, \"compile_cache_hits\": {}, \"result_cache_hits\": {}, \"solo_ns\": {}, \"batch_ns\": {}, \"batch_par_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            "  {{\"n\": {}, \"jobs\": {}, \"distinct_nets\": {}, \"compile_cache_hits\": {}, \"result_cache_hits\": {}, \"bytes_per_node\": {:.1}, \"solo_ns\": {}, \"batch_ns\": {}, \"batch_par_ns\": {}, \"speedup\": {:.3}}}{}\n",
             row.n,
             row.jobs,
             row.distinct_nets,
             row.compile_hits,
             row.result_hits,
+            row.bytes_per_node,
             row.solo_ns,
             row.batch_ns,
             row.batch_par_ns,

@@ -25,6 +25,8 @@ struct Row {
     family: &'static str,
     agents: u64,
     nodes: usize,
+    /// Stored arena bytes per node under the active (packed) row layout.
+    bytes_per_node: usize,
     seq_ns: u128,
     /// `Parallel(1)`: the pipelined machinery with zero spawned workers —
     /// its distance from `seq_ns` is the engine's pure overhead.
@@ -163,6 +165,7 @@ fn main() {
                 "parallel and sequential graphs diverge on {family} at {agents} agents"
             );
             let nodes = sequential.len();
+            let bytes_per_node = sequential.bytes_per_node();
             let [seq_ns, par1_ns, par_ns] = min_ns_interleaved(
                 runs,
                 &mut [
@@ -197,6 +200,7 @@ fn main() {
                 family,
                 agents,
                 nodes,
+                bytes_per_node,
                 seq_ns,
                 par1_ns,
                 par_ns,
@@ -208,6 +212,7 @@ fn main() {
         "protocol",
         "agents",
         "nodes",
+        "B/node",
         "sequential (ms)",
         "pipeline@1 (ms)",
         "parallel (ms)",
@@ -219,6 +224,7 @@ fn main() {
             row.family.to_owned(),
             row.agents.to_string(),
             row.nodes.to_string(),
+            row.bytes_per_node.to_string(),
             fmt_f64(row.seq_ns as f64 / 1e6),
             fmt_f64(row.par1_ns as f64 / 1e6),
             fmt_f64(row.par_ns as f64 / 1e6),
@@ -238,10 +244,11 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"seq_ns\": {}, \"par1_ns\": {}, \"par_ns\": {}, \"machinery_overhead\": {:.4}, \"speedup\": {:.3}, \"workers\": {}, \"host_threads\": {}}}{}\n",
+            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"bytes_per_node\": {}, \"seq_ns\": {}, \"par1_ns\": {}, \"par_ns\": {}, \"machinery_overhead\": {:.4}, \"speedup\": {:.3}, \"workers\": {}, \"host_threads\": {}}}{}\n",
             row.family,
             row.agents,
             row.nodes,
+            row.bytes_per_node,
             row.seq_ns,
             row.par1_ns,
             row.par_ns,

@@ -28,6 +28,8 @@ struct Row {
     family: &'static str,
     agents: u64,
     nodes: usize,
+    /// Stored arena bytes per node under the active (packed) row layout.
+    bytes_per_node: usize,
     truncated_nodes: usize,
     cold_ns: u128,
     warm_ns: u128,
@@ -71,6 +73,7 @@ fn main() {
             .limits(limits)
             .run();
         let nodes = cold_reference.len();
+        let bytes_per_node = cold_reference.bytes_per_node();
         let small = ExplorationLimits::with_max_configurations((nodes / 2).max(1));
         let truncated_reference: ReachabilityGraph<StateId> = {
             let mut session = Analysis::new(net);
@@ -136,6 +139,7 @@ fn main() {
             family,
             agents,
             nodes,
+            bytes_per_node,
             truncated_nodes,
             cold_ns,
             warm_ns,
@@ -147,6 +151,7 @@ fn main() {
         "protocol",
         "agents",
         "nodes",
+        "B/node",
         "resume from",
         "cold (ms)",
         "warm (ms)",
@@ -159,6 +164,7 @@ fn main() {
             row.family.to_owned(),
             row.agents.to_string(),
             row.nodes.to_string(),
+            row.bytes_per_node.to_string(),
             row.truncated_nodes.to_string(),
             fmt_f64(row.cold_ns as f64 / 1e6),
             fmt_f64(row.warm_ns as f64 / 1e6),
@@ -174,10 +180,11 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"truncated_nodes\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"resumed_ns\": {}, \"warm_speedup\": {:.3}, \"resumed_speedup\": {:.3}}}{}\n",
+            "  {{\"family\": \"{}\", \"agents\": {}, \"nodes\": {}, \"bytes_per_node\": {}, \"truncated_nodes\": {}, \"cold_ns\": {}, \"warm_ns\": {}, \"resumed_ns\": {}, \"warm_speedup\": {:.3}, \"resumed_speedup\": {:.3}}}{}\n",
             row.family,
             row.agents,
             row.nodes,
+            row.bytes_per_node,
             row.truncated_nodes,
             row.cold_ns,
             row.warm_ns,

@@ -27,8 +27,16 @@
 //! its stable [`ShardedConfigId`] through the whole window in which level
 //! *d+1* workers may still rediscover it.
 //!
+//! Arenas are *layout-aware*: rows are stored in the packed word format
+//! of a [`RowLayout`] (one `u64` per place in
+//! the uncompressed default, down to one byte per place when the
+//! compiled net's counts are provably small), and all hashing, equality
+//! probing and retirement operate directly on the packed words — the
+//! arena never unpacks a row to answer a membership query.
+//!
 //! [`ReachabilityGraph::build_with`]: crate::ReachabilityGraph::build_with
 
+use crate::packed::{CellWidth, RowLayout};
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
@@ -50,9 +58,11 @@ impl ConfigId {
 
 /// An interning arena of dense configuration rows.
 ///
-/// All rows share one fixed `width` (the number of places of the compiled
-/// net) and live back-to-back in a single `Vec<u64>`; per-row agent totals
-/// are cached so budget checks don't rescan the row.
+/// All rows share one fixed [`RowLayout`] (chosen per compiled net) and
+/// live back-to-back in a single `Vec<u64>` of packed words; per-row
+/// agent totals are cached so budget checks don't rescan the row. The
+/// historical constructor [`ConfigArena::new`] builds the uncompressed
+/// `u64`-per-place layout, for which the stored words *are* the counts.
 ///
 /// # Examples
 ///
@@ -68,9 +78,11 @@ impl ConfigId {
 /// assert_eq!(arena.row(a), &[1, 0, 2]);
 /// assert_eq!(arena.total(a), 3);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ConfigArena {
-    width: usize,
+    layout: RowLayout,
+    /// Stored words per row — cached from `layout` for the hot paths.
+    stride: usize,
     /// Number of *retired* leading rows (see [`retire_below`]): ids stay
     /// absolute, row `id` lives at buffer position `id - base`. Always 0
     /// for the global arenas; only the pipelined engine's scratch shards
@@ -87,11 +99,20 @@ pub struct ConfigArena {
 }
 
 impl ConfigArena {
-    /// An empty arena for rows of `width` counters.
+    /// An empty arena for uncompressed rows of `width` counters (one
+    /// `u64` word per place).
     #[must_use]
     pub fn new(width: usize) -> Self {
+        ConfigArena::with_layout(RowLayout::uniform(width, CellWidth::U64))
+    }
+
+    /// An empty arena for packed rows of the given layout.
+    #[must_use]
+    pub fn with_layout(layout: RowLayout) -> Self {
+        let stride = layout.words_per_row();
         ConfigArena {
-            width,
+            layout,
+            stride,
             base: 0,
             data: Vec::new(),
             totals: Vec::new(),
@@ -100,10 +121,23 @@ impl ConfigArena {
         }
     }
 
-    /// The common row width (number of places).
+    /// The number of places per row (the *logical* width; the stored
+    /// word width is [`ConfigArena::stride`]).
     #[must_use]
     pub fn width(&self) -> usize {
-        self.width
+        self.layout.places()
+    }
+
+    /// The row layout packed rows are stored in.
+    #[must_use]
+    pub fn layout(&self) -> &RowLayout {
+        &self.layout
+    }
+
+    /// Stored `u64` words per row.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Number of distinct interned configurations (retired rows included:
@@ -119,15 +153,17 @@ impl ConfigArena {
         self.len() == 0
     }
 
-    /// The dense row of configuration `id`.
+    /// The stored (packed) row of configuration `id`. Under the
+    /// uncompressed `u64` layout this is one count per place; under a
+    /// packed layout decode cells through [`ConfigArena::layout`].
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to this arena (or was retired).
     #[must_use]
     pub fn row(&self, id: ConfigId) -> &[u64] {
-        let start = (id.index() - self.base) * self.width;
-        &self.data[start..start + self.width]
+        let start = (id.index() - self.base) * self.stride;
+        &self.data[start..start + self.stride]
     }
 
     /// The cached agent total `|ρ|` of configuration `id`.
@@ -140,12 +176,15 @@ impl ConfigArena {
         self.totals[id.index() - self.base]
     }
 
-    /// Interns `row`, returning the id of the unique stored copy.
+    /// Interns a stored-format `row`, returning the id of the unique
+    /// stored copy.
     ///
     /// # Panics
     ///
-    /// Panics if `row` has the wrong width or the arena is full
-    /// (`u32::MAX` configurations).
+    /// Panics if `row` has the wrong stored width or the arena is full
+    /// (more than `u32::MAX` configurations); use the crate-internal
+    /// `try_intern_prehashed` where id-space exhaustion must be
+    /// survivable.
     pub fn intern(&mut self, row: &[u64]) -> ConfigId {
         let hash = hash_row(row);
         self.intern_prehashed(hash, row)
@@ -155,21 +194,36 @@ impl ConfigArena {
     /// callers moving rows between arenas (the sharded parallel engine)
     /// hash each row once.
     pub(crate) fn intern_prehashed(&mut self, hash: u64, row: &[u64]) -> ConfigId {
-        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.try_intern_prehashed(hash, row)
+            .expect("arena full: more than u32::MAX configurations")
+    }
+
+    /// Fallible interning: returns `None` (leaving the arena unchanged)
+    /// when assigning the next id would overflow `u32` — the id space is
+    /// exhausted. Deduplication hits on already-stored rows still
+    /// succeed. The parallel engine's sharded scratch arenas surface this
+    /// as [`Completion::IdSpace`](crate::Completion::IdSpace) truncation
+    /// instead of panicking mid-build.
+    pub(crate) fn try_intern_prehashed(&mut self, hash: u64, row: &[u64]) -> Option<ConfigId> {
+        assert_eq!(row.len(), self.stride, "row width mismatch");
         debug_assert_eq!(hash, hash_row(row), "stale row hash");
         if let Some(candidates) = self.index.get(&hash) {
             for &id in candidates {
                 if self.row(ConfigId(id)) == row {
-                    return ConfigId(id);
+                    return Some(ConfigId(id));
                 }
             }
         }
-        let id = u32::try_from(self.len()).expect("arena full: more than u32::MAX configurations");
+        let id = u32::try_from(self.len()).ok()?;
         self.data.extend_from_slice(row);
-        self.totals.push(row.iter().sum());
+        self.totals.push(if self.layout.is_u64_uniform() {
+            row.iter().sum()
+        } else {
+            self.layout.row_total(row)
+        });
         self.hashes.push(hash);
         self.index.entry(hash).or_default().push(id);
-        ConfigId(id)
+        Some(ConfigId(id))
     }
 
     /// The cached hash of configuration `id`'s row.
@@ -182,10 +236,10 @@ impl ConfigArena {
         self.hashes[id.index() - self.base]
     }
 
-    /// The id of `row` if it is already interned.
+    /// The id of a stored-format `row` if it is already interned.
     #[must_use]
     pub fn lookup(&self, row: &[u64]) -> Option<ConfigId> {
-        if row.len() != self.width {
+        if row.len() != self.stride {
             return None;
         }
         self.lookup_prehashed(hash_row(row), row)
@@ -223,7 +277,7 @@ impl ConfigArena {
                 }
             }
         }
-        self.data.drain(..retired * self.width);
+        self.data.drain(..retired * self.stride);
         self.totals.drain(..retired);
         self.hashes.drain(..retired);
         self.base = cut;
@@ -232,6 +286,16 @@ impl ConfigArena {
     /// Iterates over all live (non-retired) rows in id order.
     pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
         (self.base..self.len()).map(move |i| self.row(ConfigId(i as u32)))
+    }
+
+    /// Fast-forwards id assignment so the next interned row receives
+    /// absolute id `next`, as if that many rows had been interned and
+    /// retired. Test-only: lets the id-space exhaustion path be exercised
+    /// without interning four billion rows.
+    #[cfg(test)]
+    pub(crate) fn skip_ids_for_test(&mut self, next: usize) {
+        assert!(self.totals.is_empty(), "skip ids on a fresh arena only");
+        self.base = next;
     }
 }
 
@@ -313,30 +377,46 @@ impl ShardedConfigId {
 /// ```
 #[derive(Debug)]
 pub struct ShardedArena {
-    width: usize,
+    layout: RowLayout,
+    stride: usize,
     shard_bits: u32,
     shards: Vec<Mutex<ConfigArena>>,
 }
 
 impl ShardedArena {
-    /// An empty sharded arena for rows of `width` counters with at least
-    /// `shards` shards (rounded up to a power of two, clamped to 1..=1024).
+    /// An empty sharded arena for uncompressed rows of `width` counters
+    /// with at least `shards` shards (rounded up to a power of two,
+    /// clamped to 1..=1024).
     #[must_use]
     pub fn new(width: usize, shards: usize) -> Self {
+        ShardedArena::with_layout(RowLayout::uniform(width, CellWidth::U64), shards)
+    }
+
+    /// An empty sharded arena for packed rows of the given layout.
+    #[must_use]
+    pub fn with_layout(layout: RowLayout, shards: usize) -> Self {
         let count = shards.clamp(1, 1024).next_power_of_two();
+        let stride = layout.words_per_row();
         ShardedArena {
-            width,
             shard_bits: count.trailing_zeros(),
             shards: (0..count)
-                .map(|_| Mutex::new(ConfigArena::new(width)))
+                .map(|_| Mutex::new(ConfigArena::with_layout(layout.clone())))
                 .collect(),
+            layout,
+            stride,
         }
     }
 
-    /// The common row width (number of places).
+    /// The number of places per row (the logical width).
     #[must_use]
     pub fn width(&self) -> usize {
-        self.width
+        self.layout.places()
+    }
+
+    /// The row layout packed rows are stored in.
+    #[must_use]
+    pub fn layout(&self) -> &RowLayout {
+        &self.layout
     }
 
     /// Number of shards (a power of two).
@@ -353,25 +433,33 @@ impl ShardedArena {
         }
     }
 
-    /// Interns `row`, returning the id of the unique stored copy.
+    /// Interns a stored-format `row`, returning the id of the unique
+    /// stored copy.
     ///
     /// Safe to call concurrently: only the owning shard is locked.
     ///
     /// # Panics
     ///
-    /// Panics if `row` has the wrong width or the owning shard is full.
+    /// Panics if `row` has the wrong stored width or the owning shard's
+    /// local id space is exhausted (more than `u32::MAX` rows ever
+    /// interned into one shard). The parallel exploration engine uses the
+    /// fallible crate-internal `try_intern_hashed` instead and degrades
+    /// to an id-space truncation.
     pub fn intern(&self, row: &[u64]) -> ShardedConfigId {
-        self.intern_hashed(hash_row(row), row)
+        self.try_intern_hashed(hash_row(row), row)
+            .expect("sharded arena shard full: more than u32::MAX rows")
     }
 
-    /// [`intern`](Self::intern) with the row hash already computed.
-    pub(crate) fn intern_hashed(&self, hash: u64, row: &[u64]) -> ShardedConfigId {
+    /// [`intern`](Self::intern) with the row hash already computed,
+    /// returning `None` (with the arena unchanged) when the owning
+    /// shard's local id space is exhausted.
+    pub(crate) fn try_intern_hashed(&self, hash: u64, row: &[u64]) -> Option<ShardedConfigId> {
         let shard = self.shard_of(hash);
-        let local = spin_lock(&self.shards[shard]).intern_prehashed(hash, row);
-        ShardedConfigId {
+        let local = spin_lock(&self.shards[shard]).try_intern_prehashed(hash, row)?;
+        Some(ShardedConfigId {
             shard: u32::try_from(shard).expect("shard count fits u32"),
             local: local.0,
-        }
+        })
     }
 
     /// Per-shard next local id, i.e. the number of rows ever interned into
@@ -420,10 +508,10 @@ impl ShardedArena {
         }
     }
 
-    /// The id of `row` if it is already interned.
+    /// The id of a stored-format `row` if it is already interned.
     #[must_use]
     pub fn lookup(&self, row: &[u64]) -> Option<ShardedConfigId> {
-        if row.len() != self.width {
+        if row.len() != self.stride {
             return None;
         }
         let hash = hash_row(row);
@@ -605,6 +693,44 @@ mod tests {
         assert_eq!(ShardedArena::new(1, 3).num_shards(), 4);
         assert_eq!(ShardedArena::new(1, 64).num_shards(), 64);
         assert_eq!(ShardedArena::new(1, 100_000).num_shards(), 1024);
+    }
+
+    #[test]
+    fn intern_refuses_instead_of_panicking_when_id_space_is_exhausted() {
+        let mut arena = ConfigArena::new(2);
+        // The very last assignable id is u32::MAX; one past it must be
+        // refused, not panic (regression: the sharded scratch arenas used
+        // to `expect("arena full…")` here, killing the whole build).
+        arena.skip_ids_for_test(u32::MAX as usize);
+        let row = [1u64, 2];
+        let hash = hash_row(&row);
+        let last = arena
+            .try_intern_prehashed(hash, &row)
+            .expect("id u32::MAX itself is assignable");
+        assert_eq!(last, ConfigId(u32::MAX));
+        // Dedup hits keep succeeding even at the boundary…
+        assert_eq!(arena.try_intern_prehashed(hash, &row), Some(last));
+        // …but a *fresh* row no longer fits the id space.
+        let fresh = [3u64, 4];
+        assert_eq!(arena.try_intern_prehashed(hash_row(&fresh), &fresh), None);
+        assert_eq!(arena.len(), u32::MAX as usize + 1);
+        assert_eq!(arena.lookup(&fresh), None, "refused rows are not stored");
+    }
+
+    #[test]
+    fn packed_layout_arena_round_trips_counts() {
+        use crate::packed::{CellWidth, RowLayout};
+        let layout = RowLayout::uniform(10, CellWidth::U8);
+        let mut arena = ConfigArena::with_layout(layout.clone());
+        assert_eq!(arena.width(), 10, "logical width is places");
+        assert_eq!(arena.stride(), 2, "10 u8 cells pack into 2 words");
+        let cells: Vec<u64> = (0..10u64).map(|i| i * 7 % 256).collect();
+        let packed = layout.pack(&cells);
+        let id = arena.intern(&packed);
+        assert_eq!(arena.intern(&packed), id);
+        assert_eq!(arena.total(id), cells.iter().sum::<u64>());
+        assert_eq!(arena.layout().unpack(arena.row(id)), cells);
+        assert_eq!(arena.lookup(&packed), Some(id));
     }
 
     #[test]

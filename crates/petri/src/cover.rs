@@ -22,6 +22,7 @@
 
 use crate::arena::ConfigArena;
 use crate::engine::CompiledNet;
+use crate::packed::{packed_enabled, row_le_words, CellWidth, PackedTransition, RowLayout};
 use crate::parallel::Parallelism;
 use crate::{ExplorationLimits, PetriNet, ReachabilityGraph};
 use pp_multiset::Multiset;
@@ -34,38 +35,100 @@ fn row_le(a: &[u64], b: &[u64]) -> bool {
     a.iter().zip(b).all(|(x, y)| x <= y)
 }
 
-/// The backward-cover images of `rows` under every transition, in
+/// The packed backward-cover images of `rows` under every transition, in
 /// (row-major, transition-minor) order — the deterministic candidate order
-/// of one saturation round of [`CoverabilityOracle::build_with`]. Takes the
-/// compiled transitions rather than the whole engine so worker threads
-/// need no bounds on the place type.
-fn backward_images(
-    transitions: &[crate::engine::CompiledTransition],
-    rows: &[Vec<u64>],
-) -> Vec<Vec<u64>> {
+/// of one saturation round of [`CoverabilityOracle::build_with`]. A `None`
+/// entry marks a candidate whose count overflowed the current cell width;
+/// one is enough to restart the whole saturation a width wider. Takes the
+/// packed transitions rather than the whole engine so worker threads need
+/// no bounds on the place type.
+fn backward_images(transitions: &[PackedTransition], rows: &[Vec<u64>]) -> Vec<Option<Vec<u64>>> {
     let mut out = Vec::with_capacity(rows.len() * transitions.len());
     let mut predecessor = Vec::new();
     for row in rows {
         for t in transitions {
-            t.backward_cover_row(row, &mut predecessor);
-            out.push(predecessor.clone());
+            if t.backward_cover_words(row, &mut predecessor) {
+                out.push(Some(predecessor.clone()));
+            } else {
+                out.push(None);
+            }
         }
     }
     out
 }
 
-/// Merges one backward-cover candidate into the basis under the
+/// Merges one packed backward-cover candidate into the basis under the
 /// minimality filter, recording kept candidates in `next` (the following
 /// round's frontier). One call per candidate, in the canonical
 /// (row-major, transition-minor) order, is what makes the saturation
-/// deterministic across build modes.
-fn merge_candidate(dense_basis: &mut Vec<Vec<u64>>, next: &mut Vec<Vec<u64>>, candidate: &[u64]) {
-    if dense_basis.iter().any(|b| row_le(b, candidate)) {
+/// deterministic across build modes. The dominance tests run as SWAR
+/// word compares ([`row_le_words`]), the hot loop of the whole backward
+/// algorithm.
+fn merge_candidate(
+    basis: &mut Vec<Vec<u64>>,
+    next: &mut Vec<Vec<u64>>,
+    candidate: &[u64],
+    width: CellWidth,
+) {
+    if basis.iter().any(|b| row_le_words(b, candidate, width)) {
         return;
     }
-    dense_basis.retain(|b| !row_le(candidate, b));
-    dense_basis.push(candidate.to_vec());
+    basis.retain(|b| !row_le_words(candidate, b, width));
+    basis.push(candidate.to_vec());
     next.push(candidate.to_vec());
+}
+
+/// One full backward saturation at a fixed cell `width`, returning the
+/// minimal basis as packed rows — or `None` as soon as any candidate
+/// overflows a lane, the caller's cue to retry one width wider. The basis
+/// is the unique minimal one of the backward-reachable upward-closed set,
+/// so a restart at a wider width reproduces exactly the same counts.
+fn saturate<P: Clone + Ord>(
+    engine: &CompiledNet<P>,
+    dense_target: &[u64],
+    width: CellWidth,
+    workers: usize,
+) -> Option<Vec<Vec<u64>>> {
+    /// Fan out candidate generation once the round holds this many
+    /// (row × transition) pairs; below it, thread spawns would dominate.
+    const PARALLEL_CANDIDATE_THRESHOLD: usize = 256;
+
+    let layout = RowLayout::uniform(dense_target.len(), width);
+    let transitions = engine.packed_transitions(&layout);
+    let packed_target = layout.pack(dense_target);
+    // Minimal basis of the upward closure, grown backwards to fixpoint.
+    let mut basis: Vec<Vec<u64>> = vec![packed_target.clone()];
+    let mut frontier: Vec<Vec<u64>> = vec![packed_target];
+    while !frontier.is_empty() {
+        let pairs = frontier.len() * transitions.len();
+        let mut next: Vec<Vec<u64>> = Vec::new();
+        if workers > 1 && pairs >= PARALLEL_CANDIDATE_THRESHOLD {
+            let candidates: Vec<Option<Vec<u64>>> = frontier
+                .par_chunks(frontier.len().div_ceil(workers))
+                .map(|rows| backward_images(&transitions, rows))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect();
+            for candidate in &candidates {
+                merge_candidate(&mut basis, &mut next, candidate.as_deref()?, width);
+            }
+        } else {
+            // Sequential path: one reused buffer, no per-candidate
+            // allocation for the (many) immediately-dominated images.
+            let mut predecessor = Vec::new();
+            for row in &frontier {
+                for t in &transitions {
+                    if !t.backward_cover_words(row, &mut predecessor) {
+                        return None;
+                    }
+                    merge_candidate(&mut basis, &mut next, &predecessor, width);
+                }
+            }
+        }
+        frontier = next;
+    }
+    Some(basis)
 }
 
 /// Exact coverability decisions via the backward algorithm.
@@ -119,7 +182,8 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
     /// Runs the backward coverability algorithm for `target` over `net`.
     ///
     /// The fixpoint runs on the dense engine: the net is compiled once and
-    /// the basis is grown as dense rows with slice arithmetic, saturating
+    /// the basis is grown as packed rows with SWAR word arithmetic
+    /// (lanes promoted to the next wider cell on overflow), saturating
     /// round by round (every basis row discovered in round `k` has its
     /// backward images considered in round `k + 1`). With
     /// [`Parallelism::Parallel`] the candidate generation of each round —
@@ -154,46 +218,43 @@ impl<P: Clone + Ord> CoverabilityOracle<P> {
         target: Multiset<P>,
         parallelism: Parallelism,
     ) -> Self {
-        /// Fan out candidate generation once the round holds this many
-        /// (row × transition) pairs; below it, thread spawns would dominate.
-        const PARALLEL_CANDIDATE_THRESHOLD: usize = 256;
-
         let dense_target = engine
             .to_dense(&target)
             .expect("target support is part of the compiled universe");
-        // Minimal basis of the upward closure, grown backwards to fixpoint.
-        let mut dense_basis: Vec<Vec<u64>> = vec![dense_target.clone()];
-        let mut frontier: Vec<Vec<u64>> = vec![dense_target];
         let workers = parallelism.workers();
-        let transitions = engine.transitions();
-        while !frontier.is_empty() {
-            let pairs = frontier.len() * transitions.len();
-            let mut next: Vec<Vec<u64>> = Vec::new();
-            if workers > 1 && pairs >= PARALLEL_CANDIDATE_THRESHOLD {
-                let candidates: Vec<Vec<u64>> = frontier
-                    .par_chunks(frontier.len().div_ceil(workers))
-                    .map(|rows| backward_images(transitions, rows))
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .flatten()
-                    .collect();
-                for candidate in &candidates {
-                    merge_candidate(&mut dense_basis, &mut next, candidate);
-                }
-            } else {
-                // Sequential path: one reused buffer, no per-candidate
-                // allocation for the (many) immediately-dominated images.
-                let mut predecessor = Vec::new();
-                for row in &frontier {
-                    for t in transitions {
-                        t.backward_cover_row(row, &mut predecessor);
-                        merge_candidate(&mut dense_basis, &mut next, &predecessor);
-                    }
+        // Backward candidates are not bounded by any forward reachability
+        // bound, so the saturation starts at the narrowest width fitting
+        // the target and the transition constants and retries one width
+        // wider whenever a candidate overflows a lane. With the packing
+        // gate off it runs on u64 cells from the start — the layout
+        // bit-identical to the historical dense rows.
+        let mut width = if packed_enabled() {
+            CellWidth::fitting(
+                dense_target
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0)
+                    .max(engine.max_transition_count()),
+            )
+        } else {
+            CellWidth::U64
+        };
+        let packed_basis = loop {
+            match saturate(&engine, &dense_target, width, workers) {
+                Some(basis) => break basis,
+                None => {
+                    width = width
+                        .widen()
+                        .expect("a u64 lane cannot overflow in backward cover");
                 }
             }
-            frontier = next;
-        }
-        // Canonical order: makes the basis comparable across build modes.
+        };
+        let layout = RowLayout::uniform(engine.num_places(), width);
+        let mut dense_basis: Vec<Vec<u64>> =
+            packed_basis.iter().map(|row| layout.unpack(row)).collect();
+        // Canonical order: makes the basis comparable across build modes
+        // (and across cell widths — packed word order is not count order).
         dense_basis.sort_unstable();
         let basis = dense_basis
             .iter()
@@ -372,7 +433,26 @@ pub(crate) fn forward_covering_word<P: Clone + Ord>(
         .to_dense(target)
         .expect("target support is part of the compiled universe");
 
-    let mut arena = ConfigArena::new(engine.num_places());
+    // The BFS stores the same rows a forward exploration would, so it
+    // reuses the exploration width rule — widened to fit the target's
+    // cells, so the packed cover compare below is exact.
+    let width = engine
+        .row_layout(
+            dense_from.iter().sum(),
+            limits.max_agents,
+            limits.effective_max_configurations(),
+        )
+        .uniform_width()
+        .expect("exploration layouts are uniform")
+        .max(CellWidth::fitting(
+            dense_target.iter().copied().max().unwrap_or(0),
+        ));
+    let layout = RowLayout::uniform(engine.num_places(), width);
+    let transitions = engine.packed_transitions(&layout);
+    let packed_target = layout.pack(&dense_target);
+    let packed_from = layout.pack(&dense_from);
+
+    let mut arena = ConfigArena::with_layout(layout);
     // Per node: (parent id, transition fired from the parent).
     let mut parents: Vec<(usize, usize)> = Vec::new();
     let reconstruct = |parents: &[(usize, usize)], mut id: usize| {
@@ -386,7 +466,7 @@ pub(crate) fn forward_covering_word<P: Clone + Ord>(
         word
     };
 
-    let root = arena.intern(&dense_from);
+    let root = arena.intern(&packed_from);
     parents.push((0, usize::MAX));
     let mut truncated = false;
     let mut queue: VecDeque<(usize, usize)> = VecDeque::from([(root.index(), 0)]);
@@ -407,15 +487,16 @@ pub(crate) fn forward_covering_word<P: Clone + Ord>(
         }
         src.clear();
         src.extend_from_slice(arena.row(crate::arena::ConfigId(id as u32)));
-        for (t, transition) in engine.transitions().iter().enumerate() {
-            if !transition.fire_row(&src, &mut succ) {
+        for (t, transition) in transitions.iter().enumerate() {
+            if !transition.is_enabled_words(&src) {
                 continue;
             }
+            transition.fire_words(&src, &mut succ);
             // Cover check first: it needs no interning, so a cover found
             // at the exact budget boundary is still reported. (A covering
             // successor can never be a dedup hit — interned configurations
             // were all checked when first produced.)
-            if row_le(&dense_target, &succ) {
+            if row_le_words(&packed_target, &succ, width) {
                 let mut word = reconstruct(&parents, id);
                 word.push(t);
                 return CoveringWordOutcome::Covered(word);

@@ -32,9 +32,23 @@
 //! assert_eq!(engine.to_sparse(&next), Multiset::from_pairs([("a", 2u64), ("b", 1)]));
 //! ```
 
+use crate::packed::{packed_enabled, CellWidth, PackedTransition, RowLayout};
 use crate::PetriNet;
 use pp_multiset::Multiset;
 use std::collections::BTreeSet;
+
+/// The single scalar iteration point over a sparse `(place, count)` list.
+///
+/// Every enabled/fire/instances loop of the scalar engine goes through
+/// this adapter, so the packed word-level fast path
+/// ([`PackedTransition`]) has exactly one scalar counterpart it must
+/// agree with — the equivalence proptests compare against these loops.
+#[inline(always)]
+fn entries(entries: &[(u32, u64)]) -> impl Iterator<Item = (usize, u64)> + '_ {
+    entries
+        .iter()
+        .map(|&(place, count)| (place as usize, count))
+}
 
 /// One transition precompiled over dense place indices.
 ///
@@ -62,7 +76,7 @@ impl CompiledTransition {
     /// Returns `true` if the transition is enabled in `row`.
     #[must_use]
     pub fn is_enabled_row(&self, row: &[u64]) -> bool {
-        self.pre.iter().all(|&(p, c)| row[p as usize] >= c)
+        entries(&self.pre).all(|(p, c)| row[p] >= c)
     }
 
     /// Fires the transition from `src` into `dst` (cleared and refilled).
@@ -76,12 +90,8 @@ impl CompiledTransition {
         }
         dst.clear();
         dst.extend_from_slice(src);
-        for &(p, c) in &self.pre {
-            dst[p as usize] -= c;
-        }
-        for &(p, c) in &self.post {
-            dst[p as usize] += c;
-        }
+        entries(&self.pre).for_each(|(p, c)| dst[p] -= c);
+        entries(&self.post).for_each(|(p, c)| dst[p] += c);
         true
     }
 
@@ -91,18 +101,15 @@ impl CompiledTransition {
     ///
     /// Panics (in debug builds) if the transition is not enabled.
     pub fn fire(&self, config: &mut DenseConfig) {
-        for &(p, c) in &self.pre {
-            debug_assert!(
-                config.counts[p as usize] >= c,
-                "transition fired while disabled"
-            );
-            config.counts[p as usize] -= c;
+        entries(&self.pre).for_each(|(p, c)| {
+            debug_assert!(config.counts[p] >= c, "transition fired while disabled");
+            config.counts[p] -= c;
             config.total -= c;
-        }
-        for &(p, c) in &self.post {
-            config.counts[p as usize] += c;
+        });
+        entries(&self.post).for_each(|(p, c)| {
+            config.counts[p] += c;
             config.total += c;
-        }
+        });
     }
 
     /// Returns `true` if the transition is enabled in `config`.
@@ -116,9 +123,8 @@ impl CompiledTransition {
     /// its precondition), used by the instance-weighted scheduler.
     #[must_use]
     pub fn instances(&self, config: &DenseConfig) -> u128 {
-        self.pre
-            .iter()
-            .map(|&(p, c)| binomial(config.counts[p as usize], c))
+        entries(&self.pre)
+            .map(|(p, c)| binomial(config.counts[p], c))
             .product()
     }
 
@@ -127,13 +133,8 @@ impl CompiledTransition {
     pub fn backward_cover_row(&self, target: &[u64], dst: &mut Vec<u64>) {
         dst.clear();
         dst.extend_from_slice(target);
-        for &(p, c) in &self.post {
-            let slot = &mut dst[p as usize];
-            *slot = slot.saturating_sub(c);
-        }
-        for &(p, c) in &self.pre {
-            dst[p as usize] += c;
-        }
+        entries(&self.post).for_each(|(p, c)| dst[p] = dst[p].saturating_sub(c));
+        entries(&self.pre).for_each(|(p, c)| dst[p] += c);
     }
 }
 
@@ -189,6 +190,15 @@ impl DenseConfig {
 pub struct CompiledNet<P> {
     places: Vec<P>,
     transitions: Vec<CompiledTransition>,
+    /// Largest per-step agent creation over all transitions
+    /// (`max_t (|post_t| − |pre_t|)`, clamped at 0): the headroom the
+    /// packed-row width selection adds on top of the agent cap. Zero
+    /// means the net is non-increasing and totals are bounded by the
+    /// initial configurations alone.
+    max_step_creation: u64,
+    /// Largest single pre/post count of any transition: packed layouts
+    /// must represent the transition constants themselves.
+    max_transition_count: u64,
 }
 
 impl<P: Clone + Ord> CompiledNet<P> {
@@ -216,7 +226,7 @@ impl<P: Clone + Ord> CompiledNet<P> {
             u32::try_from(places.binary_search(p).expect("place in universe"))
                 .expect("place count fits u32")
         };
-        let transitions = net
+        let transitions: Vec<CompiledTransition> = net
             .transitions()
             .iter()
             .map(|t| CompiledTransition {
@@ -224,10 +234,105 @@ impl<P: Clone + Ord> CompiledNet<P> {
                 post: t.post().iter().map(|(p, c)| (index_of(p), c)).collect(),
             })
             .collect();
+        let totals = |entries: &[(u32, u64)]| entries.iter().map(|&(_, c)| c).sum::<u64>();
+        let max_step_creation = transitions
+            .iter()
+            .map(|t| totals(&t.post).saturating_sub(totals(&t.pre)))
+            .max()
+            .unwrap_or(0);
+        let max_transition_count = transitions
+            .iter()
+            .flat_map(|t| t.pre.iter().chain(&t.post))
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0);
         CompiledNet {
             places,
             transitions,
+            max_step_creation,
+            max_transition_count,
         }
+    }
+
+    /// Largest per-step agent creation over all transitions
+    /// (`max_t (|post_t| − |pre_t|)`, clamped at 0).
+    #[must_use]
+    pub fn max_step_creation(&self) -> u64 {
+        self.max_step_creation
+    }
+
+    /// Largest single pre/post count over all transitions — the floor
+    /// every packed layout must fit so transition constants themselves
+    /// stay representable.
+    #[must_use]
+    pub fn max_transition_count(&self) -> u64 {
+        self.max_transition_count
+    }
+
+    /// The packed [`RowLayout`] for explorations starting from
+    /// configurations of at most `max_initial_total` agents under an
+    /// optional agent cap and a node budget of `max_configurations` —
+    /// the width-selection rule of the packed representation.
+    ///
+    /// The chosen cell width fits a proven bound on every count the
+    /// exploration can *materialise* (stored rows and
+    /// fired-but-budget-refused scratch rows alike):
+    ///
+    /// * a non-increasing net (zero [`max_step_creation`]) never exceeds
+    ///   the largest initial total;
+    /// * under an agent cap `m`, only rows with total ≤ `m` are expanded,
+    ///   so no fired row exceeds `m + max_step_creation`;
+    /// * otherwise the node budget bounds the BFS depth: every explored
+    ///   level interns at least one fresh node (an empty level ends the
+    ///   exploration), so every stored node sits at depth <
+    ///   `max_configurations` and no materialised row — a row fired from
+    ///   the deepest stored node included — can exceed
+    ///   `max_initial_total + max_step_creation × max_configurations`.
+    ///   Only when that product overflows `u64` does the layout fall
+    ///   back to the uncompressed `u64` cells.
+    ///
+    /// The bound also covers every transition constant, so packed
+    /// transition compilation is always representable. When packing is
+    /// disabled (`PP_PETRI_PACKED=0`, see [`packed_enabled`]) this always
+    /// returns the `u64` layout — the bit-identity fallback path.
+    ///
+    /// [`max_step_creation`]: Self::max_step_creation
+    #[must_use]
+    pub fn row_layout(
+        &self,
+        max_initial_total: u64,
+        max_agents: Option<u64>,
+        max_configurations: usize,
+    ) -> RowLayout {
+        let width = if !packed_enabled() {
+            CellWidth::U64
+        } else {
+            let bound = if self.max_step_creation == 0 {
+                Some(max_initial_total)
+            } else if let Some(cap) = max_agents {
+                Some(max_initial_total.max(cap.saturating_add(self.max_step_creation)))
+            } else {
+                let budget = max_configurations.min(crate::explore::MAX_GRAPH_CONFIGURATIONS);
+                self.max_step_creation
+                    .checked_mul(budget as u64)
+                    .and_then(|grown| grown.checked_add(max_initial_total))
+            };
+            match bound {
+                Some(bound) => CellWidth::fitting(bound.max(self.max_transition_count)),
+                None => CellWidth::U64,
+            }
+        };
+        RowLayout::uniform(self.places.len(), width)
+    }
+
+    /// Compiles every transition against a uniform packed layout, in the
+    /// net's transition order.
+    #[must_use]
+    pub fn packed_transitions(&self, layout: &RowLayout) -> Vec<PackedTransition> {
+        self.transitions
+            .iter()
+            .map(|t| PackedTransition::compile(layout, &t.pre, &t.post))
+            .collect()
     }
 
     /// The dense place universe, in index order.
@@ -480,6 +585,77 @@ mod tests {
         let engine = CompiledNet::compile(&net);
         let config = engine.dense_config(&ms(&[("a", 3), ("b", 2)]));
         assert_eq!(engine.transitions()[0].instances(&config), 6);
+    }
+
+    #[test]
+    fn width_selection_rule() {
+        let _gate = crate::packed::GATE_TEST_LOCK.lock().unwrap();
+        let was = packed_enabled();
+        crate::packed::set_packed_enabled(true);
+        // Non-increasing pairwise net: the bound is the initial total.
+        let net = PetriNet::from_transitions([Transition::pairwise("a", "b", "b", "b")]);
+        let engine = CompiledNet::compile(&net);
+        assert_eq!(engine.max_step_creation(), 0);
+        let budget = 250_000usize;
+        let w = |total, cap| {
+            engine
+                .row_layout(total, cap, budget)
+                .uniform_width()
+                .unwrap()
+        };
+        assert_eq!(w(10, None), CellWidth::U8);
+        assert_eq!(w(255, None), CellWidth::U8);
+        assert_eq!(w(256, None), CellWidth::U16);
+        assert_eq!(w(1 << 40, None), CellWidth::U64);
+        // An agent-creating net (b -> 2c): bounded by the node budget
+        // without a cap, and capped runs get creation headroom for
+        // fired-but-refused rows.
+        let engine = CompiledNet::compile(&sample_net());
+        assert_eq!(engine.max_step_creation(), 1);
+        let w = |total, cap| {
+            engine
+                .row_layout(total, cap, budget)
+                .uniform_width()
+                .unwrap()
+        };
+        assert_eq!(w(10, None), CellWidth::U32, "10 + 1 x 250000 needs u32");
+        assert_eq!(w(10, Some(254)), CellWidth::U8);
+        assert_eq!(w(10, Some(255)), CellWidth::U16, "cap + creation = 256");
+        let tiny = |total, budget| {
+            engine
+                .row_layout(total, None, budget)
+                .uniform_width()
+                .unwrap()
+        };
+        assert_eq!(tiny(10, 200), CellWidth::U8, "10 + 1 x 200 fits a byte");
+        assert_eq!(tiny(10, 246), CellWidth::U16, "10 + 1 x 246 overflows it");
+        assert_eq!(
+            tiny(10, usize::MAX),
+            CellWidth::U64,
+            "the id-space clamp keeps the budget bound finite but wide"
+        );
+        // Disabling the gate forces the uncompressed fallback layout.
+        crate::packed::set_packed_enabled(false);
+        assert_eq!(w(10, Some(254)), CellWidth::U64);
+        crate::packed::set_packed_enabled(was);
+    }
+
+    #[test]
+    fn layout_covers_transition_constants() {
+        // A net whose transition constant (300) exceeds the initial
+        // total: the layout must still represent the constant so packed
+        // transition compilation cannot overflow a cell.
+        let net =
+            PetriNet::from_transitions([Transition::new(ms(&[("a", 300)]), ms(&[("b", 300)]))]);
+        let engine = CompiledNet::compile(&net);
+        let _gate = crate::packed::GATE_TEST_LOCK.lock().unwrap();
+        let was = packed_enabled();
+        crate::packed::set_packed_enabled(true);
+        let layout = engine.row_layout(2, None, 1_000);
+        assert_eq!(layout.uniform_width(), Some(CellWidth::U16));
+        let packed = engine.packed_transitions(&layout);
+        assert_eq!(packed.len(), 1);
+        crate::packed::set_packed_enabled(was);
     }
 
     #[test]

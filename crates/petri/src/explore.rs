@@ -10,6 +10,7 @@
 
 use crate::arena::{ConfigArena, ConfigId, ShardedArena, ShardedConfigId};
 use crate::engine::CompiledNet;
+use crate::packed::{PackedTransition, RowLayout};
 use crate::parallel::Parallelism;
 use crate::session::Completion;
 use crate::PetriNet;
@@ -43,6 +44,14 @@ pub mod fault_injection {
     /// wakeup (the main thread never does — it must survive to observe
     /// the poisoning).
     pub static PANIC_IN_WORKERS: AtomicBool = AtomicBool::new(false);
+
+    /// When `true`, the sharded scratch arenas refuse every *fresh*
+    /// intern, as if their shard-local `u32` id space were exhausted
+    /// (dedup hits still resolve). Worker dispatch also ignores the
+    /// minimum level size, like [`PANIC_IN_WORKERS`]. Regression lever
+    /// for the id-space truncation path: builds must degrade to
+    /// `Completion::IdSpace`, never panic.
+    pub static EXHAUST_SCRATCH_IDS: AtomicBool = AtomicBool::new(false);
 }
 
 /// Limits for forward exploration.
@@ -195,14 +204,20 @@ struct Truncation {
     config: bool,
     agents: bool,
     depth: bool,
+    /// A sharded scratch arena ran out of shard-local `u32` ids mid-build
+    /// (the parallel engine's analogue of the sequential id-space clamp).
+    id_space: bool,
 }
 
 impl Truncation {
     /// The dominant [`Completion`] for these flags under `limits`
-    /// (configuration budget → agent cap → depth cap; a budget that was
-    /// clamped by the arena id space reports [`Completion::IdSpace`]).
+    /// (id space → configuration budget → agent cap → depth cap; a budget
+    /// that was clamped by the arena id space also reports
+    /// [`Completion::IdSpace`]).
     fn completion(self, limits: &ExplorationLimits) -> Completion {
-        if self.config {
+        if self.id_space {
+            Completion::IdSpace
+        } else if self.config {
             if limits.max_configurations > MAX_GRAPH_CONFIGURATIONS {
                 Completion::IdSpace
             } else {
@@ -237,6 +252,11 @@ enum SuccessorRef {
     Known(u32),
     /// First seen this level: lives in the scratch sharded arena.
     Fresh(ShardedConfigId),
+    /// The scratch arena refused the row: its shard's `u32` id space is
+    /// exhausted. The commit pass records the source node as dirty under
+    /// an id-space truncation — the graph degrades like a budget
+    /// truncation instead of panicking mid-build.
+    Exhausted,
 }
 
 /// One expanded chunk of a level's job: the flat successor list (in
@@ -519,6 +539,15 @@ fn commit_level(
         for &(transition, successor) in results.successors(position) {
             let to = match successor {
                 SuccessorRef::Known(id) => id as usize,
+                SuccessorRef::Exhausted => {
+                    // The scratch arena could not even hold the row: the
+                    // node keeps its recorded edges to known successors
+                    // and stays dirty, and the build reports an id-space
+                    // truncation (a more permissive arena may resume it).
+                    trunc.id_space = true;
+                    blocked = true;
+                    continue;
+                }
                 SuccessorRef::Fresh(sid) => match map.get(sid) {
                     Some(assigned) => assigned as usize,
                     None => {
@@ -549,19 +578,21 @@ fn commit_level(
     committed
 }
 
-/// Worker body: claims frontier chunks, fires every transition, and
-/// resolves each successor — against the frozen final arena first (a
-/// lock-free read; backward and lateral edges end here), falling back to
-/// an intern into the sharded scratch arena for rows first seen this
-/// level. Pure fan-out — all ordering decisions happen in the main
-/// thread's renumbering pass. Takes the compiled transitions rather than
-/// the whole engine so worker threads need no bounds on `P`.
+/// Worker body: claims frontier chunks, fires every transition on the
+/// packed word rows, and resolves each successor — against the frozen
+/// final arena first (a lock-free read; backward and lateral edges end
+/// here), falling back to an intern into the sharded scratch arena for
+/// rows first seen this level. Pure fan-out — all ordering decisions
+/// happen in the main thread's renumbering pass. Takes the packed
+/// transitions rather than the whole engine so worker threads need no
+/// bounds on `P`.
 fn expand_level_chunks(
     job: &LevelJob,
-    transitions: &[crate::engine::CompiledTransition],
+    transitions: &[PackedTransition],
     frozen: &ConfigArena,
     sharded: &ShardedArena,
 ) {
+    let exhaust_faults = fault_injection::EXHAUST_SCRATCH_IDS.load(Ordering::Relaxed);
     let mut succ = Vec::new();
     loop {
         let chunk = job.next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -581,13 +612,18 @@ fn expand_level_chunks(
             }
             let src = &job.rows[node * job.width..(node + 1) * job.width];
             for (t, transition) in transitions.iter().enumerate() {
-                if !transition.fire_row(src, &mut succ) {
+                if !transition.is_enabled_words(src) {
                     continue;
                 }
+                transition.fire_words(src, &mut succ);
                 let hash = crate::arena::hash_row(&succ);
                 let successor = match frozen.lookup_prehashed(hash, &succ) {
                     Some(id) => SuccessorRef::Known(id.0),
-                    None => SuccessorRef::Fresh(sharded.intern_hashed(hash, &succ)),
+                    None if exhaust_faults => SuccessorRef::Exhausted,
+                    None => match sharded.try_intern_hashed(hash, &succ) {
+                        Some(sid) => SuccessorRef::Fresh(sid),
+                        None => SuccessorRef::Exhausted,
+                    },
                 };
                 edges.push((t as u32, successor));
             }
@@ -611,7 +647,7 @@ fn expand_level_chunks(
 /// share it, which is what makes resumed graphs bit-identical to cold ones.
 #[allow(clippy::too_many_arguments)]
 fn expand_one(
-    engine: &CompiledNet<impl Clone + Ord>,
+    transitions: &[PackedTransition],
     arena: &mut ConfigArena,
     edges: &mut EdgeLists,
     depths: &mut Vec<u32>,
@@ -626,10 +662,11 @@ fn expand_one(
     src.extend_from_slice(arena.row(ConfigId(id as u32)));
     edges[id].clear();
     let mut blocked = false;
-    for (t, transition) in engine.transitions().iter().enumerate() {
-        if !transition.fire_row(src, succ) {
+    for (t, transition) in transitions.iter().enumerate() {
+        if !transition.is_enabled_words(src) {
             continue;
         }
+        transition.fire_words(src, succ);
         let to = if let Some(existing) = arena.lookup(succ) {
             existing.index()
         } else if arena.len() >= cap {
@@ -655,7 +692,7 @@ fn expand_one(
 /// of [`ReachabilityGraph::resume`] (`start` = first fresh id).
 #[allow(clippy::too_many_arguments)]
 fn scan_expand(
-    engine: &CompiledNet<impl Clone + Ord>,
+    transitions: &[PackedTransition],
     arena: &mut ConfigArena,
     edges: &mut EdgeLists,
     depths: &mut Vec<u32>,
@@ -692,7 +729,16 @@ fn scan_expand(
             continue;
         }
         if expand_one(
-            engine, arena, edges, depths, id, depth, cap, trunc, &mut src, &mut succ,
+            transitions,
+            arena,
+            edges,
+            depths,
+            id,
+            depth,
+            cap,
+            trunc,
+            &mut src,
+            &mut succ,
         ) {
             dirty.push(DirtyNode {
                 id: id as u32,
@@ -790,27 +836,51 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
 
     /// Interns the initial configurations, returning the seed state both
     /// build paths start from, so their numbering agrees from node 0.
+    ///
+    /// This is also where the packed [`RowLayout`] is decided: it is a
+    /// pure function of the engine, the largest initial total, the
+    /// agent cap and the node budget ([`CompiledNet::row_layout`]), so
+    /// sequential, parallel and resumed builds all agree on the
+    /// representation.
     fn intern_initial(
         engine: &CompiledNet<P>,
         initial_configs: &[Multiset<P>],
         limits: &ExplorationLimits,
     ) -> SeedState {
-        let mut arena = ConfigArena::new(engine.num_places());
+        let dense_rows: Vec<Vec<u64>> = initial_configs
+            .iter()
+            .map(|config| {
+                engine
+                    .to_dense(config)
+                    .expect("initial supports are part of the compiled universe")
+            })
+            .collect();
+        let max_initial_total = dense_rows
+            .iter()
+            .map(|row| row.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let layout = engine.row_layout(
+            max_initial_total,
+            limits.max_agents,
+            limits.effective_max_configurations(),
+        );
+        let mut arena = ConfigArena::with_layout(layout);
         let mut edges: EdgeLists = Vec::new();
         let mut initial_ids: Vec<usize> = Vec::new();
         let mut depths: Vec<u32> = Vec::new();
         let mut pending_initials: Vec<Vec<u64>> = Vec::new();
         let mut trunc = Truncation::default();
-        for config in initial_configs {
-            let row = engine
-                .to_dense(config)
-                .expect("initial supports are part of the compiled universe");
-            let id = if let Some(id) = arena.lookup(&row) {
+        for row in dense_rows {
+            // The width bound covers every initial total, so the pack
+            // cannot overflow a cell.
+            let packed = arena.layout().pack(&row);
+            let id = if let Some(id) = arena.lookup(&packed) {
                 Some(id.index())
             } else if arena.len() >= limits.effective_max_configurations() {
                 None
             } else {
-                let id = arena.intern(&row);
+                let id = arena.intern(&packed);
                 edges.push(Vec::new());
                 depths.push(0);
                 Some(id.index())
@@ -823,6 +893,9 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                 }
                 None => {
                     trunc.config = true;
+                    // Pending initials are kept *unpacked*: they outlive
+                    // the build and must survive a layout change on the
+                    // resume path.
                     pending_initials.push(row);
                 }
             }
@@ -850,9 +923,10 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             pending_initials,
             mut trunc,
         } = Self::intern_initial(&engine, initial_configs, limits);
+        let packed = engine.packed_transitions(arena.layout());
         let mut dirty: Vec<DirtyNode> = Vec::new();
         scan_expand(
-            &engine,
+            &packed,
             &mut arena,
             &mut edges,
             &mut depths,
@@ -918,7 +992,6 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         /// Don\'t wake the workers for levels smaller than this.
         const PARALLEL_LEVEL_MIN: usize = 512;
 
-        let width = engine.num_places();
         let cap = limits.effective_max_configurations();
         let SeedState {
             arena,
@@ -928,11 +1001,15 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             pending_initials,
             mut trunc,
         } = Self::intern_initial(&engine, initial_configs, limits);
+        // The job/row machinery works on stored words: `width` here is
+        // the packed stride, not the place count.
+        let width = arena.stride();
+        let packed = engine.packed_transitions(arena.layout());
         let mut dirty: Vec<DirtyNode> = Vec::new();
         let mut next_id = arena.len();
 
         // Scratch dedup arena plus the epoch-tagged map to final ids.
-        let sharded = ShardedArena::new(width, workers * 8);
+        let sharded = ShardedArena::with_layout(arena.layout().clone(), workers * 8);
         let num_shards = sharded.num_shards();
         let mut map = SidMap::new(num_shards);
 
@@ -958,9 +1035,10 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         let mut b_prev2 = vec![0u32; num_shards];
         let mut b_prev = vec![0u32; num_shards];
 
-        let transitions = engine.transitions();
+        let transitions = &packed;
         let spawned = workers.saturating_sub(1);
-        let force_workers = fault_injection::PANIC_IN_WORKERS.load(Ordering::Relaxed);
+        let force_workers = fault_injection::PANIC_IN_WORKERS.load(Ordering::Relaxed)
+            || fault_injection::EXHAUST_SCRATCH_IDS.load(Ordering::Relaxed);
         // Two barrier crossings hand each level off: workers park between
         // levels (a busy-spin variant was measured to be strictly worse on
         // CPU-throttled hosts, where a spinning worker steals cycles from
@@ -1132,9 +1210,10 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                         src.extend_from_slice(arena.row(node));
                         let mut blocked = false;
                         for (t, transition) in transitions.iter().enumerate() {
-                            if !transition.fire_row(&src, &mut succ) {
+                            if !transition.is_enabled_words(&src) {
                                 continue;
                             }
+                            transition.fire_words(&src, &mut succ);
                             let to = match arena.lookup(&succ) {
                                 Some(existing) => existing.index(),
                                 None => {
@@ -1326,16 +1405,44 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         &self.engine
     }
 
-    /// The dense row of node `id` (one counter per engine place).
+    /// The dense row of node `id` (one counter per engine place),
+    /// decoded from the packed stored row.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of bounds.
     #[must_use]
-    pub fn dense_node(&self, id: usize) -> &[u64] {
+    pub fn dense_node(&self, id: usize) -> Vec<u64> {
+        self.arena.layout().unpack(self.packed_node(id))
+    }
+
+    /// The stored (packed) row of node `id`: `layout().words_per_row()`
+    /// words in the graph's [`row_layout`](Self::row_layout). Under the
+    /// uncompressed `u64` layout this is one counter per place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn packed_node(&self, id: usize) -> &[u64] {
         self.arena.row(crate::arena::ConfigId(
             u32::try_from(id).expect("node id fits u32"),
         ))
+    }
+
+    /// The packed row layout configurations are stored in (a pure
+    /// function of the engine, the initial totals and the agent cap —
+    /// see [`CompiledNet::row_layout`]).
+    #[must_use]
+    pub fn row_layout(&self) -> &RowLayout {
+        self.arena.layout()
+    }
+
+    /// Stored bytes per node in the interned arena (row payload padded
+    /// to whole words) — the `bytes_per_node` figure the benches report.
+    #[must_use]
+    pub fn bytes_per_node(&self) -> usize {
+        self.arena.layout().stored_bytes_per_row()
     }
 
     /// Number of stored configurations.
@@ -1437,11 +1544,36 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                     .max_agents
                     .is_none_or(|max| self.arena.total(ConfigId(d.id)) <= max)
         });
-        if reopens_hole {
+        // The packed row layout is a pure function of (engine, max initial
+        // total, agent cap, node budget); the initial totals are recoverable from the
+        // stored graph (interned initials plus budget-refused pending
+        // initials — duplicates cannot change the max), so recomputation
+        // reproduces the build-time value. If the *new* limits select a
+        // different layout (a raised or dropped agent cap or node budget
+        // widening the cells, or the gate flipped between builds), the
+        // stored rows are in the wrong representation for the
+        // continuation — rebuild cold, exactly like a reopened hole.
+        let max_initial_total = self
+            .initial
+            .iter()
+            .map(|&id| self.arena.total(ConfigId(id as u32)))
+            .chain(
+                self.pending_initials
+                    .iter()
+                    .map(|row| row.iter().sum::<u64>()),
+            )
+            .max()
+            .unwrap_or(0);
+        let layout_changed = self.engine.row_layout(
+            max_initial_total,
+            limits.max_agents,
+            limits.effective_max_configurations(),
+        ) != *self.arena.layout();
+        if reopens_hole || layout_changed {
             let initial_configs: Vec<Multiset<P>> = self
                 .initial
                 .iter()
-                .map(|&id| self.engine.to_sparse(self.arena.row(ConfigId(id as u32))))
+                .map(|&id| self.engine.to_sparse(&self.dense_node(id)))
                 .chain(
                     self.pending_initials
                         .iter()
@@ -1451,6 +1583,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             *self = Self::build_sequential(self.engine.clone(), &initial_configs, limits);
             return;
         }
+        let packed = self.engine.packed_transitions(self.arena.layout());
 
         // Phase 1: initial configurations the old budget refused, in
         // supplied order — exactly where a cold build would intern them
@@ -1458,12 +1591,16 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         // discovery ever claimed an id after it).
         let pending = std::mem::take(&mut self.pending_initials);
         for row in pending {
-            let id = if let Some(id) = self.arena.lookup(&row) {
+            // Pending initials are kept unpacked (they must survive layout
+            // changes across reopens); the layout-stability check above
+            // guarantees they fit the current cells.
+            let packed_row = self.arena.layout().pack(&row);
+            let id = if let Some(id) = self.arena.lookup(&packed_row) {
                 Some(id.index())
             } else if self.arena.len() >= cap {
                 None
             } else {
-                let id = self.arena.intern(&row);
+                let id = self.arena.intern(&packed_row);
                 self.edges.push(Vec::new());
                 self.depths.push(0);
                 Some(id.index())
@@ -1521,7 +1658,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                 continue;
             }
             if expand_one(
-                &*self.engine,
+                &packed,
                 &mut self.arena,
                 &mut self.edges,
                 &mut self.depths,
@@ -1543,7 +1680,7 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
         // since the old budget — freshly interned ids all lie past the old
         // arena length, and id order is BFS order.
         scan_expand(
-            &*self.engine,
+            &packed,
             &mut self.arena,
             &mut self.edges,
             &mut self.depths,
@@ -1568,14 +1705,20 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
     /// Panics if `id` is out of bounds.
     #[must_use]
     pub fn node(&self, id: usize) -> &Multiset<P> {
-        self.sparse_views[id].get_or_init(|| self.engine.to_sparse(self.dense_node(id)))
+        self.sparse_views[id].get_or_init(|| self.engine.to_sparse(&self.dense_node(id)))
     }
 
     /// The node id of `config`, if it was reached.
     #[must_use]
     pub fn id_of(&self, config: &Multiset<P>) -> Option<usize> {
         let row = self.engine.to_dense(config)?;
-        self.arena.lookup(&row).map(super::ConfigId::index)
+        // A count that overflows the packed cells cannot equal any stored
+        // row (the layout bound covers every reachable configuration).
+        let mut packed = Vec::new();
+        if !self.arena.layout().try_pack_into(&row, &mut packed) {
+            return None;
+        }
+        self.arena.lookup(&packed).map(super::ConfigId::index)
     }
 
     /// The ids of the initial configurations.
@@ -1613,8 +1756,16 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
             && self.dirty == other.dirty
             && self.pending_initials == other.pending_initials
             && self.ids().all(|id| {
-                self.dense_node(id) == other.dense_node(id)
-                    && self.successors(id) == other.successors(id)
+                let same_row = if self.arena.layout() == other.arena.layout() {
+                    // Same layout: the packed words are the canonical form,
+                    // compare them directly (no unpacking).
+                    self.packed_node(id) == other.packed_node(id)
+                } else {
+                    // Different layouts (e.g. packed vs. gate-disabled
+                    // build): identical graphs decode to identical counts.
+                    self.dense_node(id) == other.dense_node(id)
+                };
+                same_row && self.successors(id) == other.successors(id)
             })
     }
 

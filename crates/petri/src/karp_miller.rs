@@ -14,8 +14,16 @@
 //! ([`OmegaValue::checked_add`]/[`OmegaValue::checked_sub`]): an execution
 //! whose counts leave `u64` no longer panics, it marks the tree incomplete
 //! and skips the offending branch.
+//!
+//! The long-lived admitted-markings store packs its rows with *per-place*
+//! cell widths ([`RowLayout::per_place`]): ω is a per-cell max sentinel,
+//! so a place accelerating to ω costs nothing, and only a *finite* count
+//! colliding with its sentinel promotes that one place's width (re-encoding
+//! the store) instead of widening the whole net. Branch chains stay
+//! unpacked `Vec<OmegaValue>` scratch.
 
 use crate::engine::CompiledNet;
+use crate::packed::{packed_enabled, CellWidth, RowLayout};
 use crate::parallel::Parallelism;
 use crate::session::Completion;
 use crate::PetriNet;
@@ -354,6 +362,133 @@ impl KmTruncation {
     }
 }
 
+/// The admitted-markings store, packed with per-place cell widths.
+///
+/// ω is encoded as the cell's max value (a sentinel), so acceleration to
+/// ω never widens anything — the sentinel fits every width. A *finite*
+/// count at or above a place's sentinel instead promotes that single
+/// place to the next wider cell and re-encodes the stored rows; every
+/// other place keeps its narrow cells. With the packing gate off every
+/// place starts (and stays) at `u64`.
+struct PackedOmegaStore {
+    widths: Vec<CellWidth>,
+    layout: RowLayout,
+    data: Vec<u64>,
+    len: usize,
+    /// Rows holding a finite count of exactly `u64::MAX`, which would
+    /// collide with the `u64` ω sentinel — kept unpacked on the side
+    /// (all but unreachable under checked ω-arithmetic; their packed
+    /// slots stay zeroed placeholders).
+    unpackable: BTreeMap<usize, OmegaRow>,
+}
+
+impl PackedOmegaStore {
+    /// An empty store over `places` cells, sized so the initial marking's
+    /// largest count packs without an immediate promotion.
+    fn new(places: usize, max_initial_cell: u64) -> Self {
+        let width = if packed_enabled() {
+            CellWidth::fitting(max_initial_cell.saturating_add(1))
+        } else {
+            CellWidth::U64
+        };
+        let widths = vec![width; places];
+        let layout = RowLayout::per_place(widths.clone());
+        PackedOmegaStore {
+            widths,
+            layout,
+            data: Vec::new(),
+            len: 0,
+            unpackable: BTreeMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Decodes one stored row back to ω-values.
+    fn decode(&self, index: usize) -> OmegaRow {
+        if let Some(row) = self.unpackable.get(&index) {
+            return row.clone();
+        }
+        let words = self.layout.words_per_row();
+        let row = &self.data[index * words..(index + 1) * words];
+        (0..self.layout.places())
+            .map(|place| {
+                let cell = self.layout.get(row, place);
+                if cell == self.widths[place].cell_max() {
+                    OmegaValue::Omega
+                } else {
+                    OmegaValue::Finite(cell)
+                }
+            })
+            .collect()
+    }
+
+    /// Appends a marking, promoting any place whose finite count would
+    /// collide with its current ω sentinel.
+    fn push(&mut self, row: &[OmegaValue]) {
+        debug_assert_eq!(row.len(), self.layout.places());
+        for (place, value) in row.iter().enumerate() {
+            if let OmegaValue::Finite(c) = *value {
+                while c >= self.widths[place].cell_max() {
+                    match self.widths[place].widen() {
+                        Some(wider) => self.promote(place, wider),
+                        None => {
+                            // c == u64::MAX: no wider cell exists, keep
+                            // the row unpacked so the sentinel stays
+                            // unambiguous.
+                            self.unpackable.insert(self.len, row.to_vec());
+                            self.data
+                                .resize(self.data.len() + self.layout.words_per_row(), 0);
+                            self.len += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.append_packed(row);
+        self.len += 1;
+    }
+
+    /// Encodes `row` (already known to fit) at the end of the data block.
+    fn append_packed(&mut self, row: &[OmegaValue]) {
+        let start = self.data.len();
+        self.data.resize(start + self.layout.words_per_row(), 0);
+        for (place, value) in row.iter().enumerate() {
+            let cell = match *value {
+                OmegaValue::Finite(c) => c,
+                OmegaValue::Omega => self.widths[place].cell_max(),
+            };
+            self.layout.set(&mut self.data[start..], place, cell);
+        }
+    }
+
+    /// Widens one place's cells and re-encodes every stored row. Already
+    /// stored counts all fit the widened layout (they fit the narrower
+    /// one), so the re-encoding cannot itself promote.
+    fn promote(&mut self, place: usize, wider: CellWidth) {
+        let rows: Vec<OmegaRow> = (0..self.len).map(|i| self.decode(i)).collect();
+        self.widths[place] = wider;
+        self.layout = RowLayout::per_place(self.widths.clone());
+        self.data.clear();
+        for (index, row) in rows.iter().enumerate() {
+            if self.unpackable.contains_key(&index) {
+                self.data
+                    .resize(self.data.len() + self.layout.words_per_row(), 0);
+            } else {
+                self.append_packed(row);
+            }
+        }
+    }
+
+    /// Decodes the whole store, in admission order.
+    fn into_rows(self) -> Vec<OmegaRow> {
+        (0..self.len).map(|i| self.decode(i)).collect()
+    }
+}
+
 /// The serial wave-order admission: counts every admitted node against
 /// `max_nodes` and appends its marking — exactly the sequential builder's
 /// bookkeeping, so the tree is identical across worker counts. Returns
@@ -361,7 +496,7 @@ impl KmTruncation {
 /// stops, as in the sequential breadth-first order).
 fn admit_wave(
     slots: &[WaveSlot],
-    rows: &mut Vec<OmegaRow>,
+    rows: &mut PackedOmegaStore,
     max_nodes: usize,
     trunc: &mut KmTruncation,
 ) -> bool {
@@ -376,7 +511,7 @@ fn admit_wave(
         if slot.overflowed {
             trunc.overflow = true;
         }
-        rows.push(node.row.clone());
+        rows.push(&node.row);
     }
     true
 }
@@ -460,7 +595,10 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
             .iter()
             .map(|&c| OmegaValue::Finite(c))
             .collect();
-        let mut rows: Vec<OmegaRow> = Vec::new();
+        let mut rows = PackedOmegaStore::new(
+            engine.num_places(),
+            dense_initial.iter().copied().max().unwrap_or(0),
+        );
         let mut trunc = KmTruncation::default();
         let workers = parallelism.workers();
         let transitions = engine.transitions();
@@ -519,6 +657,7 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
             expansions = next_expansions;
         }
         let markings = rows
+            .into_rows()
             .into_iter()
             .map(|row| {
                 let mut marking = OmegaMarking {
@@ -794,6 +933,89 @@ mod tests {
             Ok(OmegaValue::Omega)
         );
         assert!(!OmegaOverflow.to_string().is_empty());
+    }
+
+    #[test]
+    fn packed_store_promotes_a_single_place_width() {
+        let _gate = crate::packed::GATE_TEST_LOCK.lock().unwrap();
+        let was = crate::packed::packed_enabled();
+        crate::packed::set_packed_enabled(true);
+        let mut store = PackedOmegaStore::new(3, 2);
+        // u8 cells to start with: the initial max cell is 2.
+        assert_eq!(store.widths, vec![CellWidth::U8; 3]);
+        store.push(&[
+            OmegaValue::Finite(2),
+            OmegaValue::Finite(0),
+            OmegaValue::Finite(0),
+        ]);
+        // ω is a sentinel, not a promotion: widths stay u8.
+        store.push(&[
+            OmegaValue::Finite(1),
+            OmegaValue::Omega,
+            OmegaValue::Finite(3),
+        ]);
+        assert_eq!(store.widths, vec![CellWidth::U8; 3]);
+        // A finite 300 at place 2 promotes *only* place 2 to u16, and the
+        // earlier rows (including the ω sentinel) re-encode correctly.
+        store.push(&[
+            OmegaValue::Finite(1),
+            OmegaValue::Omega,
+            OmegaValue::Finite(300),
+        ]);
+        assert_eq!(
+            store.widths,
+            vec![CellWidth::U8, CellWidth::U8, CellWidth::U16]
+        );
+        assert_eq!(
+            store.decode(1),
+            vec![
+                OmegaValue::Finite(1),
+                OmegaValue::Omega,
+                OmegaValue::Finite(3)
+            ]
+        );
+        assert_eq!(
+            store.decode(2),
+            vec![
+                OmegaValue::Finite(1),
+                OmegaValue::Omega,
+                OmegaValue::Finite(300)
+            ]
+        );
+        // The one unpackable count — finite u64::MAX collides with the
+        // u64 ω sentinel — round-trips through the side store.
+        let extreme = vec![
+            OmegaValue::Finite(u64::MAX),
+            OmegaValue::Omega,
+            OmegaValue::Finite(0),
+        ];
+        store.push(&extreme);
+        assert_eq!(store.decode(3), extreme);
+        assert_eq!(store.len(), 4);
+        crate::packed::set_packed_enabled(was);
+    }
+
+    #[test]
+    fn width_promotion_preserves_the_tree() {
+        // x -> y + 300 z: the first admitted child already carries a count
+        // over u8's sentinel, so the store promotes mid-build; the
+        // resulting markings must match the gate-off (u64-cells) build.
+        let _gate = crate::packed::GATE_TEST_LOCK.lock().unwrap();
+        let was = crate::packed::packed_enabled();
+        let net = PetriNet::from_transitions([Transition::new(
+            ms(&[("x", 1)]),
+            ms(&[("y", 1), ("z", 300)]),
+        )]);
+        let start = ms(&[("x", 2)]);
+        crate::packed::set_packed_enabled(true);
+        let packed = KarpMillerTree::build(&net, &start, 10_000);
+        crate::packed::set_packed_enabled(false);
+        let unpacked = KarpMillerTree::build(&net, &start, 10_000);
+        crate::packed::set_packed_enabled(was);
+        assert_eq!(packed.markings(), unpacked.markings());
+        assert_eq!(packed.completion(), unpacked.completion());
+        assert!(packed.covers(&ms(&[("z", 600)])));
+        assert!(!packed.covers(&ms(&[("z", 601)])));
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod engine;
 pub mod euler;
 pub mod explore;
 pub mod karp_miller;
+pub mod packed;
 pub mod parallel;
 pub mod rackoff;
 pub mod session;
@@ -76,6 +77,7 @@ pub use batch::{Batch, BatchJob, BatchOutcome, BatchQuery, BatchReport, JobRepor
 pub use engine::{CompiledNet, CompiledTransition, DenseConfig};
 pub use explore::{ExplorationLimits, ReachabilityGraph};
 pub use net::PetriNet;
+pub use packed::{CellWidth, RowLayout};
 pub use parallel::Parallelism;
 pub use session::{Analysis, Completion};
 pub use transition::Transition;

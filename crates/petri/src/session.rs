@@ -109,9 +109,14 @@ pub enum Completion {
     AgentCap,
     /// Some stored configuration sat at the depth cap and was not expanded.
     DepthCap,
-    /// The `u32` id space of the interning arena — not the caller's budget
-    /// — was what actually bounded the build
-    /// ([`MAX_GRAPH_CONFIGURATIONS`](crate::explore::MAX_GRAPH_CONFIGURATIONS)).
+    /// The `u32` id space of an interning arena — not the caller's budget
+    /// — was what actually bounded the build: either the graph arena's
+    /// global cap ([`MAX_GRAPH_CONFIGURATIONS`][max]) or, under the
+    /// parallel engine, a shard of the scratch arena refusing to assign
+    /// one more shard-local id (a refusal, never a panic — the affected
+    /// node is re-marked dirty exactly like a budget-refused one).
+    ///
+    /// [max]: crate::explore::MAX_GRAPH_CONFIGURATIONS
     IdSpace,
     /// A Karp–Miller branch's counters left the `u64` range; the branch was
     /// dropped (checked ω-arithmetic instead of a panic).

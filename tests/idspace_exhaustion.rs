@@ -1,0 +1,72 @@
+//! Exhausting a scratch arena's id space must truncate, never panic.
+//!
+//! The parallel engine's sharded scratch arena assigns shard-local `u32`
+//! ids. Running a shard out of ids used to be an `expect` deep inside
+//! worker threads — a panic (and a poisoned build) on a condition that is
+//! a capacity limit, not a bug. It is now a *refusal*: the affected
+//! successors are dropped for the level, their source nodes re-marked
+//! dirty, and the build completes with `Completion::IdSpace`, resumable
+//! once capacity allows like any budget-truncated graph.
+//!
+//! This lives in its own integration-test binary because the fault
+//! injection flag (`pp_petri::explore::fault_injection`) is process-global:
+//! no other test shares the process.
+
+use pp_multiset::Multiset;
+use pp_petri::explore::fault_injection;
+use pp_petri::{
+    Analysis, Completion, ExplorationLimits, Parallelism, PetriNet, ReachabilityGraph, Transition,
+};
+use std::sync::atomic::Ordering;
+
+fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
+    Multiset::from_pairs(pairs.iter().copied())
+}
+
+/// A small conservative net with a few levels, so the pipeline actually
+/// dispatches jobs to the workers. The fault injection flag makes the
+/// engine dispatch even below its usual minimum level size.
+fn doubling_net() -> PetriNet<&'static str> {
+    PetriNet::from_transitions([
+        Transition::pairwise("a", "a", "a", "b"),
+        Transition::pairwise("a", "b", "b", "b"),
+    ])
+}
+
+#[test]
+fn exhausted_scratch_ids_truncate_as_id_space_and_resume() {
+    let limits = ExplorationLimits::default();
+    let initial = [ms(&[("a", 12)])];
+    let net = doubling_net();
+
+    fault_injection::EXHAUST_SCRATCH_IDS.store(true, Ordering::Release);
+    let mut graph: ReachabilityGraph<&'static str> = {
+        let arc = Analysis::new(&net)
+            .parallelism(Parallelism::Parallel(4))
+            .reachability(initial.clone())
+            .limits(limits)
+            .run();
+        (*arc).clone()
+    };
+    fault_injection::EXHAUST_SCRATCH_IDS.store(false, Ordering::Release);
+
+    // Every fresh scratch intern was refused: only the initial
+    // configuration was stored, and the build reports the id space — not
+    // any caller budget — as what bounded it.
+    assert_eq!(graph.completion(), Completion::IdSpace);
+    assert_eq!(graph.len(), 1);
+
+    // The truncation is resumable: with ids available again, the same
+    // graph replays its dirty frontier to the exact graph a cold build
+    // produces.
+    graph.resume(&limits);
+    assert_eq!(graph.completion(), Completion::Complete);
+    let cold = Analysis::new(&net)
+        .reachability(initial)
+        .limits(limits)
+        .run();
+    assert!(
+        graph.identical_to(&cold),
+        "resumed id-space-truncated graph must be bit-identical to a cold build"
+    );
+}
