@@ -1,0 +1,11 @@
+// Passes exact-wrap (linted as packed.rs): the doc comment cites the
+// invariant that makes word-level wrapping exact lanewise.
+
+/// Fires a transition delta on one packed word.
+///
+/// EXACT: the width rule bounds every materialisable count strictly
+/// below the cell max and enabledness bounds `sub` below each lane, so
+/// neither wrap can cross a lane boundary.
+pub fn fire_word(cell: u64, sub: u64, add: u64) -> u64 {
+    cell.wrapping_sub(sub).wrapping_add(add)
+}

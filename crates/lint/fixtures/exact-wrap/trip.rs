@@ -1,0 +1,7 @@
+// Trips exact-wrap (linted as packed.rs): wrapping word arithmetic in a
+// function whose doc comment never cites the width-bound invariant.
+
+/// Fires a transition delta on one packed word.
+pub fn fire_word(cell: u64, sub: u64, add: u64) -> u64 {
+    cell.wrapping_sub(sub).wrapping_add(add)
+}

@@ -1,0 +1,7 @@
+// Passes gate-registry: the read routes through the audited registry,
+// which keeps the knob discoverable and the README table cross-checked.
+fn threads() -> usize {
+    pp_petri::gates::read(pp_petri::gates::PP_PETRI_THREADS)
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,9 @@
+// Trips gate-registry: a direct environment read outside
+// pp_petri::gates. The knob never lands in the registry, so the README
+// gate table cannot know about it.
+fn threads() -> usize {
+    match std::env::var("PP_PETRI_THREADS") {
+        Ok(value) => value.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,9 @@
+// Passes: a well-formed marker — rule name plus a mandatory reason —
+// suppresses exactly the named rule on the next code line.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn next(counter: &AtomicUsize) -> usize {
+    // pp-lint: allow(relaxed-ordering-audit) — fixture demonstrating the
+    // marker grammar; the reason text after the dash is mandatory.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

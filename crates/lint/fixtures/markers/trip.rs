@@ -1,0 +1,8 @@
+// Trips bad-allow: the marker names a rule but carries no reason, so it
+// suppresses nothing — the Relaxed finding below still fires too.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn next(counter: &AtomicUsize) -> usize {
+    // pp-lint: allow(relaxed-ordering-audit)
+    counter.fetch_add(1, Ordering::Relaxed)
+}

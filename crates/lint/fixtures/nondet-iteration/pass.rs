@@ -1,0 +1,13 @@
+// Passes nondet-iteration: the traversal feeds a sort (order-independent
+// by construction), and point lookups never iterate at all.
+use std::collections::HashMap;
+
+fn collect_names(index: &HashMap<u64, String>) -> Vec<String> {
+    let mut out: Vec<String> = index.values().cloned().collect();
+    out.sort();
+    out
+}
+
+fn lookup(index: &HashMap<u64, String>, key: u64) -> Option<&String> {
+    index.get(&key)
+}

@@ -1,0 +1,16 @@
+// Trips nondet-iteration: storage-order traversal of a hash map in a
+// determinism-critical module, with nothing downstream restoring an
+// order.
+use std::collections::HashMap;
+
+fn collect_names(index: &HashMap<u64, String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for value in index.values() {
+        out.push(value.clone());
+    }
+    out
+}
+
+fn first_key(index: &HashMap<u64, String>) -> Option<u64> {
+    index.keys().next().copied()
+}

@@ -1,0 +1,18 @@
+// Passes panic-in-worker: workers report failure through a poison flag
+// (the PR-3 protocol) instead of unwinding; the main thread raises the
+// error after the scope joins.
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+fn run(results: &Mutex<Vec<u64>>, poisoned: &AtomicBool) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let Ok(mut guard) = results.lock() else {
+                poisoned.store(true, Ordering::Release);
+                return;
+            };
+            guard.push(1);
+        });
+    });
+    assert!(!poisoned.load(Ordering::Acquire), "a worker failed");
+}

@@ -1,0 +1,18 @@
+// Trips panic-in-worker: unwrap/expect and panic! inside closures
+// spawned within a thread::scope region. A worker panic deadlocks the
+// level barrier or poisons shared locks.
+use std::sync::Mutex;
+
+fn run(results: &Mutex<Vec<u64>>) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut guard = results.lock().unwrap();
+            guard.push(1);
+        });
+        scope.spawn(|| {
+            if results.lock().expect("poisoned").is_empty() {
+                panic!("empty results");
+            }
+        });
+    });
+}

@@ -1,0 +1,14 @@
+// Passes relaxed-ordering-audit: the justification states why no
+// cross-thread ordering is needed, either above the statement or
+// trailing on the same line.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn next(counter: &AtomicUsize) -> usize {
+    // relaxed: pure claim counter — atomicity alone keeps claims
+    // disjoint, and no other memory is published through it.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn peek(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed) // relaxed: monitoring-only read
+}

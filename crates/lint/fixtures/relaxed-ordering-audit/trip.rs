@@ -1,0 +1,7 @@
+// Trips relaxed-ordering-audit: a Relaxed atomic access with no
+// `// relaxed:` justification anywhere in the statement's comment trail.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn next(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,209 @@
+//! The workspace driver: file discovery, per-file linting, and the
+//! workspace-level gate-registry cross-check.
+//!
+//! The driver walks `crates/`, `tests/`, `examples/` and `src/` under
+//! the workspace root, lints every `.rs` file, and skips exactly three
+//! subtrees: `vendor/` (third-party stand-ins are not held to repo
+//! rules), `target/` (build output), and `crates/lint/fixtures/` (the
+//! lint's own corpus of deliberately-tripping files). Discovery order
+//! is sorted, so output is byte-stable across filesystems.
+
+use crate::lexer::{lex, TokenKind};
+use crate::rules::{lint_source, Finding, Rule, GATES_MODULE};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories (workspace-relative) the driver scans for `.rs` files.
+pub const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples", "src"];
+
+/// Workspace-relative path prefixes the driver never descends into.
+pub const SKIP_PREFIXES: &[&str] = &["vendor", "target", "crates/lint/fixtures"];
+
+/// Lints the whole workspace rooted at `root`: every discovered file
+/// plus the registry-vs-README cross-check. Findings are sorted by
+/// (path, line, rule).
+///
+/// # Errors
+/// Propagates filesystem errors from the walk (an unreadable workspace
+/// must fail the check loudly, not pass it silently).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort();
+    for file in &files {
+        let source = fs::read(root.join(file))?;
+        findings.extend(lint_source(file, &source));
+    }
+    findings.extend(cross_check_gates(root)?);
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// The number of `.rs` files [`lint_workspace`] would scan — surfaced
+/// so the CLI can report coverage and tests can assert the walk sees
+/// the engine.
+///
+/// # Errors
+/// Propagates filesystem errors from the walk.
+pub fn count_files(root: &Path) -> io::Result<usize> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    Ok(files.len())
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if SKIP_PREFIXES.iter().any(|skip| rel.starts_with(skip)) {
+            continue;
+        }
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        if name.as_deref().is_some_and(|n| n.starts_with('.')) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace half of the `gate-registry` rule: every `PP_*` gate
+/// the registry module defines must appear in the README gate table,
+/// and every `PP_*` the README names must be a registered gate — so
+/// neither the code nor the docs can rot alone.
+fn cross_check_gates(root: &Path) -> io::Result<Vec<Finding>> {
+    let gates_path = root.join(GATES_MODULE);
+    let readme_path = root.join("README.md");
+    if !gates_path.is_file() || !readme_path.is_file() {
+        // Fixture roots without the engine: nothing to cross-check.
+        return Ok(Vec::new());
+    }
+    let mut findings = Vec::new();
+
+    let gates_src = fs::read(&gates_path)?;
+    let defined = gate_literals(&gates_src);
+    let readme = fs::read_to_string(&readme_path)?;
+    let documented = readme_gates(&readme);
+
+    for (gate, line) in &defined {
+        if !documented.iter().any(|(g, _)| g == gate) {
+            findings.push(Finding {
+                file: GATES_MODULE.to_string(),
+                line: *line,
+                rule: Rule::GateRegistry,
+                message: format!(
+                    "gate `{gate}` is registered but missing from the README \
+                     \"Environment gates\" table"
+                ),
+            });
+        }
+    }
+    for (gate, line) in &documented {
+        if !defined.iter().any(|(g, _)| g == gate) {
+            findings.push(Finding {
+                file: "README.md".to_string(),
+                line: *line,
+                rule: Rule::GateRegistry,
+                message: format!(
+                    "README names gate `{gate}` but `pp_petri::gates` does not \
+                     register it"
+                ),
+            });
+        }
+    }
+    Ok(findings)
+}
+
+/// `PP_*` string literals defining gate-name constants in the gates
+/// module — only `const NAME: &str = "PP_…"` initializers count, so
+/// test fixtures exercising unregistered names do not read as gates.
+fn gate_literals(src: &[u8]) -> Vec<(String, u32)> {
+    let tokens = lex(src);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_trivia())
+        .map(|(i, _)| i)
+        .collect();
+    let text = |k: usize| code.get(k).map_or("", |&i| tokens[i].text(src));
+    let mut gates = Vec::new();
+    for k in 0..code.len() {
+        // const <IDENT> : & str = "PP_…"
+        if text(k) != "const"
+            || text(k + 2) != ":"
+            || text(k + 3) != "&"
+            || text(k + 4) != "str"
+            || text(k + 5) != "="
+        {
+            continue;
+        }
+        let Some(&raw) = code.get(k + 6) else {
+            continue;
+        };
+        if tokens[raw].kind != TokenKind::Str {
+            continue;
+        }
+        let inner = tokens[raw]
+            .text(src)
+            .trim_start_matches('"')
+            .trim_end_matches('"');
+        if inner.starts_with("PP_")
+            && inner.len() > 3
+            && inner
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+            && !gates.iter().any(|(g, _)| g == inner)
+        {
+            gates.push((inner.to_string(), tokens[raw].line));
+        }
+    }
+    gates
+}
+
+/// `` `PP_*` `` mentions in the README (any mention counts as
+/// documentation — and must therefore be a registered gate).
+fn readme_gates(readme: &str) -> Vec<(String, u32)> {
+    let mut gates: Vec<(String, u32)> = Vec::new();
+    for (idx, line) in readme.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("`PP_") {
+            rest = &rest[at + 1..];
+            let Some(end) = rest.find('`') else { break };
+            let name = &rest[..end];
+            if name.len() > 3
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+                && !gates.iter().any(|(g, _)| g == name)
+            {
+                gates.push((name.to_string(), idx as u32 + 1));
+            }
+            rest = &rest[end..];
+        }
+    }
+    gates
+}

@@ -1,0 +1,38 @@
+//! `pp_lint` — the determinism-invariant static-analysis pass.
+//!
+//! Every guarantee this suite makes — bit-identical reachability and
+//! Karp–Miller graphs for every worker count, packed-vs-unpacked
+//! bit-identity, resume ≡ cold rebuild — rests on a handful of code
+//! rules: no nondeterministic hash iteration in result paths, no panics
+//! inside parallel workers, every environment gate routed through one
+//! audited module, every `Relaxed` atomic and wrapping word-arithmetic
+//! use justified in place. The runtime test suites check the guarantees;
+//! `pp_lint` pins the *rules that preserve them*, so the class of bug
+//! that PRs 3 (worker panic → poison) and 6 (id exhaustion → refusal)
+//! each fixed once cannot silently reappear.
+//!
+//! The pass is a workspace-aware driver ([`driver::lint_workspace`])
+//! over a hand-rolled total lexer ([`lexer`]) and a catalog of five
+//! rules ([`rules`]), with an inline justification marker
+//! (`// pp-lint: allow(<rule>) — <reason>`) as the only suppression.
+//! No third-party dependencies, per the workspace's offline-vendor
+//! rule. Run it as:
+//!
+//! ```text
+//! cargo run -p pp_lint -- --check
+//! ```
+//!
+//! which exits nonzero on any unjustified finding (CI gates on it), or
+//! with `--format json` for machine-readable output. The rule catalog
+//! and the recipe for adding a rule live in `DESIGN.md`, chapter
+//! "Static analysis".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use driver::{count_files, lint_workspace};
+pub use rules::{lint_source, Finding, Rule};

@@ -1,0 +1,118 @@
+//! The `pp_lint` CLI: lints the workspace and exits nonzero on any
+//! unjustified finding.
+//!
+//! ```text
+//! pp_lint [--check] [--root <dir>] [--format text|json]
+//! ```
+//!
+//! `--check` is the CI gate (and the default behaviour — the flag
+//! exists so the invocation documents its intent); `--root` overrides
+//! the workspace root (default: the enclosing workspace of this crate);
+//! `--format json` emits one JSON object per finding for tooling.
+
+use pp_lint::{count_files, lint_workspace, Finding};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                _ => return usage("--format takes `text` or `json`"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let findings = match lint_workspace(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("pp_lint: cannot lint {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        if format_json {
+            println!("{}", to_json(finding));
+        } else {
+            println!(
+                "{}:{}: {}: {}",
+                finding.file,
+                finding.line,
+                finding.rule.name(),
+                finding.message
+            );
+        }
+    }
+    if findings.is_empty() {
+        let files = count_files(&root).unwrap_or(0);
+        eprintln!("pp_lint: clean ({files} files)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pp_lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest
+/// (`crates/lint` → the workspace), falling back to the current
+/// directory when run outside cargo.
+fn default_root() -> PathBuf {
+    // pp-lint: allow(gate-registry) — CARGO_MANIFEST_DIR is cargo's own
+    // variable locating this binary's crate, not a PP_* behaviour gate;
+    // the registry is for knobs that tune the engine.
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest);
+        if let Some(root) = manifest.ancestors().nth(2) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("pp_lint: {problem}");
+    eprintln!("usage: pp_lint [--check] [--root <dir>] [--format text|json]");
+    ExitCode::from(2)
+}
+
+/// Serialises one finding as a JSON object (hand-rolled — the workspace
+/// vendors no serde).
+fn to_json(finding: &Finding) -> String {
+    format!(
+        r#"{{"file":{},"line":{},"rule":{},"message":{}}}"#,
+        json_string(&finding.file),
+        finding.line,
+        json_string(finding.rule.name()),
+        json_string(&finding.message),
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,870 @@
+//! The repo-specific rule catalog.
+//!
+//! Each rule is a pure function over one file's token stream (plus its
+//! workspace-relative path, which gates the module-scoped rules). Rules
+//! are *lexical approximations* of semantic invariants — they trade
+//! full type knowledge for zero dependencies and total determinism —
+//! and every approximation is documented on the rule. The escape hatch
+//! for a justified exception is an inline marker:
+//!
+//! ```text
+//! // pp-lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! The reason is mandatory (a marker without one is itself a finding);
+//! the marker suppresses the named rule on its own line when it trails
+//! code, otherwise on the next code line. See `DESIGN.md`, chapter
+//! "Static analysis", for the catalog rationale and how to add a rule.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The rules `pp_lint` enforces; see each variant for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No iteration over `HashMap`/`HashSet`/`FxHashMap`/`FxHashSet` in
+    /// determinism-critical modules unless the traversal feeds a sort.
+    NondetIteration,
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` inside closures spawned within a
+    /// `std::thread::scope` region (workers must use the poison /
+    /// refusal paths).
+    PanicInWorker,
+    /// `std::env::var` only inside `pp_petri::gates`, and the gate
+    /// registry must agree with the README gate table.
+    GateRegistry,
+    /// Every `Ordering::Relaxed` carries a `// relaxed:` justification.
+    RelaxedOrderingAudit,
+    /// `wrapping_add`/`wrapping_sub` in `packed.rs` only inside
+    /// functions whose doc comment cites the width-bound invariant
+    /// (`EXACT:`).
+    ExactWrap,
+    /// A malformed `pp-lint: allow(...)` marker (unknown rule or
+    /// missing reason).
+    BadAllow,
+}
+
+impl Rule {
+    /// The marker / report name of the rule.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NondetIteration => "nondet-iteration",
+            Rule::PanicInWorker => "panic-in-worker",
+            Rule::GateRegistry => "gate-registry",
+            Rule::RelaxedOrderingAudit => "relaxed-ordering-audit",
+            Rule::ExactWrap => "exact-wrap",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a marker rule name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "nondet-iteration" => Some(Rule::NondetIteration),
+            "panic-in-worker" => Some(Rule::PanicInWorker),
+            "gate-registry" => Some(Rule::GateRegistry),
+            "relaxed-ordering-audit" => Some(Rule::RelaxedOrderingAudit),
+            "exact-wrap" => Some(Rule::ExactWrap),
+            _ => None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// File stems whose contents are determinism-critical: exploration
+/// results must not depend on hash-iteration order anywhere in these
+/// modules (the engine's bit-identity guarantees flow through them).
+const CRITICAL_STEMS: &[&str] = &[
+    "explore",
+    "cover",
+    "karp_miller",
+    "arena",
+    "packed",
+    "batch",
+    "session",
+];
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Methods that traverse a collection in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Tokens whose appearance downstream of a hash traversal makes the
+/// result order-independent again: an explicit sort, or collection into
+/// an ordered container.
+const SORT_TOKENS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// The only module allowed to read the environment; every other
+/// `std::env::var` call must route through it (rule `gate-registry`).
+pub const GATES_MODULE: &str = "crates/petri/src/gates.rs";
+
+/// Lints one file: lexes `source`, runs every per-file rule, and
+/// subtracts the findings suppressed by well-formed allow markers.
+///
+/// `path` is the workspace-relative path; it gates the module-scoped
+/// rules (`nondet-iteration` on determinism-critical stems,
+/// `exact-wrap` on `packed.rs`, the `gates.rs` exemption).
+#[must_use]
+pub fn lint_source(path: &str, source: &[u8]) -> Vec<Finding> {
+    let tokens = lex(source);
+    let file = File {
+        path,
+        src: source,
+        tokens: &tokens,
+        code: tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_trivia())
+            .map(|(i, _)| i)
+            .collect(),
+    };
+
+    let (allows, mut findings) = collect_allows(&file);
+    if file.stem_is(CRITICAL_STEMS) {
+        nondet_iteration(&file, &mut findings);
+    }
+    panic_in_worker(&file, &mut findings);
+    gate_registry(&file, &mut findings);
+    relaxed_ordering_audit(&file, &mut findings);
+    if file.stem_is(&["packed"]) {
+        exact_wrap(&file, &mut findings);
+    }
+
+    findings.retain(|f| {
+        f.rule == Rule::BadAllow
+            || !allows
+                .iter()
+                .any(|a| a.rule == f.rule && a.effective_line == f.line)
+    });
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// One file under analysis, with its precomputed non-trivia view:
+/// `code[k]` is the index into `tokens` of the `k`-th code token.
+struct File<'a> {
+    path: &'a str,
+    src: &'a [u8],
+    tokens: &'a [Token],
+    code: Vec<usize>,
+}
+
+impl File<'_> {
+    /// Text of the `k`-th code token ("" past the end).
+    fn t(&self, k: usize) -> &str {
+        self.code
+            .get(k)
+            .map_or("", |&i| self.tokens[i].text(self.src))
+    }
+
+    fn kind(&self, k: usize) -> Option<TokenKind> {
+        self.code.get(k).map(|&i| self.tokens[i].kind)
+    }
+
+    fn line(&self, k: usize) -> u32 {
+        self.code.get(k).map_or(0, |&i| self.tokens[i].line)
+    }
+
+    /// Whether the code tokens starting at `k` spell out `words`
+    /// (`"::"` must be passed as two `":"` entries).
+    fn seq(&self, k: usize, words: &[&str]) -> bool {
+        words.iter().enumerate().all(|(j, w)| self.t(k + j) == *w)
+    }
+
+    fn stem_is(&self, stems: &[&str]) -> bool {
+        let name = self.path.rsplit('/').next().unwrap_or(self.path);
+        let stem = name.strip_suffix(".rs").unwrap_or(name);
+        stems.contains(&stem)
+    }
+
+    /// Finds the code index of the delimiter closing the opener at
+    /// `open` (which must be `(`, `[` or `{`); `None` if unbalanced.
+    fn matching_close(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.t(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for k in open..self.code.len() {
+            let t = self.t(k);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    fn finding(&self, line: u32, rule: Rule, message: impl Into<String>) -> Finding {
+        Finding {
+            file: self.path.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+/// A parsed, well-formed allow marker.
+struct Allow {
+    rule: Rule,
+    /// The line the marker suppresses: its own when it trails code,
+    /// otherwise the next code line.
+    effective_line: u32,
+}
+
+/// Extracts `pp-lint: allow(...)` markers from the comment tokens.
+/// Malformed markers (unknown rule, missing reason) become `bad-allow`
+/// findings instead of silent suppressions.
+fn collect_allows(f: &File) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(f.src);
+        // Doc comments never carry markers — they *describe* the marker
+        // grammar (this crate's own docs would trip otherwise).
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = text.find("pp-lint:") else {
+            continue;
+        };
+        let rest = &text[at + "pp-lint:".len()..];
+        let parsed = parse_allow(rest);
+        match parsed {
+            Ok(rule) => allows.push(Allow {
+                rule,
+                effective_line: effective_line(f, i),
+            }),
+            Err(why) => findings.push(f.finding(
+                tok.line,
+                Rule::BadAllow,
+                format!("malformed pp-lint marker: {why}"),
+            )),
+        }
+    }
+    (allows, findings)
+}
+
+/// Parses the tail of a marker after `pp-lint:`: requires
+/// `allow(<known-rule>)` then a separator (`—`, `--` or `:`) and a
+/// non-empty reason.
+fn parse_allow(rest: &str) -> Result<Rule, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>)`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let name = rest[..close].trim();
+    let Some(rule) = Rule::from_name(name) else {
+        return Err(format!("unknown rule {name:?}"));
+    };
+    let mut tail = rest[close + 1..].trim_start();
+    let mut separated = false;
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(t) = tail.strip_prefix(sep) {
+            tail = t;
+            separated = true;
+            break;
+        }
+    }
+    if !separated || tail.trim().is_empty() {
+        return Err(format!(
+            "allow({name}) needs a justification: `// pp-lint: allow({name}) — <reason>`"
+        ));
+    }
+    Ok(rule)
+}
+
+/// The line a marker comment suppresses.
+fn effective_line(f: &File, comment_idx: usize) -> u32 {
+    let line = f.tokens[comment_idx].line;
+    let trails_code = f.tokens[..comment_idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| !t.is_trivia());
+    if trails_code {
+        return line;
+    }
+    f.tokens[comment_idx + 1..]
+        .iter()
+        .find(|t| !t.is_trivia())
+        .map_or(line, |t| t.line)
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: nondet-iteration
+// ---------------------------------------------------------------------
+
+/// Flags storage-order traversals of hash collections in
+/// determinism-critical modules.
+///
+/// Approximation: a name is considered hash-typed when the file declares
+/// it with a `: …Hash{Map,Set}…` annotation (struct field, `let`, or
+/// parameter) or binds it via `let x = …Hash{Map,Set}::…`. A traversal
+/// is an `ITER_METHODS` call on such a name, or a `for … in` whose
+/// iterated expression is (a reference to) such a name. The finding is
+/// waived when a sort-family token or ordered-container collect appears
+/// within the same or the immediately following statement — traversals
+/// that feed a sort are order-independent by construction.
+fn nondet_iteration(f: &File, findings: &mut Vec<Finding>) {
+    let hash_names = collect_hash_names(f);
+    if hash_names.is_empty() {
+        return;
+    }
+    let n = f.code.len();
+    for k in 0..n {
+        // `name.iter_method(` — receiver must be a known hash name.
+        if hash_names.iter().any(|h| h == f.t(k))
+            && f.kind(k) == Some(TokenKind::Ident)
+            && f.t(k + 1) == "."
+            && ITER_METHODS.contains(&f.t(k + 2))
+            && f.t(k + 3) == "("
+            && !feeds_sort(f, k)
+        {
+            findings.push(f.finding(
+                f.line(k + 2),
+                Rule::NondetIteration,
+                format!(
+                    "iteration over hash collection `{}.{}()` in a determinism-critical \
+                     module: hash order is nondeterministic — sort the result, use an \
+                     ordered container, or justify with an allow marker",
+                    f.t(k),
+                    f.t(k + 2),
+                ),
+            ));
+        }
+        // `for pat in [&][mut] name {` — direct traversal of the map.
+        if f.t(k) == "for" {
+            if let Some(violation) = for_over_hash(f, k, &hash_names) {
+                if !feeds_sort(f, violation) {
+                    findings.push(f.finding(
+                        f.line(violation),
+                        Rule::NondetIteration,
+                        format!(
+                            "`for` loop over hash collection `{}` in a determinism-critical \
+                             module: hash order is nondeterministic — sort the result, use \
+                             an ordered container, or justify with an allow marker",
+                            f.t(violation),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Collects names the file declares with a hash-collection type.
+fn collect_hash_names(f: &File) -> Vec<String> {
+    let mut names = Vec::new();
+    let n = f.code.len();
+    for k in 0..n {
+        if f.kind(k) != Some(TokenKind::Ident) {
+            continue;
+        }
+        // `name : … HashX …` up to the next top-level `, ; ) = {`.
+        if f.t(k + 1) == ":" && f.t(k + 2) != ":" && (k == 0 || f.t(k - 1) != ":") {
+            if window_has_hash_type(f, k + 2) {
+                names.push(f.t(k).to_string());
+            }
+            continue;
+        }
+        // `let [mut] name = … HashX :: …` within the statement.
+        if f.t(k) == "let" {
+            let name_at = if f.t(k + 1) == "mut" { k + 2 } else { k + 1 };
+            if f.kind(name_at) == Some(TokenKind::Ident) && f.t(name_at + 1) == "=" {
+                for j in name_at + 2..(name_at + 40).min(n) {
+                    if f.t(j) == ";" {
+                        break;
+                    }
+                    if HASH_TYPES.contains(&f.t(j)) && f.seq(j + 1, &[":", ":"]) {
+                        names.push(f.t(name_at).to_string());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Whether a type annotation window starting at `start` mentions a hash
+/// collection before the annotation plausibly ends (a `, ; ) = {` at
+/// zero paren/angle depth).
+fn window_has_hash_type(f: &File, start: usize) -> bool {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    for k in start..(start + 40).min(f.code.len()) {
+        let t = f.t(k);
+        match t {
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "(" | "[" => paren += 1,
+            ")" | "]" if paren > 0 => paren -= 1,
+            "," | ";" | "=" | "{" | ")" | "]" if angle == 0 && paren == 0 => return false,
+            _ => {
+                if HASH_TYPES.contains(&t) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// For a `for` at code index `k`, returns the code index of the hash
+/// name when the loop iterates a bare (referenced) hash collection.
+fn for_over_hash(f: &File, k: usize, hash_names: &[String]) -> Option<usize> {
+    // Find the `in` at zero delimiter depth (patterns may hold parens).
+    let mut depth = 0i32;
+    let mut in_at = None;
+    for j in k + 1..(k + 30).min(f.code.len()) {
+        match f.t(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => {
+                in_at = Some(j);
+                break;
+            }
+            "{" | ";" => return None,
+            _ => {}
+        }
+    }
+    let in_at = in_at?;
+    // The iterated expression: flag only the simple `[&][mut] name` /
+    // `[&][mut] self . name` shapes — anything with calls or indexing is
+    // left to the method-site check.
+    let mut j = in_at + 1;
+    while matches!(f.t(j), "&" | "mut") {
+        j += 1;
+    }
+    if f.seq(j, &["self", "."]) {
+        j += 2;
+    }
+    let is_hash = hash_names.iter().any(|h| h == f.t(j));
+    (is_hash && f.t(j + 1) == "{").then_some(j)
+}
+
+/// Whether a traversal starting at code index `k` feeds a sort: a
+/// sort-family token or ordered-container collect within the same or
+/// the immediately following statement (at the traversal's block
+/// level).
+fn feeds_sort(f: &File, k: usize) -> bool {
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut semis = 0;
+    for j in k..(k + 160).min(f.code.len()) {
+        let t = f.t(j);
+        match t {
+            "{" => brace += 1,
+            "}" => {
+                brace -= 1;
+                if brace < 0 {
+                    return false;
+                }
+            }
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" if brace == 0 && paren <= 0 => {
+                semis += 1;
+                if semis >= 2 {
+                    return false;
+                }
+            }
+            _ => {
+                if SORT_TOKENS.contains(&t) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: panic-in-worker
+// ---------------------------------------------------------------------
+
+/// Flags panicking calls inside closures spawned within a
+/// `std::thread::scope` region.
+///
+/// Approximation: only closure *literals* passed to a `spawn(...)` call
+/// lexically inside the `thread::scope(...)` argument are analysed — a
+/// closure bound to a variable first (`scope.spawn(work)`) is out of
+/// lexical reach, as is code behind a function call. Worker bodies must
+/// route failures through the poison / refusal protocol (see PRs 3 and
+/// 6) instead of unwinding: a panic inside a worker either deadlocks
+/// sibling workers at the level barrier or poisons shared locks.
+fn panic_in_worker(f: &File, findings: &mut Vec<Finding>) {
+    let n = f.code.len();
+    for k in 0..n {
+        if !(f.seq(k, &["thread", ":", ":", "scope"]) && f.t(k + 4) == "(") {
+            continue;
+        }
+        let Some(close) = f.matching_close(k + 4) else {
+            continue;
+        };
+        scan_scope_region(f, k + 5, close, findings);
+    }
+}
+
+/// Scans one `thread::scope(...)` argument region for spawned closure
+/// literals and flags panicking calls inside their bodies.
+fn scan_scope_region(f: &File, start: usize, end: usize, findings: &mut Vec<Finding>) {
+    for k in start..end {
+        if !(f.t(k) == "spawn" && f.t(k + 1) == "(") {
+            continue;
+        }
+        let Some(spawn_close) = f.matching_close(k + 1) else {
+            continue;
+        };
+        let mut j = k + 2;
+        if f.t(j) == "move" {
+            j += 1;
+        }
+        if f.t(j) != "|" {
+            continue; // not a closure literal: out of lexical reach
+        }
+        let Some(params_close) = closing_pipe(f, j + 1, spawn_close) else {
+            continue;
+        };
+        // Braced body → to its matching brace; expression body → to the
+        // token closing the spawn call.
+        let body_start = params_close + 1;
+        let body_end = if f.t(body_start) == "{" {
+            f.matching_close(body_start).unwrap_or(spawn_close)
+        } else {
+            spawn_close
+        };
+        flag_panics(f, body_start, body_end, findings);
+    }
+}
+
+/// Finds the `|` closing a closure parameter list opened just before
+/// `start`, scanning no further than `limit`.
+fn closing_pipe(f: &File, start: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in start..limit {
+        match f.t(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "|" if depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn flag_panics(f: &File, start: usize, end: usize, findings: &mut Vec<Finding>) {
+    for k in start..end {
+        let t = f.t(k);
+        if f.t(k - 1) == "." && PANIC_METHODS.contains(&t) && f.t(k + 1) == "(" {
+            findings.push(f.finding(
+                f.line(k),
+                Rule::PanicInWorker,
+                format!(
+                    "`.{t}()` inside a thread::scope worker closure: a worker panic \
+                     deadlocks or poisons the build — propagate through the poison / \
+                     refusal path instead"
+                ),
+            ));
+        }
+        if PANIC_MACROS.contains(&t) && f.t(k + 1) == "!" && (k == 0 || f.t(k - 1) != ".") {
+            findings.push(f.finding(
+                f.line(k),
+                Rule::PanicInWorker,
+                format!(
+                    "`{t}!` inside a thread::scope worker closure: a worker panic \
+                     deadlocks or poisons the build — propagate through the poison / \
+                     refusal path instead"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: gate-registry (per-file half)
+// ---------------------------------------------------------------------
+
+/// Flags direct environment reads outside the audited gates module.
+/// The registry-vs-README cross-check is workspace-level and lives in
+/// the driver ([`crate::driver`]).
+fn gate_registry(f: &File, findings: &mut Vec<Finding>) {
+    if f.path.ends_with(GATES_MODULE) {
+        return;
+    }
+    let n = f.code.len();
+    for k in 0..n {
+        if f.seq(k, &["env", ":", ":"])
+            && matches!(f.t(k + 3), "var" | "var_os" | "vars" | "vars_os")
+        {
+            findings.push(f.finding(
+                f.line(k),
+                Rule::GateRegistry,
+                format!(
+                    "direct `env::{}` read outside `pp_petri::gates`: declare the knob \
+                     in the gate registry and read it via `gates::read` so the README \
+                     gate table stays complete",
+                    f.t(k + 3),
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: relaxed-ordering-audit
+// ---------------------------------------------------------------------
+
+/// Flags `Ordering::Relaxed` uses without a `// relaxed:` justification
+/// in the same statement's comment trail (a comment between the
+/// previous statement boundary and the use, or trailing on the same
+/// line).
+fn relaxed_ordering_audit(f: &File, findings: &mut Vec<Finding>) {
+    for k in 0..f.code.len() {
+        if !f.seq(k, &["Ordering", ":", ":", "Relaxed"]) {
+            continue;
+        }
+        let raw = f.code[k];
+        if has_relaxed_comment(f, raw) {
+            continue;
+        }
+        findings.push(
+            f.finding(
+                f.line(k),
+                Rule::RelaxedOrderingAudit,
+                "`Ordering::Relaxed` without a `// relaxed:` justification: state why no \
+             cross-thread ordering is needed (or pick a stronger ordering)"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+/// Searches backwards from raw token index `raw` to the previous
+/// statement boundary (`;`, `{`, `}`), and forwards to the end of the
+/// use's line, for a comment containing `relaxed:`.
+fn has_relaxed_comment(f: &File, raw: usize) -> bool {
+    for tok in f.tokens[..raw].iter().rev() {
+        if matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            if tok.text(f.src).contains("relaxed:") {
+                return true;
+            }
+            continue;
+        }
+        if !tok.is_trivia() && matches!(tok.text(f.src), ";" | "{" | "}") {
+            break;
+        }
+    }
+    let line = f.tokens[raw].line;
+    f.tokens[raw..]
+        .iter()
+        .take_while(|t| t.line == line)
+        .any(|t| {
+            matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && t.text(f.src).contains("relaxed:")
+        })
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: exact-wrap
+// ---------------------------------------------------------------------
+
+/// Flags `wrapping_add`/`wrapping_sub` in `packed.rs` outside functions
+/// whose doc comment cites the width-bound invariant with `EXACT:`.
+///
+/// The packed row representation is only exact because every
+/// materialisable count is bounded below the cell max; a wrapping op in
+/// a function that does not spell that argument out is a lane-overflow
+/// bug waiting to happen. Closures count as part of their enclosing
+/// function.
+fn exact_wrap(f: &File, findings: &mut Vec<Finding>) {
+    let fns = collect_fn_regions(f);
+    for k in 0..f.code.len() {
+        let t = f.t(k);
+        if !(matches!(t, "wrapping_add" | "wrapping_sub") && f.t(k + 1) == "(") {
+            continue;
+        }
+        let raw = f.code[k];
+        let exact = fns
+            .iter()
+            .filter(|r| r.body_raw.contains(&raw))
+            .min_by_key(|r| r.body_raw.len())
+            .is_some_and(|r| r.has_exact_doc);
+        if !exact {
+            findings.push(f.finding(
+                f.line(k),
+                Rule::ExactWrap,
+                format!(
+                    "`{t}` outside an `EXACT:`-documented function: wrapping word \
+                     arithmetic on packed rows is only sound under the width-bound \
+                     invariant — cite it (`/// EXACT: …`) on the enclosing function"
+                ),
+            ));
+        }
+    }
+}
+
+/// One `fn` with its body's raw-token range and doc-comment verdict.
+struct FnRegion {
+    body_raw: std::ops::Range<usize>,
+    has_exact_doc: bool,
+}
+
+fn collect_fn_regions(f: &File) -> Vec<FnRegion> {
+    let mut regions = Vec::new();
+    for k in 0..f.code.len() {
+        if f.t(k) != "fn" || f.kind(k + 1) != Some(TokenKind::Ident) {
+            continue;
+        }
+        // The body opens at the first `{` at zero paren depth after the
+        // signature (angle depth ignored: const-generic braces in
+        // signatures do not occur in this workspace).
+        let mut paren = 0i32;
+        let mut open = None;
+        for j in k + 1..f.code.len() {
+            match f.t(j) {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" if paren == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if paren == 0 => break, // trait method without body
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = f.matching_close(open) else {
+            continue;
+        };
+        regions.push(FnRegion {
+            body_raw: f.code[open]..f.code[close],
+            has_exact_doc: fn_doc_has_exact(f, f.code[k]),
+        });
+    }
+    regions
+}
+
+/// Walks backwards from the raw index of a `fn` keyword over its
+/// visibility/attribute prelude and reports whether the doc-comment
+/// block directly above cites `EXACT:`.
+fn fn_doc_has_exact(f: &File, fn_raw: usize) -> bool {
+    let mut saw_doc_exact = false;
+    let mut i = fn_raw;
+    while i > 0 {
+        i -= 1;
+        let tok = &f.tokens[i];
+        if tok.kind == TokenKind::Whitespace {
+            continue;
+        }
+        if matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            let text = tok.text(f.src);
+            if (text.starts_with("///") || text.starts_with("/**")) && text.contains("EXACT:") {
+                saw_doc_exact = true;
+            }
+            continue;
+        }
+        let text = tok.text(f.src);
+        let prelude_word = matches!(
+            text,
+            "pub" | "const" | "unsafe" | "async" | "extern" | "crate" | "super" | "self" | "in"
+        );
+        let prelude_punct = matches!(text, "#" | "[" | "]" | "(" | ")");
+        let prelude_attr = matches!(tok.kind, TokenKind::Str | TokenKind::Ident) && {
+            // idents inside `#[...]` attributes or `extern "C"`.
+            prelude_word || attr_context(f, i)
+        };
+        if prelude_word || prelude_punct || prelude_attr {
+            continue;
+        }
+        break;
+    }
+    saw_doc_exact
+}
+
+/// Whether raw token `i` sits inside a `#[...]` attribute (scans back
+/// for an unmatched `[` preceded by `#` within the same prelude).
+fn attr_context(f: &File, i: usize) -> bool {
+    let mut depth = 0i32;
+    for j in (0..i).rev() {
+        let tok = &f.tokens[j];
+        if tok.is_trivia() {
+            continue;
+        }
+        match tok.text(f.src) {
+            "]" => depth += 1,
+            "[" => {
+                if depth == 0 {
+                    return f.tokens[..j]
+                        .iter()
+                        .rev()
+                        .find(|t| !t.is_trivia())
+                        .is_some_and(|t| t.text(f.src) == "#");
+                }
+                depth -= 1;
+            }
+            ";" | "}" => return false,
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,121 @@
+//! Property tests for the lexer's two load-bearing guarantees: it never
+//! panics on arbitrary bytes, and its tokens tile the input exactly
+//! (concatenating every token's text reproduces the byte string). Plus
+//! deterministic boundary cases for the constructs where naive lexers
+//! misfire.
+
+use pp_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+fn assert_round_trip(bytes: &[u8]) {
+    let tokens = lex(bytes);
+    let mut rebuilt = Vec::with_capacity(bytes.len());
+    let mut pos = 0usize;
+    for tok in &tokens {
+        assert_eq!(tok.start, pos, "tokens must tile without gaps");
+        assert!(tok.end > tok.start, "tokens must be non-empty");
+        rebuilt.extend_from_slice(tok.bytes(bytes));
+        pos = tok.end;
+    }
+    assert_eq!(pos, bytes.len(), "tokens must cover the whole input");
+    assert_eq!(rebuilt, bytes, "concatenated tokens must rebuild the input");
+}
+
+proptest! {
+    // Arbitrary bytes: most are not valid UTF-8, none are valid Rust.
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        assert_round_trip(&bytes);
+    }
+
+    // Bias towards the bytes that drive the lexer's state machine, so
+    // quote/fence/escape interactions are hit constantly rather than
+    // once in 256^n.
+    #[test]
+    fn lexer_total_on_delimiter_soup(picks in proptest::collection::vec(0usize..16, 0..256)) {
+        const ALPHABET: &[u8] = b"\"'/*#rb\\\n x0|({";
+        let bytes: Vec<u8> = picks.iter().map(|&i| ALPHABET[i.min(ALPHABET.len() - 1)]).collect();
+        assert_round_trip(&bytes);
+    }
+}
+
+#[test]
+fn boundary_nested_closures() {
+    let src = b"scope.spawn(move || loop { f(|x| g(|| x + 1)); })";
+    assert_round_trip(src);
+    let idents: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(
+        idents,
+        vec!["scope", "spawn", "move", "loop", "f", "x", "g", "x"]
+    );
+}
+
+#[test]
+fn boundary_raw_strings_and_comments_hide_code() {
+    let src = br###"let s = r#"a.unwrap( "#; // then .unwrap( in a comment
+    /* and /* nested */ .unwrap( too */ done"###;
+    assert_round_trip(src);
+    let tokens = lex(src);
+    assert!(
+        !tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"),
+        "every `unwrap(` here is inside a literal or comment"
+    );
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text(src) == "done"));
+}
+
+#[test]
+fn boundary_char_lifetime_and_byte_literals() {
+    let src = b"'a' b'\\'' 'static '_ b\"bytes\" br##\"raw\"##";
+    assert_round_trip(src);
+    let kinds: Vec<TokenKind> = lex(src)
+        .into_iter()
+        .filter(|t| !t.is_trivia())
+        .map(|t| t.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Char,
+            TokenKind::Char,
+            TokenKind::Lifetime,
+            TokenKind::Lifetime,
+            TokenKind::Str,
+            TokenKind::RawStr,
+        ]
+    );
+}
+
+#[test]
+fn boundary_unterminated_literals_reach_eof_without_panic() {
+    for src in [
+        &b"let s = \"never closed"[..],
+        b"let s = r#\"never closed",
+        b"/* never closed",
+        b"let c = '",
+        b"r#",
+        b"b",
+        b"br#####",
+    ] {
+        assert_round_trip(src);
+    }
+}
+
+#[test]
+fn boundary_numbers_do_not_eat_ranges_or_fields() {
+    let src = b"1..4 x.0 1.5e3 0xFF_u64";
+    assert_round_trip(src);
+    let nums: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(nums, vec!["1", "4", "0", "1.5e3", "0xFF_u64"]);
+}

@@ -1,0 +1,45 @@
+//! The workspace must lint clean — zero unjustified findings — as a
+//! tier-1 test, so a rule violation (or a doc/registry drift) fails
+//! `cargo test -q` everywhere, not just the dedicated CI job.
+
+use pp_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unjustified_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = lint_workspace(&root).expect("workspace must be readable");
+    assert!(
+        findings.is_empty(),
+        "pp_lint found {} unjustified finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: {}: {}", f.file, f.line, f.rule.name(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_sees_the_engine() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let files = pp_lint::count_files(&root).expect("walk");
+    assert!(
+        files >= 60,
+        "the walk must cover the whole workspace, saw only {files} files"
+    );
+}

@@ -751,6 +751,9 @@ fn run_round<P: Clone + Ord + Send + Sync>(
     }
     let cursor = AtomicUsize::new(0);
     let work = || loop {
+        // relaxed: pure work-claiming counter — atomicity alone keeps the
+        // claims disjoint, and jobs are independent, so no claim order
+        // needs to be observed by anyone.
         let k = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(&j) = to_run.get(k) else { break };
         run_one(&jobs[j], &mut states[j].lock().expect("job state"));

@@ -592,9 +592,13 @@ fn expand_level_chunks(
     frozen: &ConfigArena,
     sharded: &ShardedArena,
 ) {
+    // relaxed: test-only fault flag, set before the build starts.
     let exhaust_faults = fault_injection::EXHAUST_SCRATCH_IDS.load(Ordering::Relaxed);
     let mut succ = Vec::new();
     loop {
+        // relaxed: pure work-claiming counter — the fetch_add's atomicity
+        // alone makes claims disjoint; chunk results are renumbered
+        // deterministically afterwards, so claim order carries no data.
         let chunk = job.next_chunk.fetch_add(1, Ordering::Relaxed);
         let start = chunk * job.chunk_size;
         if start >= job.count {
@@ -1037,6 +1041,8 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
 
         let transitions = &packed;
         let spawned = workers.saturating_sub(1);
+        // relaxed: test-only fault flags, set before the build starts; no
+        // ordering with any other memory is needed.
         let force_workers = fault_injection::PANIC_IN_WORKERS.load(Ordering::Relaxed)
             || fault_injection::EXHAUST_SCRATCH_IDS.load(Ordering::Relaxed);
         // Two barrier crossings hand each level off: workers park between
@@ -1078,16 +1084,29 @@ impl<P: Clone + Ord> ReachabilityGraph<P> {
                                 }
                                 let outcome =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        // relaxed: test-only fault flag, set
+                                        // before the build starts; no ordering
+                                        // with any other memory is needed.
                                         if fault_injection::PANIC_IN_WORKERS.load(Ordering::Relaxed)
                                         {
+                                            // pp-lint: allow(panic-in-worker) — the injected
+                                            // fault must be a genuine unwind so the catch +
+                                            // poison protocol below stays covered by tests.
                                             panic!("injected worker panic (fault_injection)");
                                         }
-                                        let frozen =
-                                            arena_slot.read().expect("arena lock poisoned");
-                                        let job = job_slot.read().expect("level job poisoned");
+                                        // A poisoned slot means another worker
+                                        // panicked mid-level: report instead of
+                                        // panicking so the main thread raises
+                                        // one poisoned-build error, not a pile.
+                                        let (Ok(frozen), Ok(job)) =
+                                            (arena_slot.read(), job_slot.read())
+                                        else {
+                                            return false;
+                                        };
                                         expand_level_chunks(&job, transitions, &frozen, &sharded);
+                                        true
                                     }));
-                                if outcome.is_err() {
+                                if !matches!(outcome, Ok(true)) {
                                     worker_panicked.store(true, Ordering::Release);
                                 }
                                 barrier.wait();

@@ -143,6 +143,11 @@ impl CellWidth {
 /// `d`'s: if the top bits of `x` and `y` differ, `y`'s decides; if they
 /// agree, the comparison reduces to the low bits, whose borrow shows up
 /// as a cleared top bit in `d`.
+///
+/// EXACT: the forced MSB on the left operand and cleared MSB on the
+/// right bound each lane's subtraction away from a cross-lane borrow, so
+/// the single word-level `wrapping_sub` is exact lanewise for every cell
+/// width.
 #[inline]
 pub fn lanes_lt_mask(x: u64, y: u64, width: CellWidth) -> u64 {
     let h = width.msb_pattern();
@@ -453,8 +458,10 @@ impl PackedTransition {
     /// Fires on a packed row the caller has already checked enabled:
     /// `dst` is overwritten with `src − pre + post`.
     ///
-    /// The word-level wrapping arithmetic is exact lanewise — see the
-    /// module docs for why no borrow or carry can cross a lane boundary.
+    /// EXACT: the width rule bounds every materialisable count at the
+    /// layout's cell max, and enabledness bounds `pre` below each lane,
+    /// so the word-level wrapping arithmetic is exact lanewise — no
+    /// borrow or carry can cross a lane boundary (see the module docs).
     #[inline]
     pub fn fire_words(&self, src: &[u64], dst: &mut Vec<u64>) {
         debug_assert!(self.is_enabled_words(src));
@@ -473,6 +480,11 @@ impl PackedTransition {
     /// caller's cue to retry the whole saturation at the next wider
     /// layout (counts in backward candidates are not bounded by the
     /// forward reachability bound).
+    ///
+    /// EXACT: both wrapping steps are guarded lanewise — the subtraction
+    /// masks prospective underflows to zero first, the addition bails out
+    /// via the `lanes_lt_mask` overflow probe before wrapping — so
+    /// neither can cross a lane boundary.
     #[inline]
     pub fn backward_cover_words(&self, target: &[u64], dst: &mut Vec<u64>) -> bool {
         dst.clear();
@@ -499,9 +511,9 @@ static PACKED_OVERRIDE: AtomicBool = AtomicBool::new(true);
 static PACKED_INIT: OnceLock<bool> = OnceLock::new();
 
 fn packed_from_env() -> bool {
-    match std::env::var("PP_PETRI_PACKED") {
-        Ok(value) => from_env_value(&value),
-        Err(_) => true,
+    match crate::gates::read(crate::gates::PP_PETRI_PACKED) {
+        Some(value) => from_env_value(&value),
+        None => true,
     }
 }
 
@@ -521,9 +533,12 @@ fn from_env_value(value: &str) -> bool {
 pub fn packed_enabled() -> bool {
     let _ = PACKED_INIT.get_or_init(|| {
         let initial = packed_from_env();
+        // relaxed: standalone bool gate; OnceLock publishes the init and
+        // no other memory is ordered against the flag.
         PACKED_OVERRIDE.store(initial, Ordering::Relaxed);
         initial
     });
+    // relaxed: standalone bool gate read, see the store above.
     PACKED_OVERRIDE.load(Ordering::Relaxed)
 }
 
@@ -534,6 +549,8 @@ pub fn packed_enabled() -> bool {
 /// the graphs identical; tests must serialise around it.
 pub fn set_packed_enabled(enabled: bool) {
     let _ = PACKED_INIT.get_or_init(packed_from_env);
+    // relaxed: standalone bool gate; callers serialise around the flip
+    // (see GATE_TEST_LOCK), so no cross-thread ordering is implied here.
     PACKED_OVERRIDE.store(enabled, Ordering::Relaxed);
 }
 
@@ -585,6 +602,8 @@ mod tests {
         // Deterministic pseudo-random word pairs via a splitmix step.
         let mut state = 0x9e37_79b9_97f4_a7c5u64;
         let mut next = || {
+            // pp-lint: allow(exact-wrap) — splitmix mixer: wrap-around
+            // over the full u64 is the intended mixing arithmetic.
             state = state.wrapping_add(0x9e37_79b9_97f4_a7c5);
             let mut z = state;
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -48,8 +48,7 @@ impl Parallelism {
     /// integer falls back to hardware detection.
     #[must_use]
     pub fn auto() -> Self {
-        if let Some(parallelism) = std::env::var("PP_PETRI_THREADS")
-            .ok()
+        if let Some(parallelism) = crate::gates::read(crate::gates::PP_PETRI_THREADS)
             .and_then(|value| Self::from_env_value(&value))
         {
             return parallelism;
