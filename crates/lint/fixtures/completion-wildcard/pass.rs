@@ -1,0 +1,22 @@
+// Passes completion-wildcard: the Completion match enumerates every
+// variant (a new one breaks the build), and the wildcard on the
+// unrelated numeric match shows the rule's scope.
+
+enum Completion {
+    Complete,
+    ConfigBudget,
+    AgentCap,
+}
+
+fn refund(completion: &Completion, raw: u32) -> u32 {
+    let class = match raw {
+        0 => 0,
+        _ => 1,
+    };
+    class
+        + match completion {
+            Completion::Complete => 0,
+            Completion::ConfigBudget => 1,
+            Completion::AgentCap => 2,
+        }
+}

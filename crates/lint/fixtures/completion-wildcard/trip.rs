@@ -1,0 +1,16 @@
+// Trips completion-wildcard (linted as a determinism-critical module):
+// the `_` arm silently absorbs any Completion variant added later —
+// exactly how a new stop reason slipped past refund logic before.
+
+enum Completion {
+    Complete,
+    ConfigBudget,
+    AgentCap,
+}
+
+fn refund(completion: &Completion) -> u32 {
+    match completion {
+        Completion::ConfigBudget => 1,
+        _ => 0,
+    }
+}

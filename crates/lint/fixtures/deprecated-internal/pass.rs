@@ -1,0 +1,21 @@
+// Passes deprecated-internal: the deprecated shim may exist (and may
+// forward to the real constructor), but internal callers go straight
+// to the non-deprecated path.
+
+pub struct Oracle;
+
+impl Oracle {
+    #[deprecated(note = "use `Analysis::new(net).coverability(target).run()`")]
+    pub fn build(width: u32) -> Oracle {
+        Oracle::build_on(width)
+    }
+
+    fn build_on(width: u32) -> Oracle {
+        let _ = width;
+        Oracle
+    }
+}
+
+fn caller() -> Oracle {
+    Oracle::build_on(3)
+}

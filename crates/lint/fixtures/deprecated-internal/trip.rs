@@ -1,0 +1,17 @@
+// Trips deprecated-internal: workspace code calling a #[deprecated]
+// shim. The shims exist for external users mid-migration; internal
+// call sites must use the session API.
+
+pub struct Oracle;
+
+impl Oracle {
+    #[deprecated(note = "use `Analysis::new(net).coverability(target).run()`")]
+    pub fn build(width: u32) -> Oracle {
+        let _ = width;
+        Oracle
+    }
+}
+
+fn caller() -> Oracle {
+    Oracle::build(3)
+}

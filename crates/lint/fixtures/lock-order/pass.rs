@@ -1,0 +1,22 @@
+// Passes lock-order: every function that needs both locks takes them
+// in the same order (jobs before states), so the aggregated lock-order
+// graph is acyclic.
+
+struct Shared {
+    jobs: Mutex<Vec<u32>>,
+    states: Mutex<Vec<u32>>,
+}
+
+impl Shared {
+    fn forward(&self) {
+        let jobs = self.jobs.lock();
+        let states = self.states.lock();
+        drop((jobs, states));
+    }
+
+    fn drain(&self) {
+        let jobs = self.jobs.lock();
+        let states = self.states.lock();
+        drop((jobs, states));
+    }
+}

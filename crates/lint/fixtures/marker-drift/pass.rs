@@ -1,0 +1,14 @@
+// Passes marker-drift (linted as a determinism-critical module): the
+// marker still suppresses a live nondet-iteration finding, so it is
+// earning its keep.
+use std::collections::HashMap;
+
+fn total(map: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    // pp-lint: allow(nondet-iteration) — summing with `+` is commutative,
+    // so the traversal order cannot reach the result
+    for value in map.values() {
+        total += value;
+    }
+    total
+}

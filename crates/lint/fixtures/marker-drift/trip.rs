@@ -1,0 +1,8 @@
+// Trips marker-drift: the allow marker below suppresses nothing — the
+// hash traversal it once justified is long gone — so the suppression
+// itself is now the finding.
+
+fn tidy() -> u32 {
+    // pp-lint: allow(nondet-iteration) — this fold used to traverse a HashMap
+    42
+}

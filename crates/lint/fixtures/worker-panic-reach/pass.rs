@@ -1,0 +1,23 @@
+// Passes worker-panic-reach: the spawned worker only reaches
+// panic-free helpers, and the second spawn's panics are joined back to
+// the spawning thread (resume_unwind), which is the other sanctioned
+// containment protocol.
+
+fn safe(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn fan_out(scope: &Scope) {
+    scope.spawn(move || safe(None));
+}
+
+fn joined(scope: &Scope) -> u32 {
+    let handle = scope.spawn(|| fallible());
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+fn fallible() -> u32 {
+    panic!("propagated to the joining thread, never silently lost")
+}

@@ -1,0 +1,11 @@
+// Trips worker-panic-reach: the spawned closure itself is panic-free,
+// but a helper it calls unwraps — the lexical panic-in-worker rule
+// cannot see past the call, the interprocedural one can.
+
+fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn fan_out(scope: &Scope) {
+    scope.spawn(move || risky(None));
+}

@@ -1,4 +1,5 @@
-//! The workspace driver: file discovery, per-file linting, and the
+//! The workspace driver: file discovery, the rule pipeline with
+//! per-rule timing, suppression + marker-drift accounting, and the
 //! workspace-level gate-registry cross-check.
 //!
 //! The driver walks `crates/`, `tests/`, `examples/` and `src/` under
@@ -7,12 +8,22 @@
 //! rules), `target/` (build output), and `crates/lint/fixtures/` (the
 //! lint's own corpus of deliberately-tripping files). Discovery order
 //! is sorted, so output is byte-stable across filesystems.
+//!
+//! The pipeline ([`lint_files`]) runs in fixed phases: parse every file
+//! (lexer + item tree), build the workspace call graph, run each rule
+//! as a timed pass, then apply the allow markers — a marker suppresses
+//! its rule's findings at its effective line, and a marker that
+//! suppresses *nothing* becomes a `marker-drift` finding. The result is
+//! a [`Report`]: sorted findings plus the per-phase wall-time table the
+//! JSON schema exposes.
 
+use crate::graph::{ParsedFile, Workspace};
 use crate::lexer::{lex, TokenKind};
-use crate::rules::{lint_source, Finding, Rule, GATES_MODULE};
+use crate::rules::{self, Finding, Rule, GATES_MODULE};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Directories (workspace-relative) the driver scans for `.rs` files.
 pub const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples", "src"];
@@ -20,15 +31,37 @@ pub const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples", "src"];
 /// Workspace-relative path prefixes the driver never descends into.
 pub const SKIP_PREFIXES: &[&str] = &["vendor", "target", "crates/lint/fixtures"];
 
+/// Wall time and yield of one pipeline phase (a rule, or one of the
+/// `parse` / `call-graph` pseudo-phases).
+pub struct RuleTiming {
+    /// Phase name — a rule name, `"parse"`, or `"call-graph"`.
+    pub rule: &'static str,
+    /// Wall time of the phase, in microseconds.
+    pub wall_us: u64,
+    /// Findings the phase produced (pre-suppression).
+    pub findings: usize,
+}
+
+/// The result of one lint run: findings, per-phase timing, and totals.
+pub struct Report {
+    /// Unsuppressed findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Per-phase wall time, in pipeline order.
+    pub timings: Vec<RuleTiming>,
+    /// Number of files analysed.
+    pub files: usize,
+    /// Total wall time, in milliseconds.
+    pub wall_ms: u64,
+}
+
 /// Lints the whole workspace rooted at `root`: every discovered file
-/// plus the registry-vs-README cross-check. Findings are sorted by
-/// (path, line, rule).
+/// through [`lint_files`], plus the registry-vs-README cross-check.
 ///
 /// # Errors
 /// Propagates filesystem errors from the walk (an unreadable workspace
 /// must fail the check loudly, not pass it silently).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let t0 = Instant::now();
     let mut files = Vec::new();
     for scan in SCAN_ROOTS {
         let dir = root.join(scan);
@@ -37,14 +70,225 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         }
     }
     files.sort();
-    for file in &files {
-        let source = fs::read(root.join(file))?;
-        findings.extend(lint_source(file, &source));
+    let mut sources = Vec::with_capacity(files.len());
+    for file in files {
+        let source = fs::read(root.join(&file))?;
+        sources.push((file, source));
     }
-    findings.extend(cross_check_gates(root)?);
+    let mut report = lint_files(sources);
+    report.findings.extend(cross_check_gates(root)?);
+    report.findings.sort();
+    report.findings.dedup();
+    report.wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+    Ok(report)
+}
+
+/// Lints a set of in-memory files as one workspace: parse, call graph,
+/// every rule as a timed pass, then marker suppression and the
+/// `marker-drift` check. This is the whole pipeline minus file
+/// discovery — [`lint_workspace`] and `lint_source` both call it.
+#[must_use]
+pub fn lint_files(sources: Vec<(String, Vec<u8>)>) -> Report {
+    let t0 = Instant::now();
+    let mut timings = Vec::new();
+
+    let t = Instant::now();
+    let parsed: Vec<ParsedFile> = sources
+        .into_iter()
+        .map(|(path, src)| ParsedFile::new(path, src))
+        .collect();
+    timings.push(RuleTiming {
+        rule: "parse",
+        wall_us: phase_us(t),
+        findings: 0,
+    });
+
+    let t = Instant::now();
+    let ws = Workspace::build(parsed);
+    timings.push(RuleTiming {
+        rule: "call-graph",
+        wall_us: phase_us(t),
+        findings: 0,
+    });
+
+    // Allow markers (and their malformed cousins) per file.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<(usize, rules::Allow)> = Vec::new();
+    for (fi, pf) in ws.files.iter().enumerate() {
+        let view = rules::File::from_parsed(pf);
+        let (file_allows, bad) = rules::collect_allows(&view);
+        findings.extend(bad);
+        allows.extend(file_allows.into_iter().map(|a| (fi, a)));
+    }
+
+    // Per-file rules, rule-major so each rule's wall time is one row.
+    let mut run =
+        |rule: Rule, findings: &mut Vec<Finding>, pass: &mut dyn FnMut(&mut Vec<Finding>)| {
+            let before = findings.len();
+            let t = Instant::now();
+            pass(findings);
+            timings.push(RuleTiming {
+                rule: rule.name(),
+                wall_us: phase_us(t),
+                findings: findings.len() - before,
+            });
+        };
+    type PerFilePass = fn(&rules::File, &mut Vec<Finding>);
+    let per_file: &[(Rule, PerFilePass)] = &[
+        (Rule::NondetIteration, rules::nondet_iteration),
+        (Rule::PanicInWorker, rules::panic_in_worker),
+        (Rule::GateRegistry, rules::gate_registry),
+        (Rule::RelaxedOrderingAudit, rules::relaxed_ordering_audit),
+        (Rule::ExactWrap, rules::exact_wrap),
+    ];
+    for (rule, pass) in per_file {
+        run(*rule, &mut findings, &mut |out| {
+            for pf in &ws.files {
+                pass(&rules::File::from_parsed(pf), out);
+            }
+        });
+    }
+
+    // Workspace rules over the call graph. `worker-panic-reach` sees
+    // the lexical `panic-in-worker` findings so one marker covers a
+    // site both rules flag.
+    let prior = findings.clone();
+    run(Rule::WorkerPanicReach, &mut findings, &mut |out| {
+        rules::worker_panic_reach(&ws, &prior, out);
+    });
+    run(Rule::LockOrder, &mut findings, &mut |out| {
+        rules::lock_order(&ws, out);
+    });
+    run(Rule::DeprecatedInternal, &mut findings, &mut |out| {
+        rules::deprecated_internal(&ws, out);
+    });
+    run(Rule::CompletionWildcard, &mut findings, &mut |out| {
+        rules::completion_wildcard(&ws, out);
+    });
+
+    // Suppression: a marker eats its rule's findings at its effective
+    // line; `bad-allow` and `marker-drift` are unsuppressible. Usage is
+    // judged against pre-suppression findings, then unused markers
+    // become drift findings.
+    let t = Instant::now();
+    let mut used = vec![false; allows.len()];
+    findings.retain(|f| {
+        if matches!(f.rule, Rule::BadAllow | Rule::MarkerDrift) {
+            return true;
+        }
+        let mut suppressed = false;
+        for (i, (fi, a)) in allows.iter().enumerate() {
+            if a.rule == f.rule && a.effective_line == f.line && ws.files[*fi].path == f.file {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+    let before = findings.len();
+    for (i, (fi, a)) in allows.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding {
+                file: ws.files[*fi].path.clone(),
+                line: a.line,
+                rule: Rule::MarkerDrift,
+                message: format!(
+                    "stale `allow({})` marker: the rule no longer fires at this site \
+                     — delete the marker (suppressions must not rot)",
+                    a.rule.name()
+                ),
+            });
+        }
+    }
+    timings.push(RuleTiming {
+        rule: Rule::MarkerDrift.name(),
+        wall_us: phase_us(t),
+        findings: findings.len() - before,
+    });
+
     findings.sort();
     findings.dedup();
-    Ok(findings)
+    Report {
+        findings,
+        timings,
+        files: ws.files.len(),
+        wall_ms: u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX),
+    }
+}
+
+fn phase_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Serialises a [`Report`] as the versioned JSON document the CLI's
+/// `--format json` emits (`schema_version` 2):
+///
+/// ```json
+/// {
+///   "schema_version": 2,
+///   "files": 113,
+///   "wall_ms": 240,
+///   "rules": [ {"rule": "parse", "wall_us": 180000, "findings": 0}, … ],
+///   "findings": [ {"file": "…", "line": 7, "rule": "…", "message": "…"}, … ]
+/// }
+/// ```
+///
+/// One object per run (v1 emitted one object per finding); `rules`
+/// rows follow pipeline order and include the `parse` / `call-graph`
+/// pseudo-phases; finding counts in `rules` are pre-suppression.
+/// Hand-rolled — the workspace vendors no serde.
+#[must_use]
+pub fn report_json(report: &Report) -> String {
+    let mut out = String::from("{\"schema_version\":2");
+    out.push_str(&format!(",\"files\":{}", report.files));
+    out.push_str(&format!(",\"wall_ms\":{}", report.wall_ms));
+    out.push_str(",\"rules\":[");
+    for (i, t) in report.timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"wall_us\":{},\"findings\":{}}}",
+            json_string(t.rule),
+            t.wall_us,
+            t.findings
+        ));
+    }
+    out.push_str("],\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_string(&f.file),
+            f.line,
+            json_string(f.rule.name()),
+            json_string(&f.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The number of `.rs` files [`lint_workspace`] would scan — surfaced

@@ -12,8 +12,10 @@
 //! each fixed once cannot silently reappear.
 //!
 //! The pass is a workspace-aware driver ([`driver::lint_workspace`])
-//! over a hand-rolled total lexer ([`lexer`]) and a catalog of five
-//! rules ([`rules`]), with an inline justification marker
+//! over a hand-rolled total lexer ([`lexer`]), a brace-matched item
+//! tree ([`syntax`]), a conservative workspace call graph ([`graph`]),
+//! and a catalog of rules ([`rules`]), with an inline justification
+//! marker
 //! (`// pp-lint: allow(<rule>) — <reason>`) as the only suppression.
 //! No third-party dependencies, per the workspace's offline-vendor
 //! rule. Run it as:
@@ -31,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
-pub use driver::{count_files, lint_workspace};
+pub use driver::{count_files, lint_files, lint_workspace, report_json, Report, RuleTiming};
 pub use rules::{lint_source, Finding, Rule};

@@ -2,15 +2,33 @@
 //! unjustified finding.
 //!
 //! ```text
-//! pp_lint [--check] [--root <dir>] [--format text|json]
+//! pp_lint [--check] [--root <dir>] [--format text|json] [--explain <rule>]
 //! ```
 //!
 //! `--check` is the CI gate (and the default behaviour — the flag
 //! exists so the invocation documents its intent); `--root` overrides
 //! the workspace root (default: the enclosing workspace of this crate);
-//! `--format json` emits one JSON object per finding for tooling.
+//! `--explain <rule>` prints a rule's contract plus its fixture
+//! trip/pass pair and exits. `--format json` emits one versioned
+//! document per run:
+//!
+//! ```json
+//! {
+//!   "schema_version": 2,
+//!   "files": 113,
+//!   "wall_ms": 240,
+//!   "rules": [ {"rule": "parse", "wall_us": 180000, "findings": 0}, … ],
+//!   "findings": [ {"file": "…", "line": 7, "rule": "…", "message": "…"}, … ]
+//! }
+//! ```
+//!
+//! `rules` rows follow pipeline order (the `parse` and `call-graph`
+//! pseudo-phases first, then one row per rule; per-row `findings` are
+//! pre-suppression); `wall_ms` is the whole run, which CI asserts stays
+//! under its latency budget. Schema changes bump `schema_version`; the
+//! golden-file test (`tests/golden_json.rs`) pins the current shape.
 
-use pp_lint::{count_files, lint_workspace, Finding};
+use pp_lint::{lint_workspace, report_json, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,22 +48,26 @@ fn main() -> ExitCode {
                 Some("text") => format_json = false,
                 _ => return usage("--format takes `text` or `json`"),
             },
+            "--explain" => match args.next() {
+                Some(name) => return explain(&name),
+                None => return usage("--explain needs a rule name"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
     let root = root.unwrap_or_else(default_root);
 
-    let findings = match lint_workspace(&root) {
-        Ok(findings) => findings,
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
         Err(err) => {
             eprintln!("pp_lint: cannot lint {}: {err}", root.display());
             return ExitCode::from(2);
         }
     };
-    for finding in &findings {
-        if format_json {
-            println!("{}", to_json(finding));
-        } else {
+    if format_json {
+        println!("{}", report_json(&report));
+    } else {
+        for finding in &report.findings {
             println!(
                 "{}:{}: {}: {}",
                 finding.file,
@@ -55,12 +77,14 @@ fn main() -> ExitCode {
             );
         }
     }
-    if findings.is_empty() {
-        let files = count_files(&root).unwrap_or(0);
-        eprintln!("pp_lint: clean ({files} files)");
+    if report.findings.is_empty() {
+        eprintln!(
+            "pp_lint: clean ({} files, {} ms)",
+            report.files, report.wall_ms
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("pp_lint: {} finding(s)", findings.len());
+        eprintln!("pp_lint: {} finding(s)", report.findings.len());
         ExitCode::FAILURE
     }
 }
@@ -83,36 +107,51 @@ fn default_root() -> PathBuf {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("pp_lint: {problem}");
-    eprintln!("usage: pp_lint [--check] [--root <dir>] [--format text|json]");
+    eprintln!("usage: pp_lint [--check] [--root <dir>] [--format text|json] [--explain <rule>]");
     ExitCode::from(2)
 }
 
-/// Serialises one finding as a JSON object (hand-rolled — the workspace
-/// vendors no serde).
-fn to_json(finding: &Finding) -> String {
-    format!(
-        r#"{{"file":{},"line":{},"rule":{},"message":{}}}"#,
-        json_string(&finding.file),
-        finding.line,
-        json_string(finding.rule.name()),
-        json_string(&finding.message),
-    )
+/// `--explain <rule>`: the rule's contract plus its fixture trip/pass
+/// pair (compiled in, so the explanation can never drift from the
+/// corpus the tests assert on).
+fn explain(name: &str) -> ExitCode {
+    let Some(rule) = Rule::ALL.iter().copied().find(|r| r.name() == name) else {
+        eprintln!("pp_lint: unknown rule {name:?}; known rules:");
+        for r in Rule::ALL {
+            eprintln!("  {}", r.name());
+        }
+        return ExitCode::from(2);
+    };
+    println!("{name}\n{}\n", "=".repeat(name.len()));
+    println!("{}\n", rule.doc());
+    let (trip, pass) = fixture_pair(rule);
+    println!("--- trips the rule ---\n{trip}");
+    println!("--- passes ---\n{pass}");
+    ExitCode::SUCCESS
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// The compiled-in fixture corpus, keyed by rule. `bad-allow` lives in
+/// the `markers` fixture dir; `marker-drift` has its own.
+fn fixture_pair(rule: Rule) -> (&'static str, &'static str) {
+    macro_rules! pair {
+        ($dir:literal) => {
+            (
+                include_str!(concat!("../fixtures/", $dir, "/trip.rs")),
+                include_str!(concat!("../fixtures/", $dir, "/pass.rs")),
+            )
+        };
     }
-    out.push('"');
-    out
+    match rule {
+        Rule::NondetIteration => pair!("nondet-iteration"),
+        Rule::PanicInWorker => pair!("panic-in-worker"),
+        Rule::GateRegistry => pair!("gate-registry"),
+        Rule::RelaxedOrderingAudit => pair!("relaxed-ordering-audit"),
+        Rule::ExactWrap => pair!("exact-wrap"),
+        Rule::BadAllow => pair!("markers"),
+        Rule::WorkerPanicReach => pair!("worker-panic-reach"),
+        Rule::LockOrder => pair!("lock-order"),
+        Rule::DeprecatedInternal => pair!("deprecated-internal"),
+        Rule::CompletionWildcard => pair!("completion-wildcard"),
+        Rule::MarkerDrift => pair!("marker-drift"),
+    }
 }

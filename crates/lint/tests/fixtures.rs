@@ -45,6 +45,27 @@ const CASES: &[(&str, &str, Rule)] = &[
     ),
     ("exact-wrap", "crates/petri/src/packed.rs", Rule::ExactWrap),
     ("markers", "crates/petri/src/counters.rs", Rule::BadAllow),
+    (
+        "worker-panic-reach",
+        "crates/petri/src/worker.rs",
+        Rule::WorkerPanicReach,
+    ),
+    ("lock-order", "crates/petri/src/worker.rs", Rule::LockOrder),
+    (
+        "deprecated-internal",
+        "crates/petri/src/shims.rs",
+        Rule::DeprecatedInternal,
+    ),
+    (
+        "completion-wildcard",
+        "crates/petri/src/batch.rs",
+        Rule::CompletionWildcard,
+    ),
+    (
+        "marker-drift",
+        "crates/petri/src/explore.rs",
+        Rule::MarkerDrift,
+    ),
 ];
 
 #[test]

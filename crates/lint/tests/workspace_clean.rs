@@ -17,7 +17,8 @@ fn workspace_has_zero_unjustified_findings() {
         "workspace root not found at {}",
         root.display()
     );
-    let findings = lint_workspace(&root).expect("workspace must be readable");
+    let report = lint_workspace(&root).expect("workspace must be readable");
+    let findings = report.findings;
     assert!(
         findings.is_empty(),
         "pp_lint found {} unjustified finding(s):\n{}",

@@ -694,7 +694,13 @@ impl<P: Clone + Ord> JobState<P> {
                 }
                 0
             }
-            _ => {
+            // A raised budget cannot extend these: the run is done
+            // (`Complete`) or was cut by a cap budget tokens do not
+            // raise (`AgentCap`/`DepthCap`/`OmegaOverflow`).
+            Completion::Complete
+            | Completion::AgentCap
+            | Completion::DepthCap
+            | Completion::OmegaOverflow => {
                 self.settled = true;
                 match query {
                     // The forward search arena is not exposed, so the

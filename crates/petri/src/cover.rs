@@ -545,15 +545,50 @@ pub fn covering_word_in_graph<P: Clone + Ord>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated one-shot constructors stay covered here on purpose:
-    // they are shims over the session path and must keep behaving.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::session::Analysis;
     use crate::Transition;
 
     fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
         Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    /// One-shot oracle through the session API — what the deprecated
+    /// `CoverabilityOracle::build` shim forwards external callers to.
+    fn oracle(
+        net: &PetriNet<&'static str>,
+        target: Multiset<&'static str>,
+    ) -> CoverabilityOracle<&'static str> {
+        Analysis::new(net)
+            .coverability(target)
+            .run()
+            .as_ref()
+            .clone()
+    }
+
+    /// One-shot budgeted covering-word search through the session API —
+    /// what the deprecated `covering_word` shim forwards to.
+    fn word_outcome(
+        net: &PetriNet<&'static str>,
+        from: &Multiset<&'static str>,
+        target: &Multiset<&'static str>,
+        limits: &ExplorationLimits,
+    ) -> CoveringWordOutcome {
+        Analysis::new(net)
+            .covering_word(from.clone(), target.clone())
+            .limits(*limits)
+            .run()
+    }
+
+    /// The word alone — what the deprecated `shortest_covering_word`
+    /// shim forwards to.
+    fn shortest_word(
+        net: &PetriNet<&'static str>,
+        from: &Multiset<&'static str>,
+        target: &Multiset<&'static str>,
+        limits: &ExplorationLimits,
+    ) -> Option<Vec<usize>> {
+        word_outcome(net, from, target, limits).into_word()
     }
 
     /// The Petri net of Example 4.2 of the paper (6 places, width 2).
@@ -572,7 +607,7 @@ mod tests {
     #[test]
     fn backward_oracle_simple_net() {
         let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
-        let oracle = CoverabilityOracle::build(&net, ms(&[("b", 2)]));
+        let oracle = oracle(&net, ms(&[("b", 2)]));
         // Minimal configurations covering 2b: {2b}, {b + 2a}, {3a}.
         assert!(oracle.is_coverable_from(&ms(&[("a", 3)])));
         assert!(oracle.is_coverable_from(&ms(&[("a", 2), ("b", 1)])));
@@ -586,7 +621,7 @@ mod tests {
     #[test]
     fn oracle_handles_unreachable_targets() {
         let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
-        let oracle = CoverabilityOracle::build(&net, ms(&[("z", 1)]));
+        let oracle = oracle(&net, ms(&[("z", 1)]));
         // z is never produced: only configurations already containing z qualify.
         assert!(!oracle.is_coverable_from(&ms(&[("a", 100)])));
         assert!(oracle.is_coverable_from(&ms(&[("z", 1)])));
@@ -607,7 +642,7 @@ mod tests {
             ),
         ] {
             let backward = is_coverable(&net, &start, &target);
-            let forward = shortest_covering_word(&net, &start, &target, &limits).is_some();
+            let forward = shortest_word(&net, &start, &target, &limits).is_some();
             assert_eq!(
                 backward, forward,
                 "disagree on {start:?} covering {target:?}"
@@ -621,7 +656,7 @@ mod tests {
             Transition::pairwise("a", "a", "a", "b"),
             Transition::pairwise("a", "b", "b", "b"),
         ]);
-        let word = shortest_covering_word(
+        let word = shortest_word(
             &net,
             &ms(&[("a", 3)]),
             &ms(&[("b", 3)]),
@@ -636,14 +671,14 @@ mod tests {
     #[test]
     fn trivially_covered_target_needs_empty_word() {
         let net = PetriNet::new();
-        let word = shortest_covering_word(
+        let word = shortest_word(
             &net,
             &ms(&[("a", 1)]),
             &ms(&[("a", 1)]),
             &Default::default(),
         );
         assert_eq!(word, Some(Vec::new()));
-        let none = shortest_covering_word(
+        let none = shortest_word(
             &net,
             &ms(&[("a", 1)]),
             &ms(&[("b", 1)]),
@@ -661,7 +696,7 @@ mod tests {
             ms(&[("a", 1)]),
             ms(&[("a", 1), ("b", 1)]),
         )]);
-        let outcome = covering_word(
+        let outcome = word_outcome(
             &net,
             &ms(&[("a", 2), ("b", 1)]),
             &ms(&[("a", 1)]),
@@ -677,7 +712,7 @@ mod tests {
         // successor covers the target. The cover check needs no interning,
         // so the word must be found, not reported as truncated.
         let net = PetriNet::from_transitions([Transition::new(ms(&[("a", 1)]), ms(&[("b", 1)]))]);
-        let outcome = covering_word(
+        let outcome = word_outcome(
             &net,
             &ms(&[("a", 1)]),
             &ms(&[("b", 1)]),
@@ -691,7 +726,7 @@ mod tests {
         // Bounded net, uncoverable target: the BFS drains and the negative
         // answer is exact.
         let net = PetriNet::from_transitions([Transition::pairwise("a", "a", "a", "b")]);
-        let outcome = covering_word(
+        let outcome = word_outcome(
             &net,
             &ms(&[("a", 2)]),
             &ms(&[("b", 2)]),
@@ -710,7 +745,7 @@ mod tests {
             ms(&[("a", 1)]),
             ms(&[("a", 1), ("b", 1)]),
         )]);
-        let outcome = covering_word(
+        let outcome = word_outcome(
             &net,
             &ms(&[("a", 1)]),
             &ms(&[("c", 1)]),
@@ -718,7 +753,7 @@ mod tests {
         );
         assert_eq!(outcome, CoveringWordOutcome::Truncated);
         // The agent budget is threaded through as well.
-        let outcome = covering_word(
+        let outcome = word_outcome(
             &net,
             &ms(&[("a", 1)]),
             &ms(&[("c", 1)]),
@@ -730,7 +765,7 @@ mod tests {
             max_depth: Some(3),
             ..Default::default()
         };
-        let outcome = covering_word(&net, &ms(&[("a", 1)]), &ms(&[("c", 1)]), &limits);
+        let outcome = word_outcome(&net, &ms(&[("a", 1)]), &ms(&[("c", 1)]), &limits);
         assert_eq!(outcome, CoveringWordOutcome::Truncated);
     }
 
@@ -739,9 +774,11 @@ mod tests {
         use crate::parallel::Parallelism;
         let net = example_4_2_net();
         for target in [ms(&[("p", 1)]), ms(&[("p", 2), ("q", 1)]), ms(&[("z", 1)])] {
-            let sequential = CoverabilityOracle::build(&net, target.clone());
-            let parallel =
-                CoverabilityOracle::build_with(&net, target.clone(), Parallelism::Parallel(3));
+            let sequential = oracle(&net, target.clone());
+            let parallel = Analysis::new(&net)
+                .coverability(target.clone())
+                .parallelism(Parallelism::Parallel(3))
+                .run();
             assert_eq!(
                 sequential.basis(),
                 parallel.basis(),
@@ -754,9 +791,12 @@ mod tests {
     fn covering_word_in_prebuilt_graph() {
         let net = example_4_2_net();
         let start = ms(&[("i", 2), ("i_bar", 2)]);
-        let graph = ReachabilityGraph::build(&net, [start.clone()], &Default::default());
-        let from = graph.initial_ids()[0];
-        let word = covering_word_in_graph(&graph, from, &ms(&[("q", 1)])).expect("coverable");
+        let word = Analysis::new(&net)
+            .covering_word(start.clone(), ms(&[("q", 1)]))
+            .in_reachability_graph()
+            .run()
+            .into_word()
+            .expect("coverable");
         let reached = net.fire_word(&start, &word).unwrap();
         assert!(ms(&[("q", 1)]).le(&reached));
     }
@@ -768,10 +808,10 @@ mod tests {
             ms(&[("a", 1)]),
             ms(&[("a", 1), ("b", 1)]),
         )]);
-        let oracle = CoverabilityOracle::build(&net, ms(&[("b", 5)]));
+        let oracle = oracle(&net, ms(&[("b", 5)]));
         assert!(oracle.is_coverable_from(&ms(&[("a", 1)])));
         assert!(!oracle.is_coverable_from(&ms(&[("b", 4)])));
-        let word = shortest_covering_word(
+        let word = shortest_word(
             &net,
             &ms(&[("a", 1)]),
             &ms(&[("b", 5)]),
@@ -779,5 +819,46 @@ mod tests {
         )
         .expect("coverable");
         assert_eq!(word.len(), 5);
+    }
+
+    /// The deprecated one-shot shims stay for external callers only;
+    /// this is the one place that still calls them, pinning that they
+    /// forward to the session path.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_one_shot_shims_forward_to_the_session_path() {
+        let net = example_4_2_net();
+        let target = ms(&[("p", 1)]);
+        let start = ms(&[("i", 2), ("i_bar", 2)]);
+        let limits = ExplorationLimits::default();
+
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = CoverabilityOracle::build(&net, target.clone());
+        assert_eq!(shim.basis(), oracle(&net, target.clone()).basis());
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = CoverabilityOracle::build_with(&net, target.clone(), Parallelism::Parallel(2));
+        assert_eq!(shim.basis(), oracle(&net, target.clone()).basis());
+
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = covering_word(&net, &start, &target, &limits);
+        assert_eq!(shim, word_outcome(&net, &start, &target, &limits));
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = shortest_covering_word(&net, &start, &target, &limits);
+        assert_eq!(shim, shortest_word(&net, &start, &target, &limits));
+
+        let graph = build_graph(&net, &start);
+        let from = graph.initial_ids()[0];
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = covering_word_in_graph(&graph, from, &target).expect("coverable");
+        let reached = net.fire_word(&start, &shim).unwrap();
+        assert!(target.le(&reached));
+    }
+
+    /// Session-built reachability graph for the in-graph shim test.
+    fn build_graph(
+        net: &PetriNet<&'static str>,
+        start: &Multiset<&'static str>,
+    ) -> Arc<ReachabilityGraph<&'static str>> {
+        Analysis::new(net).reachability([start.clone()]).run()
     }
 }

@@ -726,16 +726,38 @@ impl<P: Clone + Ord> KarpMillerTree<P> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated one-shot constructors stay covered here on purpose:
-    // they are shims over the session path and must keep behaving.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::cover::is_coverable;
+    use crate::session::Analysis;
     use crate::Transition;
 
     fn ms(pairs: &[(&'static str, u64)]) -> Multiset<&'static str> {
         Multiset::from_pairs(pairs.iter().copied())
+    }
+
+    /// One-shot sequential build through the session API — what the
+    /// deprecated `KarpMillerTree::build` shim forwards external
+    /// callers to.
+    fn build(
+        net: &PetriNet<&'static str>,
+        initial: &Multiset<&'static str>,
+        max_nodes: usize,
+    ) -> Arc<KarpMillerTree<&'static str>> {
+        build_with(net, initial, max_nodes, Parallelism::Sequential)
+    }
+
+    /// One-shot build through the session API at a chosen parallelism.
+    fn build_with(
+        net: &PetriNet<&'static str>,
+        initial: &Multiset<&'static str>,
+        max_nodes: usize,
+        parallelism: Parallelism,
+    ) -> Arc<KarpMillerTree<&'static str>> {
+        Analysis::new(net)
+            .karp_miller(initial.clone())
+            .max_nodes(max_nodes)
+            .parallelism(parallelism)
+            .run()
     }
 
     #[test]
@@ -744,7 +766,7 @@ mod tests {
             Transition::pairwise("a", "a", "a", "b"),
             Transition::pairwise("a", "b", "b", "b"),
         ]);
-        let tree = KarpMillerTree::build(&net, &ms(&[("a", 3)]), 10_000);
+        let tree = build(&net, &ms(&[("a", 3)]), 10_000);
         assert!(tree.is_complete());
         assert!(tree.is_bounded());
         assert!(tree.covers(&ms(&[("b", 3)])));
@@ -757,7 +779,7 @@ mod tests {
             ms(&[("a", 1)]),
             ms(&[("a", 1), ("b", 1)]),
         )]);
-        let tree = KarpMillerTree::build(&net, &ms(&[("a", 1)]), 10_000);
+        let tree = build(&net, &ms(&[("a", 1)]), 10_000);
         assert!(tree.is_complete());
         assert!(!tree.is_bounded());
         assert!(tree.place_is_bounded(&"a"));
@@ -779,7 +801,7 @@ mod tests {
             Transition::pairwise("q", "p_bar", "q", "p"),
         ]);
         let start = ms(&[("i", 2), ("i_bar", 2)]);
-        let tree = KarpMillerTree::build(&net, &start, 100_000);
+        let tree = build(&net, &start, 100_000);
         assert!(tree.is_complete());
         for target in [
             ms(&[("p", 1)]),
@@ -809,7 +831,7 @@ mod tests {
             Transition::new(ms(&[("b", 1)]), ms(&[("a", 1), ("c", 1)])),
         ]);
         let start = ms(&[("a", 1)]);
-        let tree = KarpMillerTree::build(&net, &start, 100);
+        let tree = build(&net, &start, 100);
         assert!(
             tree.is_complete(),
             "without full-ancestor acceleration the tree keeps growing"
@@ -851,14 +873,9 @@ mod tests {
         for net in &nets {
             for agents in [1u64, 3, 6] {
                 let start = ms(&[("a", agents)]);
-                let sequential = KarpMillerTree::build(net, &start, 10_000);
+                let sequential = build(net, &start, 10_000);
                 for workers in [1usize, 2, 4] {
-                    let parallel = KarpMillerTree::build_with(
-                        net,
-                        &start,
-                        10_000,
-                        Parallelism::Parallel(workers),
-                    );
+                    let parallel = build_with(net, &start, 10_000, Parallelism::Parallel(workers));
                     assert_eq!(sequential.markings(), parallel.markings());
                     assert_eq!(sequential.is_complete(), parallel.is_complete());
                 }
@@ -897,7 +914,7 @@ mod tests {
             ms(&[("a", 1)]),
             ms(&[("a", 1), ("b", 1)]),
         )]);
-        let tree = KarpMillerTree::build(&net, &ms(&[("a", 1)]), 1);
+        let tree = build(&net, &ms(&[("a", 1)]), 1);
         assert!(!tree.is_complete());
     }
 
@@ -1008,9 +1025,9 @@ mod tests {
         )]);
         let start = ms(&[("x", 2)]);
         crate::packed::set_packed_enabled(true);
-        let packed = KarpMillerTree::build(&net, &start, 10_000);
+        let packed = build(&net, &start, 10_000);
         crate::packed::set_packed_enabled(false);
-        let unpacked = KarpMillerTree::build(&net, &start, 10_000);
+        let unpacked = build(&net, &start, 10_000);
         crate::packed::set_packed_enabled(was);
         assert_eq!(packed.markings(), unpacked.markings());
         assert_eq!(packed.completion(), unpacked.completion());
@@ -1030,9 +1047,30 @@ mod tests {
             ms(&[("x", 1)]),
             ms(&[("y", 1), ("z", huge)]),
         )]);
-        let tree = KarpMillerTree::build(&net, &ms(&[("x", 2)]), 10_000);
+        let tree = build(&net, &ms(&[("x", 2)]), 10_000);
         assert!(!tree.is_complete());
         assert!(tree.covers(&ms(&[("z", huge)])));
         assert!(!tree.covers(&ms(&[("y", 2)])));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_one_shot_shims_forward_to_the_session_path() {
+        let net = PetriNet::from_transitions([
+            Transition::new(ms(&[("x", 1)]), ms(&[("y", 1)])),
+            Transition::new(ms(&[("y", 1)]), ms(&[("x", 1), ("z", 1)])),
+        ]);
+        let start = ms(&[("x", 1)]);
+        let session = build(&net, &start, 10_000);
+
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = KarpMillerTree::build(&net, &start, 10_000);
+        assert_eq!(shim.markings(), session.markings());
+        assert_eq!(shim.completion(), session.completion());
+
+        // pp-lint: allow(deprecated-internal) — the shim's forwarding is itself under test
+        let shim = KarpMillerTree::build_with(&net, &start, 10_000, Parallelism::Parallel(2));
+        assert_eq!(shim.markings(), session.markings());
+        assert_eq!(shim.completion(), session.completion());
     }
 }
