@@ -1,7 +1,7 @@
 //! The multi-protocol batch service layer (`pp_core::batch`).
 //!
 //! The serving story of this workspace stacks three layers: the dense
-//! engine runs one fixpoint fast, the [`Analysis`](pp_petri::Analysis)
+//! engine runs one fixpoint fast, the [`Analysis`]
 //! session runs many queries on one compiled net, and this module runs
 //! **fleets of protocols** — the shape of a production front door that
 //! receives heterogeneous analysis requests and answers them under one
@@ -42,8 +42,8 @@
 //! through the same net-level scheduler.
 
 use pp_multiset::Multiset;
-use pp_petri::batch::{Batch, BatchJob};
-use pp_petri::{ExplorationLimits, Parallelism};
+use pp_petri::batch::{Batch, BatchJob, CancelToken};
+use pp_petri::{Analysis, ExplorationLimits, Parallelism};
 use pp_population::{Protocol, StateId};
 
 pub use pp_petri::batch::{BatchOutcome, BatchQuery, JobReport, PoolReport};
@@ -57,7 +57,7 @@ pub type BatchReport = pp_petri::batch::BatchReport<StateId>;
 /// A batch of analysis jobs over population protocols.
 ///
 /// See the [module documentation](self); every method mirrors a query
-/// shape of the underlying [`Analysis`](pp_petri::Analysis) session, and
+/// shape of the underlying [`Analysis`] session, and
 /// [`run`](Self::run) hands the assembled jobs to the net-level
 /// scheduler.
 #[derive(Clone, Default)]
@@ -65,6 +65,7 @@ pub type BatchReport = pp_petri::batch::BatchReport<StateId>;
 pub struct ProtocolBatch {
     inner: Batch<StateId>,
     limits: ExplorationLimits,
+    cancel: Option<CancelToken>,
 }
 
 impl ProtocolBatch {
@@ -74,6 +75,7 @@ impl ProtocolBatch {
         ProtocolBatch {
             inner: Batch::new(),
             limits: ExplorationLimits::default(),
+            cancel: None,
         }
     }
 
@@ -96,6 +98,25 @@ impl ProtocolBatch {
     /// across all modes.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.inner = self.inner.parallelism(parallelism);
+        self
+    }
+
+    /// Seeds the batch with an existing [`Analysis`] session: jobs whose
+    /// net equals the session's reuse its compiled engine and cached
+    /// results instead of recompiling (see [`Batch::seed_session`]).
+    /// This is how a long-lived service — `pp_serve` is the worked
+    /// example — keeps protocol analyses hot across requests.
+    pub fn seed_session(mut self, session: &Analysis<StateId>) -> Self {
+        self.inner = self.inner.seed_session(session);
+        self
+    }
+
+    /// Attaches a cancellation token to jobs added *after* this call
+    /// (mirroring the [`limits`](Self::limits) convention): cancelling
+    /// the token abandons those jobs at the next round barrier, with
+    /// their unused pool tokens refunded (see [`BatchJob::cancel_token`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -180,7 +201,10 @@ impl ProtocolBatch {
     where
         F: FnOnce(pp_petri::PetriNet<StateId>, String, ExplorationLimits) -> BatchJob<StateId>,
     {
-        let job = build(protocol.net().clone(), name, self.limits);
+        let mut job = build(protocol.net().clone(), name, self.limits);
+        if let Some(token) = &self.cancel {
+            job = job.cancel_token(token.clone());
+        }
         self.inner = self.inner.job(job);
         self
     }
@@ -216,6 +240,42 @@ mod tests {
         assert!(reach.outcome.as_reachability().unwrap().len() > 1);
         let km = report.job("example-4.2(n=1)/km[2]").unwrap();
         assert!(km.outcome.as_karp_miller().unwrap().place_is_bounded(&i));
+    }
+
+    #[test]
+    fn seeded_sessions_share_their_compiled_engine_and_cached_results() {
+        use pp_petri::Analysis;
+        let protocol = example_4_2(1);
+        let initial = protocol.initial_config_with_count(3);
+        // A long-lived session that has already served the same query.
+        let mut session = Analysis::new(protocol.net());
+        let warm = session.reachability([initial.clone()]).run();
+        let report = ProtocolBatch::new()
+            .seed_session(&session)
+            .reachability(&protocol, 3)
+            .run();
+        assert_eq!(
+            report.compile_cache_hits, 1,
+            "the seed's compiled engine serves the job"
+        );
+        let job = &report.jobs[0];
+        assert!(job.shared_compile, "no fresh compile behind a live seed");
+        assert!(job.outcome.as_reachability().unwrap().identical_to(&warm));
+    }
+
+    #[test]
+    fn cancel_tokens_pass_through_to_subsequent_jobs_only() {
+        let protocol = example_4_2(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = ProtocolBatch::new()
+            .reachability(&protocol, 2)
+            .cancel_token(token)
+            .reachability(&protocol, 3)
+            .run();
+        assert!(!report.jobs[0].cancelled, "added before the token");
+        assert!(report.jobs[1].cancelled, "added after the token");
+        assert!(report.jobs[0].outcome.as_reachability().unwrap().len() > 1);
     }
 
     #[test]

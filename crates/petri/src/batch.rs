@@ -87,6 +87,34 @@
 //! identical across all runner modes — the engines are deterministic and
 //! rounds are barriers — so, as everywhere in this crate, parallelism is
 //! purely a speed knob.
+//!
+//! # Cancellation and orphaned jobs
+//!
+//! Serving-shaped consumers have clients that vanish mid-job. A job built
+//! with [`BatchJob::cancel_token`] can be abandoned through its
+//! [`CancelToken`] at any time; the scheduler *observes* the token only at
+//! round barriers, so cancellation never perturbs a run in flight:
+//!
+//! * a job cancelled before its first run executes once at a **zero**
+//!   grant (so it still reports an outcome — bit-identical to a solo run
+//!   at budget 0) and takes nothing from the pool;
+//! * a job cancelled after a run keeps its last result and settles
+//!   immediately, refunding `granted − used` tokens to the pool exactly
+//!   like a completed job — the refund is redistributed to still-running
+//!   jobs in the same round.
+//!
+//! Either way the orphan's [`JobReport`] carries
+//! [`cancelled`](JobReport::cancelled)` = true` and its outcome remains
+//! bit-identical to a solo run at its reported
+//! [`final_limits`](JobReport::final_limits): cancellation changes *when a
+//! job stops asking for tokens*, never what any budget produces.
+//! Cancelled jobs are excluded from unpooled result aliasing so an
+//! abandoned job can never speak for a live one.
+//!
+//! [`Batch::on_round`] registers a barrier-synchronous observer (called on
+//! the scheduler thread after each round's settlements) — the hook serving
+//! layers use to watch grant progress, and what makes mid-batch
+//! cancellation deterministically testable.
 
 use crate::cover::{CoverabilityOracle, CoveringWordOutcome};
 use crate::explore::{ExplorationLimits, ReachabilityGraph, MAX_GRAPH_CONFIGURATIONS};
@@ -95,9 +123,39 @@ use crate::parallel::Parallelism;
 use crate::session::{Analysis, Completion};
 use crate::PetriNet;
 use pp_multiset::Multiset;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A shared cancellation flag for one batch job.
+///
+/// Clone the token, hand one clone to [`BatchJob::cancel_token`] and keep
+/// the other; calling [`cancel`](Self::cancel) from any thread marks the
+/// job as orphaned. The scheduler observes the flag at round barriers
+/// only — see the [module documentation](self#cancellation-and-orphaned-jobs)
+/// for the exact settlement and refund contract.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the job as cancelled. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once [`cancel`](Self::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// The query shape of one batch job.
 ///
@@ -159,6 +217,10 @@ pub struct BatchJob<P: Ord> {
     /// runner). Defaults to [`Parallelism::Sequential`]; results are
     /// identical either way.
     pub exploration: Parallelism,
+    /// Cancellation flag, observed at round barriers (see
+    /// [`BatchJob::cancel_token`]). `None` means the job cannot be
+    /// orphaned.
+    pub cancel: Option<CancelToken>,
 }
 
 impl<P: Clone + Ord> BatchJob<P> {
@@ -170,6 +232,7 @@ impl<P: Clone + Ord> BatchJob<P> {
             query,
             limits: ExplorationLimits::default(),
             exploration: Parallelism::Sequential,
+            cancel: None,
         }
     }
 
@@ -225,6 +288,15 @@ impl<P: Clone + Ord> BatchJob<P> {
     #[must_use]
     pub fn exploration(mut self, exploration: Parallelism) -> Self {
         self.exploration = exploration;
+        self
+    }
+
+    /// Attaches a cancellation token: cancelling it abandons the job at
+    /// the next round barrier, refunding its unused pool tokens (see the
+    /// [module documentation](self#cancellation-and-orphaned-jobs)).
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -302,7 +374,7 @@ impl<P: Ord> BatchOutcome<P> {
 }
 
 /// The per-job slice of a [`BatchReport`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct JobReport<P: Ord> {
     /// The job's label, copied from [`BatchJob::name`].
     pub name: String,
@@ -330,6 +402,34 @@ pub struct JobReport<P: Ord> {
     pub rounds: u32,
     /// Wall-clock time spent running this job, summed over its rounds.
     pub elapsed: Duration,
+    /// `true` if the job was abandoned through its [`CancelToken`]. The
+    /// outcome is still bit-identical to a solo run at
+    /// [`final_limits`](Self::final_limits) — cancellation only stops the
+    /// job from receiving further tokens.
+    pub cancelled: bool,
+    /// The job's post-run session: it shares the compiled engine with
+    /// every other job of the group and caches this job's (possibly
+    /// truncated, hence *resumable*) result. Long-lived consumers store it
+    /// and hand it to a later [`Batch::seed_session`] so a follow-up job on
+    /// the same net resumes the cached result instead of re-exploring —
+    /// this is the server-side session-cache hook.
+    pub session: Analysis<P>,
+}
+
+impl<P: Ord + fmt::Debug> fmt::Debug for JobReport<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobReport")
+            .field("name", &self.name)
+            .field("completion", &self.completion)
+            .field("final_limits", &self.final_limits)
+            .field("explored", &self.explored)
+            .field("shared_compile", &self.shared_compile)
+            .field("result_cache_hit", &self.result_cache_hit)
+            .field("rounds", &self.rounds)
+            .field("elapsed", &self.elapsed)
+            .field("cancelled", &self.cancelled)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Budget-pool accounting of a pooled batch run.
@@ -393,6 +493,7 @@ pub struct Batch<P: Ord> {
     pool: Option<usize>,
     parallelism: Parallelism,
     seeds: Vec<Analysis<P>>,
+    on_round: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 impl<P: Clone + Ord> Default for Batch<P> {
@@ -409,6 +510,7 @@ impl<P: Clone + Ord> Batch<P> {
             pool: None,
             parallelism: Parallelism::Sequential,
             seeds: Vec::new(),
+            on_round: None,
         }
     }
 
@@ -445,6 +547,17 @@ impl<P: Clone + Ord> Batch<P> {
         self.seeds.push(session.clone());
         self
     }
+
+    /// Registers a barrier-synchronous round observer: `hook(round)` runs
+    /// on the scheduler thread after round `round` (1-based) has settled
+    /// its jobs, before the next round's grants are computed. The hook
+    /// observes, it cannot perturb results — grants depend only on
+    /// deterministic quantities, so anything it does (including cancelling
+    /// a token) takes effect at a well-defined barrier.
+    pub fn on_round(mut self, hook: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.on_round = Some(Arc::new(hook));
+        self
+    }
 }
 
 impl<P: Clone + Ord + Send + Sync> Batch<P> {
@@ -461,6 +574,7 @@ impl<P: Clone + Ord + Send + Sync> Batch<P> {
             pool,
             parallelism,
             seeds,
+            on_round,
         } = self;
 
         // ---- Dedup: group jobs by (net, extra places) -------------------
@@ -506,11 +620,17 @@ impl<P: Clone + Ord + Send + Sync> Batch<P> {
 
         // ---- Result aliasing (unpooled only): identical jobs share one
         // execution. With a pool, grants are per-job, so jobs stay apart.
+        // Cancellable jobs also stay apart: an orphaned job settling at a
+        // reduced budget must never speak for a live one.
         let mut rep_of: Vec<usize> = (0..jobs.len()).collect();
         if pool.is_none() {
             for index in 0..jobs.len() {
+                if jobs[index].cancel.is_some() {
+                    continue;
+                }
                 if let Some(rep) = (0..index).find(|&rep| {
                     rep_of[rep] == rep
+                        && jobs[rep].cancel.is_none()
                         && group_of[rep] == group_of[index]
                         && jobs[rep].query == jobs[index].query
                         && jobs[rep].limits == jobs[index].limits
@@ -536,6 +656,7 @@ impl<P: Clone + Ord + Send + Sync> Batch<P> {
                     refunded: 0,
                     completion: Completion::Complete,
                     outcome: None,
+                    cancelled: false,
                 })
             })
             .collect();
@@ -547,6 +668,29 @@ impl<P: Clone + Ord + Send + Sync> Batch<P> {
         let mut rounds = 0usize;
         loop {
             rounds += 1;
+            // Barrier-observe cancellations: an orphaned job that already
+            // ran settles now and refunds its unused grant (redistributed
+            // by this very round); one that never ran will run once at a
+            // zero grant so it still reports an outcome.
+            for &j in &representatives {
+                let mut state = states[j].lock().expect("job state");
+                let orphaned = jobs[j]
+                    .cancel
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled);
+                if state.settled || !orphaned {
+                    continue;
+                }
+                state.cancelled = true;
+                if state.outcome.is_some() {
+                    state.settled = true;
+                    let refund = state.abandon(&jobs[j].query);
+                    remaining += refund;
+                    refunded_total += refund;
+                } else {
+                    state.demand = 0;
+                }
+            }
             let to_run: Vec<usize> = if pool.is_none() {
                 // Unpooled: a single round at each job's own limits.
                 for &j in &representatives {
@@ -606,6 +750,9 @@ impl<P: Clone + Ord + Send + Sync> Batch<P> {
                 remaining += refund;
                 refunded_total += refund;
             }
+            if let Some(hook) = &on_round {
+                hook(rounds);
+            }
             if pool.is_none() {
                 break;
             }
@@ -646,6 +793,8 @@ impl<P: Clone + Ord + Send + Sync> Batch<P> {
                 } else {
                     state.elapsed
                 },
+                cancelled: state.cancelled,
+                session: state.session.clone(),
             });
         }
         let compile_cache_hits = shared_compile.iter().filter(|&&shared| shared).count();
@@ -679,6 +828,7 @@ struct JobState<P: Ord> {
     refunded: usize,
     completion: Completion,
     outcome: Option<BatchOutcome<P>>,
+    cancelled: bool,
 }
 
 impl<P: Clone + Ord> JobState<P> {
@@ -710,6 +860,21 @@ impl<P: Clone + Ord> JobState<P> {
                     BatchQuery::Coverability { .. } => 0,
                     _ => self.granted.saturating_sub(self.used),
                 }
+            }
+        };
+        self.refunded += refund;
+        refund
+    }
+
+    /// Settles an orphaned job that has already run: its last result
+    /// stands (bit-identical to a solo run at its last grant) and the
+    /// unused part of the grant goes back to the pool, under the same
+    /// per-shape accounting as a completed job.
+    fn abandon(&mut self, query: &BatchQuery<P>) -> usize {
+        let refund = match query {
+            BatchQuery::CoveringWord { .. } | BatchQuery::Coverability { .. } => 0,
+            BatchQuery::Reachability { .. } | BatchQuery::KarpMiller { .. } => {
+                self.granted.saturating_sub(self.used)
             }
         };
         self.refunded += refund;
@@ -1068,6 +1233,184 @@ mod tests {
                 _ => panic!("outcome shapes diverged for {}", s.name),
             }
         }
+    }
+
+    #[test]
+    fn cancelled_before_run_takes_nothing_and_redistributes() {
+        let net = doubling_net();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Batch::new()
+            .job(
+                BatchJob::reachability("orphan", net.clone(), [ms(&[("a", 8)])])
+                    .limits(ExplorationLimits::with_max_configurations(9))
+                    .cancel_token(token),
+            )
+            .job(
+                BatchJob::reachability("live", net.clone(), [ms(&[("a", 8)])])
+                    .limits(ExplorationLimits::with_max_configurations(9)),
+            )
+            .pool(9)
+            .run();
+        let orphan = report.job("orphan").unwrap();
+        assert!(orphan.cancelled);
+        assert_eq!(orphan.explored, 0);
+        assert_eq!(orphan.final_limits.max_configurations, 0);
+        assert_eq!(orphan.completion, Completion::ConfigBudget);
+        // The whole pool went to the live job, which completes.
+        let live = report.job("live").unwrap();
+        assert!(!live.cancelled);
+        assert!(live.completion.is_complete());
+        assert_eq!(live.final_limits.max_configurations, 9);
+        // Both outcomes are still bit-identical to solo runs at their
+        // reported final limits — the orphan's at budget zero.
+        for job in [orphan, live] {
+            let solo = Analysis::new(&net)
+                .reachability([ms(&[("a", 8)])])
+                .limits(job.final_limits)
+                .run();
+            assert!(
+                job.outcome.as_reachability().unwrap().identical_to(&solo),
+                "{} != solo",
+                job.name
+            );
+        }
+    }
+
+    #[test]
+    fn mid_batch_cancellation_stops_token_draw_deterministically() {
+        let net = doubling_net();
+        let start = ms(&[("a", 30)]); // 31 configurations when complete
+        let job = |name: &str, token: Option<CancelToken>| {
+            let job = BatchJob::reachability(name, net.clone(), [start.clone()])
+                .limits(ExplorationLimits::with_max_configurations(31));
+            match token {
+                Some(token) => job.cancel_token(token),
+                None => job,
+            }
+        };
+        let token = CancelToken::new();
+        let donor = BatchJob::reachability("donor", net.clone(), [ms(&[("a", 4)])])
+            .limits(ExplorationLimits::with_max_configurations(20));
+        let cancel_at_round_1 = {
+            let token = token.clone();
+            move |round: usize| {
+                if round == 1 {
+                    token.cancel();
+                }
+            }
+        };
+        // Round 1: fair share 30/3 = 10 each; the donor completes with 5
+        // stored configurations and refunds 5, while orphan and live are
+        // both budget-truncated at 10. The orphan is cancelled at the
+        // round-1 barrier, so round 2 hands the donor's refund to "live"
+        // alone (without the cancellation it would be split 3/2 between
+        // orphan and live).
+        let report = Batch::new()
+            .job(donor)
+            .job(job("orphan", Some(token)))
+            .job(job("live", None))
+            .pool(30)
+            .on_round(cancel_at_round_1)
+            .run();
+        let orphan = report.job("orphan").unwrap();
+        let live = report.job("live").unwrap();
+        let donor = report.job("donor").unwrap();
+        assert!(donor.completion.is_complete());
+        assert_eq!(donor.explored, 5);
+        assert!(orphan.cancelled);
+        // The orphan keeps its round-1 result and draws nothing more.
+        assert_eq!(orphan.final_limits.max_configurations, 10);
+        assert_eq!(orphan.completion, Completion::ConfigBudget);
+        assert_eq!(orphan.rounds, 1);
+        // The live job alone absorbs the donor's refund: 10 + 5 = 15.
+        assert_eq!(live.final_limits.max_configurations, 15);
+        assert!(live.rounds >= 2);
+        // Pool accounting still partitions the total.
+        let pool = report.pool.unwrap();
+        assert_eq!(pool.total, 30);
+        assert_eq!(pool.total, pool.granted + pool.unspent);
+        // Bit-identity at every reported final budget, orphan included.
+        for job in [orphan, live] {
+            let solo = Analysis::new(&net)
+                .reachability([start.clone()])
+                .limits(job.final_limits)
+                .run();
+            assert!(
+                job.outcome.as_reachability().unwrap().identical_to(&solo),
+                "{} != solo at {:?}",
+                job.name,
+                job.final_limits
+            );
+        }
+    }
+
+    #[test]
+    fn cancellable_jobs_never_alias_identical_live_jobs() {
+        let net = doubling_net();
+        let token = CancelToken::new();
+        token.cancel();
+        let job = || BatchJob::reachability("same", net.clone(), [ms(&[("a", 5)])]);
+        let report = Batch::new().job(job().cancel_token(token)).job(job()).run();
+        assert_eq!(report.result_cache_hits, 0);
+        assert!(report.jobs[0].cancelled);
+        assert_eq!(report.jobs[0].explored, 0);
+        assert!(!report.jobs[1].cancelled);
+        assert!(report.jobs[1].completion.is_complete());
+        assert_eq!(report.jobs[1].explored, 6);
+    }
+
+    #[test]
+    fn job_reports_export_resumable_sessions() {
+        let net = doubling_net();
+        let start = ms(&[("a", 8)]);
+        let truncated = Batch::new()
+            .job(
+                BatchJob::reachability("first", net.clone(), [start.clone()])
+                    .limits(ExplorationLimits::with_max_configurations(4)),
+            )
+            .run();
+        let session = truncated.jobs[0].session.clone();
+        assert_eq!(truncated.jobs[0].explored, 4);
+        // Seeding a later batch with the exported session resumes the
+        // cached truncated graph instead of recompiling or re-exploring.
+        let resumed = Batch::new()
+            .seed_session(&session)
+            .job(
+                BatchJob::reachability("second", net.clone(), [start.clone()])
+                    .limits(ExplorationLimits::with_max_configurations(9)),
+            )
+            .run();
+        assert_eq!(resumed.compile_cache_hits, 1);
+        assert!(resumed.jobs[0].completion.is_complete());
+        let solo = Analysis::new(&net)
+            .reachability([start])
+            .limits(resumed.jobs[0].final_limits)
+            .run();
+        let graph = resumed.jobs[0].outcome.as_reachability().unwrap();
+        assert!(graph.identical_to(&solo));
+    }
+
+    #[test]
+    fn round_hook_observes_every_round() {
+        let net = doubling_net();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let report = Batch::new()
+            .job(
+                BatchJob::reachability("small", net.clone(), [ms(&[("a", 4)])])
+                    .limits(ExplorationLimits::with_max_configurations(20)),
+            )
+            .job(
+                BatchJob::reachability("big", net, [ms(&[("a", 30)])])
+                    .limits(ExplorationLimits::with_max_configurations(100)),
+            )
+            .pool(24)
+            .on_round(move |round| sink.lock().expect("sink").push(round))
+            .run();
+        let seen = seen.lock().expect("sink").clone();
+        assert_eq!(seen.len(), report.rounds);
+        assert!(seen.iter().copied().eq(1..=report.rounds));
     }
 
     #[test]

@@ -31,6 +31,17 @@ pub const PP_PETRI_THREADS: &str = "PP_PETRI_THREADS";
 /// [`packed::packed_enabled`](crate::packed::packed_enabled).
 pub const PP_PETRI_PACKED: &str = "PP_PETRI_PACKED";
 
+/// Name of the analysis-server address gate: the default `host:port` the
+/// `pp_serve` CLI binds (`serve`) or connects to (`submit`/`ping`) when no
+/// `--addr` flag is given. Defaults to `127.0.0.1:7929` when unset.
+pub const PP_SERVE_ADDR: &str = "PP_SERVE_ADDR";
+
+/// Name of the analysis-server connection-cap gate: a positive integer
+/// caps how many client connections `pp_serve` handles concurrently
+/// (excess connections are refused with a `server-busy` frame); unset or
+/// unparsable values fall back to the default cap of 64.
+pub const PP_SERVE_THREADS: &str = "PP_SERVE_THREADS";
+
 /// One registered environment gate: its name plus the one-line contract
 /// the README gate table repeats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +74,22 @@ pub const GATES: &[Gate] = &[
         effect: "row representation: off forces the uncompressed `u64` layout, \
                  on (default) packs counts at the width bound. Results are \
                  bit-identical either way.",
+    },
+    Gate {
+        name: PP_SERVE_ADDR,
+        values: "`host:port` | unset",
+        effect: "default address of the `pp_serve` CLI when `--addr` is absent: \
+                 `serve` binds it, `submit`/`ping` connect to it. Falls back to \
+                 `127.0.0.1:7929`. A deployment knob only: it cannot change the \
+                 result of any analysis.",
+    },
+    Gate {
+        name: PP_SERVE_THREADS,
+        values: "`n ≥ 1` | unset/garbage",
+        effect: "cap on concurrent `pp_serve` client connections (one reader + \
+                 one executor thread each); connections beyond the cap are \
+                 refused with a `server-busy` frame. Default 64. Responses are \
+                 bit-identical at every cap.",
     },
 ];
 
@@ -105,6 +132,8 @@ mod tests {
         // read path is exercised without panicking.
         let _ = read(PP_PETRI_THREADS);
         let _ = read(PP_PETRI_PACKED);
+        let _ = read(PP_SERVE_ADDR);
+        let _ = read(PP_SERVE_THREADS);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! A minimal blocking client for the analysis server.
+//!
+//! Frames out, frames in — the client adds no interpretation beyond the
+//! newline framing and JSON codec, so everything the server says (typed
+//! errors included) surfaces to the caller as parsed [`Json`]. The one
+//! convenience is [`Client::submit`], which collects a job's `progress`
+//! frames until the terminal frame (a `result` or an error) arrives.
+
+use crate::json::{parse, Json};
+use crate::proto::MAX_FRAME_BYTES;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client (one TCP stream, frames answered in order).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A client-side failure: transport errors, server-closed connections and
+/// frames the codec rejects.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The server closed the connection where a frame was expected.
+    Closed,
+    /// The server sent bytes the JSON codec rejects (never expected; the
+    /// codec is total and the server writes canonically).
+    BadFrame(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "transport error: {err}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::BadFrame(reason) => write!(f, "unparsable frame from server: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+/// A submitted job's full answer: every streamed `progress` frame plus
+/// the terminal frame (a `result` on success, an error frame otherwise).
+#[derive(Debug, Clone)]
+pub struct JobAnswer {
+    /// `progress` frames, in arrival order (empty unless the job was
+    /// extended mid-run by a capped pool).
+    pub progress: Vec<Json>,
+    /// The terminal frame.
+    pub result: Json,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7929"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one frame (newline appended).
+    pub fn send(&mut self, frame: &Json) -> Result<(), ClientError> {
+        self.writer.write_all(frame.to_text().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receives the next frame, blocking until one arrives.
+    pub fn recv(&mut self) -> Result<Json, ClientError> {
+        let mut line: Vec<u8> = Vec::new();
+        let n = (&mut self.reader)
+            .take(MAX_FRAME_BYTES as u64 + 1)
+            .read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        while matches!(line.last(), Some(b'\n' | b'\r')) {
+            line.pop();
+        }
+        parse(&line).map_err(|err| ClientError::BadFrame(err.to_string()))
+    }
+
+    /// Sends `frame` and returns the next frame — the server answers
+    /// strictly in order, so this is the natural request/response shape
+    /// for `ping`, errors and small jobs.
+    pub fn roundtrip(&mut self, frame: &Json) -> Result<Json, ClientError> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Sends a submit (or resume) frame and collects frames until the
+    /// terminal one: all `progress` frames plus the `result` or error.
+    pub fn submit(&mut self, frame: &Json) -> Result<JobAnswer, ClientError> {
+        self.send(frame)?;
+        let mut progress = Vec::new();
+        loop {
+            let frame = self.recv()?;
+            let is_progress = frame.get("event").and_then(Json::as_str) == Some("progress");
+            if is_progress {
+                progress.push(frame);
+            } else {
+                return Ok(JobAnswer {
+                    progress,
+                    result: frame,
+                });
+            }
+        }
+    }
+
+    /// A `{"cmd":"ping"}` roundtrip.
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Json::object([("cmd".to_string(), Json::str("ping"))]))
+    }
+
+    /// A `{"cmd":"shutdown"}` roundtrip (the server acknowledges, then
+    /// drains and stops).
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Json::object([("cmd".to_string(), Json::str("shutdown"))]))
+    }
+}

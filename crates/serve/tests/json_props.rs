@@ -1,0 +1,105 @@
+//! Property tests for the wire JSON codec, held to the same bar as the
+//! lint lexer: **total** on arbitrary bytes (an `Err` is fine, a panic
+//! never is) and exactly invertible on its own output.
+//!
+//! The vendored proptest core has no recursive value strategies, so
+//! arbitrary [`Json`] values are decoded deterministically from a random
+//! byte stream ([`value_from`]) — same coverage, no combinators needed.
+
+use pp_serve::json::{parse, Json};
+use proptest::prelude::*;
+
+/// Decodes one JSON value from a byte stream, with bounded depth and
+/// width so every stream terminates. Exercises all seven value shapes,
+/// including non-ASCII strings, negative ints and subnormal floats.
+fn value_from(stream: &mut std::vec::IntoIter<u8>, depth: usize) -> Json {
+    let tag = stream.next().unwrap_or(0) % if depth == 0 { 5 } else { 7 };
+    match tag {
+        0 => Json::Null,
+        1 => Json::Bool(stream.next().unwrap_or(0) & 1 == 1),
+        2 => {
+            let mut bytes = [0u8; 8];
+            for b in &mut bytes {
+                *b = stream.next().unwrap_or(0);
+            }
+            Json::Int(i64::from_le_bytes(bytes))
+        }
+        3 => {
+            let mut bytes = [0u8; 8];
+            for b in &mut bytes {
+                *b = stream.next().unwrap_or(0);
+            }
+            let f = f64::from_bits(u64::from_le_bytes(bytes));
+            // The codec only represents finite floats (the parser rejects
+            // out-of-range literals, the writer nulls non-finite values).
+            Json::Float(if f.is_finite() { f } else { 0.5 })
+        }
+        4 => {
+            let len = usize::from(stream.next().unwrap_or(0)) % 12;
+            let raw: Vec<u8> = stream.by_ref().take(len).collect();
+            Json::Str(String::from_utf8_lossy(&raw).into_owned())
+        }
+        5 => {
+            let len = usize::from(stream.next().unwrap_or(0)) % 5;
+            Json::Array((0..len).map(|_| value_from(stream, depth - 1)).collect())
+        }
+        _ => {
+            let len = usize::from(stream.next().unwrap_or(0)) % 5;
+            Json::object((0..len).map(|i| {
+                let key_len = usize::from(stream.next().unwrap_or(0)) % 6;
+                let raw: Vec<u8> = stream.by_ref().take(key_len).collect();
+                let key = format!("{}{i}", String::from_utf8_lossy(&raw));
+                (key, value_from(stream, depth - 1))
+            }))
+        }
+    }
+}
+
+/// Maps uniform bytes onto JSON's structural alphabet: delimiter soup
+/// reaches deep parser states (nesting, escapes, exponents) far more
+/// often than uniform bytes do.
+fn soup(bytes: Vec<u8>) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"{}[]\",:\\/0123456789.eE+-truefalsnd \t\n\ru";
+    bytes
+        .into_iter()
+        .map(|b| ALPHABET[usize::from(b) % ALPHABET.len()])
+        .collect()
+}
+
+proptest! {
+    // parse ∘ write is the identity on every value the codec can
+    // represent — the canonical-encoding contract resume keys and
+    // fingerprint material rely on.
+    #[test]
+    fn write_then_parse_roundtrips(
+        seed in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let value = value_from(&mut seed.into_iter(), 3);
+        let text = value.to_text();
+        let back = parse(text.as_bytes()).expect("own output must parse");
+        prop_assert_eq!(&back, &value);
+        // And the encoding is canonical: re-writing the parse is a fixpoint.
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    // The parser is total: arbitrary bytes may be rejected but can never
+    // panic, hang, or overflow the stack.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = parse(&bytes);
+    }
+
+    // Delimiter soup, and whatever it does parse re-encodes canonically.
+    #[test]
+    fn parser_is_total_and_canonical_on_delimiter_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let line = soup(bytes);
+        if let Ok(value) = parse(&line) {
+            let text = value.to_text();
+            prop_assert_eq!(parse(text.as_bytes()).expect("canonical"), value);
+        }
+    }
+}
