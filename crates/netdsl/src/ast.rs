@@ -1,0 +1,324 @@
+//! Abstract syntax of the `.pnet` net-description language.
+//!
+//! A [`NetDef`] is the parsed form of one `.pnet` document: a set of named
+//! places, symbolic parameters, initial configurations, transitions and an
+//! optional agent cap / coverability target. Counts are [`Expr`] trees over
+//! integer literals and parameters, so one definition describes a whole
+//! *family* of nets; [`crate::eval::instantiate`] turns a definition plus
+//! parameter bindings into a concrete [`pp_petri::PetriNet`].
+//!
+//! The canonical printer ([`NetDef::print`]) is the inverse of the parser:
+//! for every definition produced by [`crate::parse::parse_str`] (or by the
+//! generators in this crate, which keep `places` closed under use),
+//! `parse_str(&def.print()) == Ok(def)` — the *parse∘print identity* that
+//! `tests/parser_props.rs` asserts on random documents.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A count expression: a non-negative integer polynomial over parameters
+/// with truncating subtraction, floor division and remainder (evaluation
+/// reports underflow/overflow/division-by-zero as errors rather than
+/// truncating silently).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(u64),
+    /// A reference to a `param` (or the `agents` parameter).
+    Param(String),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction (an evaluation error when the result would be negative).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Floor division (an evaluation error when the divisor is zero).
+    Div(Box<Expr>, Box<Expr>),
+    /// Remainder (an evaluation error when the divisor is zero).
+    Mod(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a parameter reference.
+    #[must_use]
+    pub fn param(name: &str) -> Expr {
+        Expr::Param(name.to_string())
+    }
+
+    /// Binding strength: additive operators bind loosest, multiplicative
+    /// ones tighter, atoms tightest.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Add(..) | Expr::Sub(..) => 1,
+            Expr::Mul(..) | Expr::Div(..) | Expr::Mod(..) => 2,
+            Expr::Int(_) | Expr::Param(_) => 3,
+        }
+    }
+
+    /// Canonical rendering with minimal parentheses (operators are printed
+    /// left-associatively, so only right operands of equal precedence are
+    /// parenthesized).
+    fn render(&self, out: &mut String, min_precedence: u8) {
+        let precedence = self.precedence();
+        if precedence < min_precedence {
+            out.push('(');
+            self.render(out, 0);
+            out.push(')');
+            return;
+        }
+        match self {
+            Expr::Int(value) => {
+                let _ = write!(out, "{value}");
+            }
+            Expr::Param(name) => out.push_str(name),
+            Expr::Add(l, r) => Self::render_binary(out, l, " + ", r, precedence),
+            Expr::Sub(l, r) => Self::render_binary(out, l, " - ", r, precedence),
+            Expr::Mul(l, r) => Self::render_binary(out, l, "*", r, precedence),
+            Expr::Div(l, r) => Self::render_binary(out, l, "/", r, precedence),
+            Expr::Mod(l, r) => Self::render_binary(out, l, "%", r, precedence),
+        }
+    }
+
+    fn render_binary(out: &mut String, l: &Expr, op: &str, r: &Expr, precedence: u8) {
+        l.render(out, precedence);
+        out.push_str(op);
+        r.render(out, precedence + 1);
+    }
+
+    /// The canonical source form of the expression.
+    #[must_use]
+    pub fn print(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+}
+
+/// One `count*place` term of a multiset expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// The (possibly symbolic) multiplicity; `Expr::Int(1)` prints as the
+    /// bare place name.
+    pub count: Expr,
+    /// The place the term contributes to.
+    pub place: String,
+}
+
+impl Term {
+    /// A concrete `count*place` term.
+    #[must_use]
+    pub fn new(count: u64, place: &str) -> Term {
+        Term {
+            count: Expr::Int(count),
+            place: place.to_string(),
+        }
+    }
+
+    /// A symbolic term.
+    #[must_use]
+    pub fn symbolic(count: Expr, place: &str) -> Term {
+        Term {
+            count,
+            place: place.to_string(),
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        if self.count == Expr::Int(1) {
+            out.push_str(&self.place);
+            return;
+        }
+        // Terms are chains of `*`-separated atoms ending in the place name,
+        // so every multiplicative factor must print as an atom: flatten the
+        // left spine of `Mul` nodes and parenthesize anything looser.
+        let mut factors: Vec<&Expr> = Vec::new();
+        let mut cursor = &self.count;
+        while let Expr::Mul(l, r) = cursor {
+            factors.push(r);
+            cursor = l;
+        }
+        factors.push(cursor);
+        for factor in factors.iter().rev() {
+            factor.render(out, 3);
+            out.push('*');
+        }
+        out.push_str(&self.place);
+    }
+}
+
+/// Renders a multiset of terms (`a + 2*b`), or `0` for the empty multiset.
+fn render_terms(out: &mut String, terms: &[Term]) {
+    if terms.is_empty() {
+        out.push('0');
+        return;
+    }
+    for (index, term) in terms.iter().enumerate() {
+        if index > 0 {
+            out.push_str(" + ");
+        }
+        term.render(out);
+    }
+}
+
+/// One `trans pre -> post` stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransDef {
+    /// Consumed terms.
+    pub pre: Vec<Term>,
+    /// Produced terms.
+    pub post: Vec<Term>,
+}
+
+/// A parsed `.pnet` document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetDef {
+    /// The `net` stanza, if present (free-form printable text).
+    pub name: Option<String>,
+    /// Parameters in definition order with their default expressions; the
+    /// parameter named `agents` is printed with the `agents` stanza.
+    pub params: Vec<(String, Expr)>,
+    /// Declared places (the parser keeps this closed under use in terms).
+    pub places: BTreeSet<String>,
+    /// Initial configurations, one per `init` stanza.
+    pub inits: Vec<Vec<Term>>,
+    /// Transitions in definition order.
+    pub transitions: Vec<TransDef>,
+    /// The `cap` stanza (maximum agent count for exploration), if present.
+    pub cap: Option<Expr>,
+    /// The `target` stanza (a coverability target carried for self-contained
+    /// fuzz repros), if present.
+    pub target: Option<Vec<Term>>,
+}
+
+impl NetDef {
+    /// Every place mentioned anywhere: declared places plus the places of
+    /// all terms. The parser and the generators keep `places` equal to
+    /// this; the printer emits the union so a printed document is always
+    /// well-formed.
+    #[must_use]
+    pub fn used_places(&self) -> BTreeSet<String> {
+        let mut all = self.places.clone();
+        let mut visit = |terms: &[Term]| {
+            for term in terms {
+                all.insert(term.place.clone());
+            }
+        };
+        for init in &self.inits {
+            visit(init);
+        }
+        for trans in &self.transitions {
+            visit(&trans.pre);
+            visit(&trans.post);
+        }
+        if let Some(target) = &self.target {
+            visit(target);
+        }
+        all
+    }
+
+    /// The canonical `.pnet` source of the definition.
+    ///
+    /// Stanzas print in the fixed order `net`, `param`/`agents`, `place`,
+    /// `init`, `trans`, `cap`, `target`; re-parsing the result yields a
+    /// definition equal to `self` whenever `self.places` is closed under
+    /// use (always true for parsed definitions).
+    #[must_use]
+    pub fn print(&self) -> String {
+        let mut out = String::new();
+        if let Some(name) = &self.name {
+            let _ = writeln!(out, "net {name}");
+        }
+        for (name, default) in &self.params {
+            if name == "agents" {
+                let _ = writeln!(out, "agents {}", default.print());
+            } else {
+                let _ = writeln!(out, "param {name} = {}", default.print());
+            }
+        }
+        let places = self.used_places();
+        if !places.is_empty() {
+            out.push_str("place");
+            for place in &places {
+                let _ = write!(out, " {place}");
+            }
+            out.push('\n');
+        }
+        for init in &self.inits {
+            out.push_str("init ");
+            render_terms(&mut out, init);
+            out.push('\n');
+        }
+        for trans in &self.transitions {
+            out.push_str("trans ");
+            render_terms(&mut out, &trans.pre);
+            out.push_str(" -> ");
+            render_terms(&mut out, &trans.post);
+            out.push('\n');
+        }
+        if let Some(cap) = &self.cap {
+            let _ = writeln!(out, "cap {}", cap.print());
+        }
+        if let Some(target) = &self.target {
+            out.push_str("target ");
+            render_terms(&mut out, target);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_printing_minimizes_parentheses() {
+        let e = Expr::Mul(
+            Box::new(Expr::Add(
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::param("n")),
+            )),
+            Box::new(Expr::Int(2)),
+        );
+        assert_eq!(e.print(), "(1 + n)*2");
+        let left_assoc = Expr::Sub(
+            Box::new(Expr::Sub(
+                Box::new(Expr::param("a")),
+                Box::new(Expr::param("b")),
+            )),
+            Box::new(Expr::param("c")),
+        );
+        assert_eq!(left_assoc.print(), "a - b - c");
+        let right_nested = Expr::Sub(
+            Box::new(Expr::param("a")),
+            Box::new(Expr::Sub(
+                Box::new(Expr::param("b")),
+                Box::new(Expr::param("c")),
+            )),
+        );
+        assert_eq!(right_nested.print(), "a - (b - c)");
+    }
+
+    #[test]
+    fn term_printing_keeps_factors_atomic() {
+        let div = Term::symbolic(
+            Expr::Div(Box::new(Expr::param("agents")), Box::new(Expr::Int(2))),
+            "B",
+        );
+        let mut out = String::new();
+        div.render(&mut out);
+        assert_eq!(out, "(agents/2)*B");
+    }
+
+    #[test]
+    fn empty_multiset_prints_as_zero() {
+        let def = NetDef {
+            transitions: vec![TransDef {
+                pre: vec![],
+                post: vec![Term::new(1, "a")],
+            }],
+            ..NetDef::default()
+        };
+        assert!(def.print().contains("trans 0 -> a"));
+    }
+}

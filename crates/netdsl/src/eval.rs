@@ -1,0 +1,320 @@
+//! Instantiating a parametric [`NetDef`] into a concrete Petri net.
+//!
+//! Evaluation is as total as the parser: symbolic counts are computed with
+//! checked arithmetic (underflow, overflow and division by zero are
+//! reported, never wrapped), counts and net sizes are capped so a malicious
+//! or randomly generated definition cannot blow up the process, and the
+//! result is an ordinary [`pp_petri::PetriNet`] over place *names* plus the
+//! evaluated initial configurations, cap and optional coverability target.
+
+use crate::ast::{Expr, NetDef, Term, TransDef};
+use pp_multiset::Multiset;
+use pp_petri::{PetriNet, Transition};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Largest count a single term may evaluate to (`2^32`): far beyond any
+/// analysis budget while keeping products of counts inside `u64`.
+pub const MAX_COUNT: u64 = 1 << 32;
+
+/// Largest number of places an instantiated net may have.
+pub const MAX_PLACES: usize = 4096;
+
+/// Largest number of transition stanzas a definition may instantiate.
+pub const MAX_TRANSITIONS: usize = 16384;
+
+/// An instantiation failure (no span: evaluation errors are about values,
+/// not source positions — the offending parameter or place is named in the
+/// message instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl EvalError {
+    fn new(message: impl Into<String>) -> EvalError {
+        EvalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A fully instantiated net: what the analyses, the fuzzer and the server
+/// actually consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSpec {
+    /// The `net` stanza, or `"net"` when the definition is anonymous.
+    pub name: String,
+    /// The instantiated Petri net over place names.
+    pub net: PetriNet<String>,
+    /// One multiset per `init` stanza, in definition order.
+    pub initials: Vec<Multiset<String>>,
+    /// The evaluated `cap`, if any (callers feed it to
+    /// [`pp_petri::ExplorationLimits::max_agents`]).
+    pub cap: Option<u64>,
+    /// The evaluated `target`, if any.
+    pub target: Option<Multiset<String>>,
+}
+
+/// Evaluates `expr` under `bindings` with checked arithmetic.
+fn eval_expr(expr: &Expr, bindings: &BTreeMap<String, u64>) -> Result<u64, EvalError> {
+    match expr {
+        Expr::Int(value) => Ok(*value),
+        Expr::Param(name) => bindings
+            .get(name)
+            .copied()
+            .ok_or_else(|| EvalError::new(format!("undefined parameter `{name}`"))),
+        Expr::Add(l, r) => eval_expr(l, bindings)?
+            .checked_add(eval_expr(r, bindings)?)
+            .ok_or_else(|| EvalError::new("arithmetic overflow in `+`")),
+        Expr::Sub(l, r) => {
+            let (l, r) = (eval_expr(l, bindings)?, eval_expr(r, bindings)?);
+            l.checked_sub(r)
+                .ok_or_else(|| EvalError::new(format!("negative value in `-` ({l} - {r})")))
+        }
+        Expr::Mul(l, r) => eval_expr(l, bindings)?
+            .checked_mul(eval_expr(r, bindings)?)
+            .ok_or_else(|| EvalError::new("arithmetic overflow in `*`")),
+        Expr::Div(l, r) => {
+            let (l, r) = (eval_expr(l, bindings)?, eval_expr(r, bindings)?);
+            l.checked_div(r)
+                .ok_or_else(|| EvalError::new("division by zero in `/`"))
+        }
+        Expr::Mod(l, r) => {
+            let (l, r) = (eval_expr(l, bindings)?, eval_expr(r, bindings)?);
+            l.checked_rem(r)
+                .ok_or_else(|| EvalError::new("division by zero in `%`"))
+        }
+    }
+}
+
+/// Resolves the parameter environment: defaults in definition order (later
+/// defaults may reference earlier parameters), with `overrides` replacing
+/// the defaults of declared parameters.
+fn bindings_for(
+    def: &NetDef,
+    overrides: &[(&str, u64)],
+) -> Result<BTreeMap<String, u64>, EvalError> {
+    for (name, _) in overrides {
+        if !def.params.iter().any(|(declared, _)| declared == name) {
+            return Err(EvalError::new(format!(
+                "unknown parameter `{name}` (the definition declares no such param)"
+            )));
+        }
+    }
+    let mut bindings = BTreeMap::new();
+    for (name, default) in &def.params {
+        let value = match overrides.iter().find(|(o, _)| o == name) {
+            Some((_, value)) => *value,
+            None => eval_expr(default, &bindings)?,
+        };
+        bindings.insert(name.clone(), value);
+    }
+    Ok(bindings)
+}
+
+/// Evaluates one multiset of terms, merging duplicate places and dropping
+/// zero counts (so `0*a` and an absent place agree, exactly like
+/// [`Multiset`] itself).
+fn eval_terms(
+    terms: &[Term],
+    bindings: &BTreeMap<String, u64>,
+) -> Result<Multiset<String>, EvalError> {
+    let mut config = Multiset::new();
+    for term in terms {
+        let count = eval_expr(&term.count, bindings)?;
+        if count > MAX_COUNT {
+            return Err(EvalError::new(format!(
+                "count {count} for place `{}` exceeds the limit {MAX_COUNT}",
+                term.place
+            )));
+        }
+        if count > 0 {
+            config.add_to(term.place.clone(), count);
+        }
+    }
+    Ok(config)
+}
+
+/// Instantiates `def` with the given parameter `overrides` (names must be
+/// declared `param`s; unmentioned parameters keep their defaults).
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] for undefined/unknown parameters, arithmetic
+/// errors (underflow, overflow, division by zero) and size-limit
+/// violations; it never panics.
+pub fn instantiate(def: &NetDef, overrides: &[(&str, u64)]) -> Result<NetSpec, EvalError> {
+    let bindings = bindings_for(def, overrides)?;
+    let places = def.used_places();
+    if places.len() > MAX_PLACES {
+        return Err(EvalError::new(format!(
+            "net has {} places, more than the limit {MAX_PLACES}",
+            places.len()
+        )));
+    }
+    if def.transitions.len() > MAX_TRANSITIONS {
+        return Err(EvalError::new(format!(
+            "net has {} transitions, more than the limit {MAX_TRANSITIONS}",
+            def.transitions.len()
+        )));
+    }
+    let mut net = PetriNet::new();
+    for place in &places {
+        net.add_place(place.clone());
+    }
+    for TransDef { pre, post } in &def.transitions {
+        let pre = eval_terms(pre, &bindings)?;
+        let post = eval_terms(post, &bindings)?;
+        // Duplicates dissolve silently, matching PetriNet::add_transition's
+        // contract (the hand-built protocol constructors rely on the same).
+        net.add_transition(Transition::new(pre, post));
+    }
+    let initials = def
+        .inits
+        .iter()
+        .map(|terms| eval_terms(terms, &bindings))
+        .collect::<Result<Vec<_>, _>>()?;
+    let cap = def
+        .cap
+        .as_ref()
+        .map(|expr| eval_expr(expr, &bindings))
+        .transpose()?;
+    let target = def
+        .target
+        .as_ref()
+        .map(|terms| eval_terms(terms, &bindings))
+        .transpose()?;
+    Ok(NetSpec {
+        name: def.name.clone().unwrap_or_else(|| "net".to_string()),
+        net,
+        initials,
+        cap,
+        target,
+    })
+}
+
+/// Rewrites `def` into an equivalent parameter-free definition: every count
+/// is evaluated under `overrides` and replaced by its integer literal, and
+/// the `param`/`agents` stanzas disappear. The fuzzer's shrinker works on
+/// concretized definitions so halving a count is a plain integer edit.
+///
+/// # Errors
+///
+/// Fails exactly when [`instantiate`] would (same environment, same checked
+/// arithmetic).
+pub fn concretize(def: &NetDef, overrides: &[(&str, u64)]) -> Result<NetDef, EvalError> {
+    let bindings = bindings_for(def, overrides)?;
+    let concrete_terms = |terms: &[Term]| -> Result<Vec<Term>, EvalError> {
+        terms
+            .iter()
+            .map(|term| {
+                Ok(Term {
+                    count: Expr::Int(eval_expr(&term.count, &bindings)?),
+                    place: term.place.clone(),
+                })
+            })
+            .collect()
+    };
+    Ok(NetDef {
+        name: def.name.clone(),
+        params: Vec::new(),
+        places: def.used_places(),
+        inits: def
+            .inits
+            .iter()
+            .map(|terms| concrete_terms(terms))
+            .collect::<Result<_, _>>()?,
+        transitions: def
+            .transitions
+            .iter()
+            .map(|t| {
+                Ok(TransDef {
+                    pre: concrete_terms(&t.pre)?,
+                    post: concrete_terms(&t.post)?,
+                })
+            })
+            .collect::<Result<Vec<_>, EvalError>>()?,
+        cap: def
+            .cap
+            .as_ref()
+            .map(|expr| Ok(Expr::Int(eval_expr(expr, &bindings)?)))
+            .transpose()?,
+        target: def.target.as_ref().map(|t| concrete_terms(t)).transpose()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+
+    #[test]
+    fn instantiates_a_parametric_family() {
+        let def = parse_str(
+            "net demo\nparam n = 3\nagents 2*n\nplace a b\ninit agents*a\ntrans n*a -> b\ncap n + 1\n",
+        )
+        .unwrap();
+        let spec = instantiate(&def, &[]).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.initials[0].get(&"a".to_string()), 6);
+        assert_eq!(spec.cap, Some(4));
+        assert_eq!(spec.net.num_transitions(), 1);
+        let larger = instantiate(&def, &[("n", 5)]).unwrap();
+        assert_eq!(larger.initials[0].get(&"a".to_string()), 10);
+        assert_eq!(larger.cap, Some(6));
+    }
+
+    #[test]
+    fn arithmetic_errors_are_reported_not_wrapped() {
+        let def = parse_str("param n = 1\ninit (n - 2)*a\n").unwrap();
+        let err = instantiate(&def, &[]).unwrap_err();
+        assert!(err.to_string().contains("negative"));
+        let def = parse_str("cap 1/0\nplace a\n").unwrap();
+        assert!(instantiate(&def, &[]).is_err());
+        let def = parse_str("init x*a\n").unwrap();
+        assert!(instantiate(&def, &[])
+            .unwrap_err()
+            .to_string()
+            .contains("undefined parameter"));
+    }
+
+    #[test]
+    fn unknown_overrides_are_rejected() {
+        let def = parse_str("param n = 1\nplace a\n").unwrap();
+        assert!(instantiate(&def, &[("m", 3)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_terms_merge_and_zeros_drop() {
+        let def = parse_str("init a + 2*a + 0*b\n").unwrap();
+        let spec = instantiate(&def, &[]).unwrap();
+        assert_eq!(spec.initials[0].get(&"a".to_string()), 3);
+        assert!(!spec.initials[0].contains(&"b".to_string()));
+        // `b` is still a place of the net even though no tokens land on it.
+        assert!(spec.net.places().contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn concretize_freezes_parameters() {
+        let def =
+            parse_str("param n = 4\nplace a b\ninit n*a\ntrans a -> (n - 3)*b\ncap n\n").unwrap();
+        let frozen = concretize(&def, &[("n", 3)]).unwrap();
+        assert!(frozen.params.is_empty());
+        assert_eq!(
+            instantiate(&frozen, &[]).unwrap(),
+            instantiate(&def, &[("n", 3)]).unwrap()
+        );
+        // The frozen definition still parses and round-trips.
+        assert_eq!(parse_str(&frozen.print()).unwrap(), frozen);
+    }
+}

@@ -1,0 +1,414 @@
+//! The protocol catalog, re-expressed as `.pnet` definitions.
+//!
+//! Every generator here mirrors one hand-built constructor from
+//! `pp_protocols` *exactly* — same place names, same transitions in the
+//! same order, same initial configuration as
+//! [`pp_protocols::batch::spread_input`] — so instantiating the definition
+//! and building the protocol in Rust yield **equal** [`pp_petri::PetriNet`]s
+//! (not merely isomorphic ones). The workspace test
+//! `tests/dsl_catalog_equivalence.rs` holds the two constructions together;
+//! unit tests here pin the net equality directly.
+//!
+//! The `agents` parameter stays symbolic in every definition: structure
+//! depends only on the family threshold `n`, while `agents` scales the
+//! initial configuration — one `.pnet` file therefore covers every input
+//! size of the experiment grids.
+
+use crate::ast::{Expr, NetDef, Term, TransDef};
+use std::collections::BTreeSet;
+
+/// Builds a transition from `(count, place)` slices, merging repeated
+/// places (in first-occurrence order) and skipping zero counts, exactly
+/// like [`pp_multiset::Multiset::from_pairs`] would.
+fn trans(pre: &[(u64, &str)], post: &[(u64, &str)]) -> TransDef {
+    let side = |pairs: &[(u64, &str)]| {
+        let mut terms: Vec<Term> = Vec::new();
+        for &(count, place) in pairs {
+            if count == 0 {
+                continue;
+            }
+            match terms.iter_mut().find(|t| t.place == place) {
+                Some(term) => {
+                    if let Expr::Int(existing) = &mut term.count {
+                        *existing += count;
+                    }
+                }
+                None => terms.push(Term::new(count, place)),
+            }
+        }
+        terms
+    };
+    TransDef {
+        pre: side(pre),
+        post: side(post),
+    }
+}
+
+fn agents_param(default: u64) -> (String, Expr) {
+    ("agents".to_string(), Expr::Int(default))
+}
+
+/// `agents*place` — the standard single-initial-state input spread.
+fn agents_term(place: &str) -> Term {
+    Term::symbolic(Expr::param("agents"), place)
+}
+
+fn places(names: impl IntoIterator<Item = String>) -> BTreeSet<String> {
+    names.into_iter().collect()
+}
+
+/// Example 4.1 of the paper: 2 states, interaction-width `n`, leaderless.
+///
+/// One transition per context `ρ = a·i + b·p` with `a + b = n − 1`, in
+/// increasing order of `a`, matching
+/// [`pp_protocols::width_n::example_4_1`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero, like the Rust constructor.
+#[must_use]
+pub fn example_4_1(n: u64) -> NetDef {
+    assert!(n >= 1, "counting thresholds are positive");
+    let transitions = (0..n)
+        .map(|a| {
+            let b = n - 1 - a;
+            trans(&[(a + 1, "i"), (b, "p")], &[(a, "i"), (b + 1, "p")])
+        })
+        .collect();
+    NetDef {
+        name: Some(format!("example-4.1(n={n})")),
+        params: vec![agents_param(n)],
+        places: places(["i".to_string(), "p".to_string()]),
+        inits: vec![vec![agents_term("i")]],
+        transitions,
+        cap: None,
+        target: None,
+    }
+}
+
+/// Example 4.2 of the paper: 6 states, width 2, `n` leaders in `i_bar`.
+///
+/// The seven pairwise transitions `t, t_p, t̄_p, t_q, t̄_q, t_q̄, t_p̄` in
+/// the paper's order, matching [`pp_protocols::leaders_n::example_4_2`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero, like the Rust constructor.
+#[must_use]
+pub fn example_4_2(n: u64) -> NetDef {
+    assert!(n >= 1, "counting thresholds are positive");
+    let pairwise = |a: &str, b: &str, c: &str, d: &str| trans(&[(1, a), (1, b)], &[(1, c), (1, d)]);
+    NetDef {
+        name: Some(format!("example-4.2(n={n})")),
+        params: vec![agents_param(n)],
+        places: places(["i", "i_bar", "p", "p_bar", "q", "q_bar"].map(String::from)),
+        inits: vec![vec![agents_term("i"), Term::new(n, "i_bar")]],
+        transitions: vec![
+            pairwise("i", "i_bar", "p", "q"),
+            pairwise("p_bar", "i", "p", "i"),
+            pairwise("p", "i_bar", "p_bar", "i_bar"),
+            pairwise("q_bar", "i", "q", "i"),
+            pairwise("q", "i_bar", "q_bar", "i_bar"),
+            pairwise("p", "q_bar", "p", "q"),
+            pairwise("q", "p_bar", "q", "p"),
+        ],
+        cap: None,
+        target: None,
+    }
+}
+
+/// The classical flock-of-birds protocol: `n + 1` states `a0..an`.
+///
+/// Combine transitions for `1 ≤ j ≤ k < n` then recruit transitions for
+/// `j < n`, matching [`pp_protocols::flock::flock_of_birds_unary`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero, like the Rust constructor.
+#[must_use]
+pub fn flock_unary(n: u64) -> NetDef {
+    assert!(n >= 1, "counting thresholds are positive");
+    let a = |j: u64| format!("a{j}");
+    let mut transitions = Vec::new();
+    for j in 1..n {
+        for k in j..n {
+            transitions.push(trans(
+                &[(1, &a(j)), (1, &a(k))],
+                &[(1, &a((j + k).min(n))), (1, &a(0))],
+            ));
+        }
+    }
+    for j in 0..n {
+        transitions.push(trans(&[(1, &a(n)), (1, &a(j))], &[(2, &a(n))]));
+    }
+    NetDef {
+        name: Some(format!("flock-unary(n={n})")),
+        params: vec![agents_param(n)],
+        places: places((0..=n).map(a)),
+        inits: vec![vec![agents_term("a1")]],
+        transitions,
+        cap: None,
+        target: None,
+    }
+}
+
+/// The doubling flock protocol for `n = 2^k`: states `z, v0..vk`.
+///
+/// Merge transitions for `j < k`, then the `(v_k, z)` recruit, then the
+/// `(v_k, v_j)` recruits, matching
+/// [`pp_protocols::flock::flock_of_birds_doubling`].
+#[must_use]
+pub fn flock_doubling(k: u32) -> NetDef {
+    let v = |j: u32| format!("v{j}");
+    let mut transitions = Vec::new();
+    for j in 0..k {
+        transitions.push(trans(&[(2, &v(j))], &[(1, &v(j + 1)), (1, "z")]));
+    }
+    let top = v(k);
+    transitions.push(trans(&[(1, &top), (1, "z")], &[(2, &top)]));
+    for j in 0..k {
+        transitions.push(trans(&[(1, &top), (1, &v(j))], &[(2, &top)]));
+    }
+    let n: u64 = 1u64 << k;
+    NetDef {
+        name: Some(format!("flock-doubling(n=2^{k}={n})")),
+        params: vec![agents_param(n)],
+        places: places(std::iter::once("z".to_string()).chain((0..=k).map(v))),
+        inits: vec![vec![agents_term("v0")]],
+        transitions,
+        cap: None,
+        target: None,
+    }
+}
+
+/// The `Θ(log n)`-state one-leader threshold protocol with agent
+/// creation/destruction.
+///
+/// Merge/split pairs per level, then the leader's bit collection (most
+/// significant bit of `n` first), then the acceptance broadcast, matching
+/// [`pp_protocols::threshold::binary_threshold_with_leader`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero, like the Rust constructor.
+#[must_use]
+pub fn binary_threshold(n: u64) -> NetDef {
+    assert!(n >= 1, "counting thresholds are positive");
+    let top_bit = 63 - n.leading_zeros();
+    let v = |j: u32| format!("v{j}");
+    let level = |stage: usize| format!("L{stage}");
+    let bits: Vec<u32> = (0..=top_bit).rev().filter(|j| n & (1 << j) != 0).collect();
+    let mut transitions = Vec::new();
+    for j in 0..top_bit {
+        transitions.push(trans(&[(2, &v(j))], &[(1, &v(j + 1))]));
+        transitions.push(trans(&[(1, &v(j + 1))], &[(2, &v(j))]));
+    }
+    for (stage, &bit) in bits.iter().enumerate() {
+        transitions.push(trans(
+            &[(1, &level(stage)), (1, &v(bit))],
+            &[(1, &level(stage + 1))],
+        ));
+    }
+    let accept = level(bits.len());
+    for j in 0..=top_bit {
+        transitions.push(trans(&[(1, &accept), (1, &v(j))], &[(2, &accept)]));
+    }
+    NetDef {
+        name: Some(format!("binary-threshold(n={n})")),
+        params: vec![agents_param(n)],
+        places: places((0..=top_bit).map(v).chain((0..=bits.len()).map(level))),
+        inits: vec![vec![agents_term("v0"), Term::new(1, "L0")]],
+        transitions,
+        cap: None,
+        target: None,
+    }
+}
+
+/// The classical four-state majority protocol.
+///
+/// Cancellation, both conversions and the tie-break, matching
+/// [`pp_protocols::majority::majority`]. The two initial states split the
+/// input like `spread_input`: `A` (rank 0) gets `agents/2 + agents%2`, `B`
+/// (rank 1) gets `agents/2`.
+#[must_use]
+pub fn majority() -> NetDef {
+    let pairwise = |a: &str, b: &str, c: &str, d: &str| trans(&[(1, a), (1, b)], &[(1, c), (1, d)]);
+    let half = Expr::Div(Box::new(Expr::param("agents")), Box::new(Expr::Int(2)));
+    let parity = Expr::Mod(Box::new(Expr::param("agents")), Box::new(Expr::Int(2)));
+    let big_half = Expr::Add(Box::new(half.clone()), Box::new(parity));
+    NetDef {
+        name: Some("majority".to_string()),
+        params: vec![agents_param(4)],
+        places: places(["A", "B", "a", "b"].map(String::from)),
+        inits: vec![vec![
+            Term::symbolic(big_half, "A"),
+            Term::symbolic(half, "B"),
+        ]],
+        transitions: vec![
+            pairwise("A", "B", "a", "b"),
+            pairwise("A", "b", "A", "a"),
+            pairwise("B", "a", "B", "b"),
+            pairwise("a", "b", "a", "a"),
+        ],
+        cap: None,
+        target: None,
+    }
+}
+
+/// The one-leader congruence protocol for `x ≡ r (mod m)`.
+///
+/// For each residue `s`: the counting transition, then the refresh
+/// transitions in increasing `t ≠ s`, matching
+/// [`pp_protocols::modulo::modulo_with_leader`] (which also normalizes the
+/// remainder).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero, like the Rust constructor.
+#[must_use]
+pub fn modulo(modulus: u64, remainder: u64) -> NetDef {
+    assert!(modulus > 0, "modulus must be positive");
+    let remainder = remainder % modulus;
+    let leader = |s: u64| format!("L{s}");
+    let done = |s: u64| format!("D{s}");
+    let mut transitions = Vec::new();
+    for s in 0..modulus {
+        let next = (s + 1) % modulus;
+        transitions.push(trans(
+            &[(1, &leader(s)), (1, "x")],
+            &[(1, &leader(next)), (1, &done(next))],
+        ));
+        for t in 0..modulus {
+            if t != s {
+                transitions.push(trans(
+                    &[(1, &leader(s)), (1, &done(t))],
+                    &[(1, &leader(s)), (1, &done(s))],
+                ));
+            }
+        }
+    }
+    NetDef {
+        name: Some(format!("modulo(m={modulus}, r={remainder})")),
+        params: vec![agents_param(modulus)],
+        places: places(
+            std::iter::once("x".to_string())
+                .chain((0..modulus).map(leader))
+                .chain((0..modulus).map(done)),
+        ),
+        inits: vec![vec![agents_term("x"), Term::new(1, "L0")]],
+        transitions,
+        cap: None,
+        target: None,
+    }
+}
+
+/// The full catalog as `(family slug, definition)` pairs, mirroring
+/// [`pp_protocols::catalog::all`]`(n)` entry for entry (the doubling
+/// protocol appears only for power-of-two `n`, the majority and modulo-3
+/// entries are threshold-independent).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn catalog_defs(n: u64) -> Vec<(&'static str, NetDef)> {
+    assert!(n >= 1, "counting thresholds are positive");
+    let mut defs = vec![
+        ("example-4.1", example_4_1(n)),
+        ("example-4.2", example_4_2(n)),
+        ("flock-unary", flock_unary(n)),
+        ("binary-threshold", binary_threshold(n)),
+    ];
+    if n.is_power_of_two() {
+        defs.push(("flock-doubling", flock_doubling(n.trailing_zeros())));
+    }
+    defs.push(("majority", majority()));
+    defs.push(("modulo-3", modulo(3, 1)));
+    defs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::instantiate;
+    use crate::parse::parse_str;
+    use pp_petri::PetriNet;
+    use pp_population::Protocol;
+    use pp_protocols::{
+        catalog, flock, leaders_n, majority as maj, modulo as modu, threshold, width_n,
+    };
+
+    /// The protocol's net with state ids replaced by state names — the shape
+    /// the DSL instantiation must reproduce exactly.
+    fn named_net(protocol: &Protocol) -> PetriNet<String> {
+        protocol
+            .net()
+            .map_places(|id| protocol.state_name(*id).to_string())
+    }
+
+    #[test]
+    fn every_family_reproduces_its_constructor_net() {
+        for n in [1u64, 2, 3, 5, 8] {
+            let cases: Vec<(NetDef, Protocol)> = vec![
+                (example_4_1(n), width_n::example_4_1(n)),
+                (example_4_2(n), leaders_n::example_4_2(n)),
+                (flock_unary(n), flock::flock_of_birds_unary(n)),
+                (
+                    binary_threshold(n),
+                    threshold::binary_threshold_with_leader(n),
+                ),
+                (majority(), maj::majority()),
+                (modulo(3, 1), modu::modulo_with_leader(3, 1)),
+            ];
+            for (def, protocol) in cases {
+                let spec = instantiate(&def, &[]).unwrap();
+                assert_eq!(
+                    spec.net,
+                    named_net(&protocol),
+                    "net mismatch for {} at n={n}",
+                    spec.name
+                );
+                assert_eq!(spec.name, protocol.name());
+            }
+        }
+        for k in 0..=3u32 {
+            let spec = instantiate(&flock_doubling(k), &[]).unwrap();
+            assert_eq!(spec.net, named_net(&flock::flock_of_birds_doubling(k)));
+        }
+    }
+
+    #[test]
+    fn catalog_defs_mirror_the_catalog_entry_list() {
+        for n in [2u64, 3, 8] {
+            let defs = catalog_defs(n);
+            let entries = catalog::all(n);
+            assert_eq!(defs.len(), entries.len());
+            for ((slug, def), entry) in defs.iter().zip(&entries) {
+                assert_eq!(*slug, entry.family);
+                let spec = instantiate(def, &[]).unwrap();
+                assert_eq!(spec.net, named_net(&entry.protocol), "family {slug} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn family_definitions_round_trip_through_the_printer() {
+        for (slug, def) in catalog_defs(6) {
+            let printed = def.print();
+            let reparsed = parse_str(&printed)
+                .unwrap_or_else(|err| panic!("family {slug} does not re-parse: {err}\n{printed}"));
+            assert_eq!(reparsed, def, "family {slug} round-trip");
+        }
+    }
+
+    #[test]
+    fn majority_split_matches_spread_input_for_both_parities() {
+        let def = majority();
+        for agents in 0..=7u64 {
+            let spec = instantiate(&def, &[("agents", agents)]).unwrap();
+            let config = &spec.initials[0];
+            assert_eq!(config.get(&"A".to_string()), agents / 2 + agents % 2);
+            assert_eq!(config.get(&"B".to_string()), agents / 2);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Seeded random net generation for the differential fuzzer.
+//!
+//! [`random_def`] draws a [`NetDef`] from a [`GenKnobs`] profile using the
+//! deterministic vendored [`rand::rngs::StdRng`]: same seed, same net,
+//! forever — a divergence found in CI reproduces locally from the case's
+//! seed alone. The [`preset`] table spans the axes the engine actually
+//! branches on: conservative vs creation/destruction nets (different
+//! packed-row layouts and agent-cap behavior), capped vs uncapped
+//! exploration, and concrete vs symbolic (`agents`-parameterized) initial
+//! configurations.
+
+use crate::ast::{Expr, NetDef, Term, TransDef};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Tuning profile for [`random_def`]. Ranges are inclusive.
+#[derive(Debug, Clone)]
+pub struct GenKnobs {
+    /// Number of places.
+    pub places: (usize, usize),
+    /// Number of transition stanzas (duplicates may dissolve on
+    /// instantiation, so the instantiated net can be smaller).
+    pub transitions: (usize, usize),
+    /// Force every transition to preserve the agent count.
+    pub conservative: bool,
+    /// Per-side token total of one transition.
+    pub max_side_total: u64,
+    /// Draw a `cap` stanza from this range.
+    pub cap: Option<(u64, u64)>,
+    /// Number of `init` stanzas.
+    pub initial_configs: (usize, usize),
+    /// Per-place token bound in initial configurations.
+    pub max_tokens: u64,
+    /// Route initial counts through a symbolic `agents` parameter.
+    pub symbolic_agents: bool,
+}
+
+/// Number of built-in [`preset`] profiles.
+pub const NUM_PRESETS: usize = 6;
+
+/// The built-in generation profiles, indexed modulo [`NUM_PRESETS`].
+///
+/// 0. small conservative nets (pure pairwise-style dynamics);
+/// 1. small creation/destruction nets under a tight agent cap;
+/// 2. wider conservative nets;
+/// 3. uncapped creation/destruction nets (budget-truncated exploration);
+/// 4. conservative nets with a symbolic `agents` initial configuration;
+/// 5. tiny dense nets with high token counts.
+#[must_use]
+pub fn preset(index: usize) -> GenKnobs {
+    match index % NUM_PRESETS {
+        0 => GenKnobs {
+            places: (2, 4),
+            transitions: (2, 5),
+            conservative: true,
+            max_side_total: 3,
+            cap: None,
+            initial_configs: (1, 2),
+            max_tokens: 4,
+            symbolic_agents: false,
+        },
+        1 => GenKnobs {
+            places: (2, 4),
+            transitions: (2, 6),
+            conservative: false,
+            max_side_total: 3,
+            cap: Some((6, 14)),
+            initial_configs: (1, 2),
+            max_tokens: 3,
+            symbolic_agents: false,
+        },
+        2 => GenKnobs {
+            places: (3, 6),
+            transitions: (3, 8),
+            conservative: true,
+            max_side_total: 4,
+            cap: None,
+            initial_configs: (1, 2),
+            max_tokens: 3,
+            symbolic_agents: false,
+        },
+        3 => GenKnobs {
+            places: (2, 4),
+            transitions: (2, 5),
+            conservative: false,
+            max_side_total: 2,
+            cap: None,
+            initial_configs: (1, 1),
+            max_tokens: 3,
+            symbolic_agents: false,
+        },
+        4 => GenKnobs {
+            places: (2, 5),
+            transitions: (2, 6),
+            conservative: true,
+            max_side_total: 3,
+            cap: None,
+            initial_configs: (1, 1),
+            max_tokens: 4,
+            symbolic_agents: true,
+        },
+        _ => GenKnobs {
+            places: (2, 3),
+            transitions: (1, 3),
+            conservative: false,
+            max_side_total: 3,
+            cap: Some((8, 20)),
+            initial_configs: (1, 2),
+            max_tokens: 6,
+            symbolic_agents: false,
+        },
+    }
+}
+
+fn range_usize(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    rng.gen_range(lo..hi + 1)
+}
+
+fn range_u64(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
+    rng.gen_range(lo..hi + 1)
+}
+
+/// Distributes `total` tokens over random places as merged terms.
+fn random_side(rng: &mut StdRng, place_names: &[String], total: u64) -> Vec<Term> {
+    let mut counts = vec![0u64; place_names.len()];
+    for _ in 0..total {
+        counts[rng.gen_range(0..place_names.len())] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(index, &count)| Term::new(count, &place_names[index]))
+        .collect()
+}
+
+/// Draws one random definition from `knobs` using `rng`.
+///
+/// The output always parses back (`parse_str(&def.print())`), always
+/// instantiates, and every transition has a non-empty side — beyond that,
+/// anything goes: dead places, duplicate transitions and unreachable
+/// tokens are all fair game for the engine.
+#[must_use]
+pub fn random_def(rng: &mut StdRng, knobs: &GenKnobs) -> NetDef {
+    let num_places = range_usize(rng, knobs.places);
+    let place_names: Vec<String> = (0..num_places).map(|i| format!("p{i}")).collect();
+    let num_transitions = range_usize(rng, knobs.transitions);
+    let mut transitions = Vec::with_capacity(num_transitions);
+    for _ in 0..num_transitions {
+        let (pre_total, post_total) = if knobs.conservative {
+            let total = rng.gen_range(1..knobs.max_side_total + 1);
+            (total, total)
+        } else {
+            // At least one token somewhere, so no transition is a no-op
+            // firable from every configuration.
+            let pre = rng.gen_range(0..knobs.max_side_total + 1);
+            let post_min = u64::from(pre == 0);
+            (pre, rng.gen_range(post_min..knobs.max_side_total + 1))
+        };
+        transitions.push(TransDef {
+            pre: random_side(rng, &place_names, pre_total),
+            post: random_side(rng, &place_names, post_total),
+        });
+    }
+    let mut params = Vec::new();
+    if knobs.symbolic_agents {
+        params.push(("agents".to_string(), Expr::Int(range_u64(rng, (1, 4)))));
+    }
+    let num_inits = range_usize(rng, knobs.initial_configs);
+    let mut inits = Vec::with_capacity(num_inits);
+    for _ in 0..num_inits {
+        let mut terms = Vec::new();
+        for place in &place_names {
+            if rng.gen_bool(0.5) {
+                let count = range_u64(rng, (1, knobs.max_tokens));
+                terms.push(Term::new(count, place));
+            }
+        }
+        if terms.is_empty() {
+            // Keep initial configurations inhabited; the empty configuration
+            // exercises nothing.
+            let place = &place_names[rng.gen_range(0..place_names.len())];
+            terms.push(Term::new(1, place));
+        }
+        if knobs.symbolic_agents {
+            let place = &place_names[rng.gen_range(0..place_names.len())];
+            terms.push(Term::symbolic(Expr::param("agents"), place));
+        }
+        inits.push(terms);
+    }
+    let cap = knobs.cap.map(|range| Expr::Int(range_u64(rng, range)));
+    NetDef {
+        name: None,
+        params,
+        places: place_names.iter().cloned().collect::<BTreeSet<_>>(),
+        inits,
+        transitions,
+        cap,
+        target: None,
+    }
+}
+
+/// Draws a small coverability target over the definition's places (one or
+/// two places, one or two tokens each).
+#[must_use]
+pub fn random_target(rng: &mut StdRng, def: &NetDef) -> Vec<Term> {
+    let place_names: Vec<&String> = def.places.iter().collect();
+    if place_names.is_empty() {
+        return Vec::new();
+    }
+    let wanted = rng.gen_range(1..3usize.min(place_names.len()) + 1);
+    let mut picked = BTreeSet::new();
+    while picked.len() < wanted {
+        picked.insert(rng.gen_range(0..place_names.len()));
+    }
+    picked
+        .into_iter()
+        .map(|index| Term::new(range_u64(rng, (1, 2)), place_names[index]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::instantiate;
+    use crate::parse::parse_str;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        for preset_index in 0..NUM_PRESETS {
+            let knobs = preset(preset_index);
+            let a = random_def(&mut StdRng::seed_from_u64(42), &knobs);
+            let b = random_def(&mut StdRng::seed_from_u64(42), &knobs);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn generated_definitions_parse_and_instantiate() {
+        for seed in 0..40u64 {
+            let knobs = preset(seed as usize);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let def = random_def(&mut rng, &knobs);
+            let printed = def.print();
+            let reparsed =
+                parse_str(&printed).unwrap_or_else(|err| panic!("seed {seed}: {err}\n{printed}"));
+            assert_eq!(reparsed, def, "seed {seed} round-trip\n{printed}");
+            let spec = instantiate(&def, &[]).unwrap();
+            assert!(!spec.initials.is_empty());
+            assert!(spec.initials.iter().all(|c| !c.is_empty()));
+            let target = random_target(&mut rng, &def);
+            assert!(!target.is_empty());
+            assert_eq!(spec.cap.is_some(), knobs.cap.is_some());
+        }
+    }
+
+    #[test]
+    fn conservative_presets_generate_conservative_nets() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let def = random_def(&mut rng, &preset(0));
+            let spec = instantiate(&def, &[]).unwrap();
+            assert!(spec.net.is_conservative(), "seed {seed}");
+        }
+    }
+}

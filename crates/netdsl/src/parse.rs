@@ -1,0 +1,718 @@
+//! A total, spanned parser for `.pnet` documents.
+//!
+//! *Total* means: for **any** input — arbitrary bytes included — the parser
+//! returns either a [`NetDef`] or a [`ParseError`] carrying a 1-based
+//! line/column span and a human-readable message. It never panics and never
+//! loops; `tests/parser_props.rs` drives it with random byte soup to keep
+//! that guarantee honest.
+//!
+//! # Grammar
+//!
+//! The format is line-oriented; `#` starts a comment that runs to the end of
+//! the line, blank lines are ignored, and every non-blank line is one stanza:
+//!
+//! ```text
+//! net   <free-form name to end of line>
+//! param <ident> = <expr>
+//! agents <expr>                      # sugar for `param agents = <expr>`
+//! place <ident> <ident> ...
+//! init  <terms>
+//! trans <terms> -> <terms>
+//! cap   <expr>
+//! target <terms>
+//! ```
+//!
+//! `<terms>` is `0` (the empty multiset) or `+`-separated terms, each a
+//! `*`-chain of atoms ending in a place name (`2*a`, `n*(n - 1)*b`, `c`).
+//! `<expr>` is ordinary integer arithmetic over literals and parameter
+//! names with `+ - * / %` (multiplicative operators bind tighter, all
+//! left-associative).
+
+use crate::ast::{Expr, NetDef, Term, TransDef};
+use std::fmt;
+
+/// The stanza keywords. All but `agents` are reserved and cannot name
+/// places or parameters (which would make `place init` ambiguous);
+/// `agents` is exempt because it *is* the conventional parameter name —
+/// `init agents*a` must parse — and stanza dispatch only ever looks at the
+/// first token of a line, so no ambiguity arises.
+const KEYWORDS: [&str; 8] = [
+    "net", "param", "agents", "place", "init", "trans", "cap", "target",
+];
+
+fn is_reserved_name(word: &str) -> bool {
+    word != "agents" && KEYWORDS.contains(&word)
+}
+
+/// A parse failure with a 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token or byte.
+    pub line: usize,
+    /// 1-based column (in characters) within the line.
+    pub col: usize,
+    /// What went wrong, phrased for a human.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    Ident(String),
+    Int(u64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    Equals,
+    Arrow,
+}
+
+impl TokenKind {
+    fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("`{name}`"),
+            TokenKind::Int(value) => format!("`{value}`"),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Percent => "`%`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Equals => "`=`".to_string(),
+            TokenKind::Arrow => "`->`".to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokenKind,
+    col: usize,
+}
+
+/// Tokenizes one comment-stripped line.
+fn tokenize(line_no: usize, line: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let col = i + 1;
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    col,
+                });
+                i += 1;
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        col,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        col,
+                    });
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    col,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    col,
+                });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    col,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    col,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    col,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    col,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                let mut value: u64 = 0;
+                while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(u64::from(d)))
+                        .ok_or_else(|| {
+                            ParseError::new(line_no, col, "integer literal overflows 64 bits")
+                        })?;
+                    i += 1;
+                }
+                if chars
+                    .get(i)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+                {
+                    return Err(ParseError::new(
+                        line_no,
+                        col,
+                        "malformed number (identifiers cannot start with a digit)",
+                    ));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    col,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while chars
+                    .get(i)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(word),
+                    col,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    col,
+                    format!("unexpected character `{}`", other.escape_default()),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// A cursor over one line's tokens.
+struct Cursor<'a> {
+    line: usize,
+    line_len: usize,
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: usize, line_len: usize, tokens: &'a [Token]) -> Cursor<'a> {
+        Cursor {
+            line,
+            line_len,
+            tokens,
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let token = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(token)
+    }
+
+    /// The column of the current token, or just past the end of the line.
+    fn col(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.line_len + 1, |t| t.col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col(), message)
+    }
+
+    fn expect_end(&self, context: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(found) => {
+                Err(self.error(format!("unexpected {} after {context}", found.describe())))
+            }
+        }
+    }
+
+    /// A non-reserved identifier (a place or parameter name).
+    fn expect_name(&mut self, what: &str) -> Result<String, ParseError> {
+        let err = self.error(format!("expected {what}"));
+        match self.next().map(|t| &t.kind) {
+            Some(TokenKind::Ident(name)) if !is_reserved_name(name) => Ok(name.clone()),
+            Some(TokenKind::Ident(name)) => Err(ParseError {
+                message: format!("`{name}` is a reserved word and cannot be used as {what}"),
+                ..err
+            }),
+            _ => Err(err),
+        }
+    }
+
+    // ---- expression parsing (used by param/agents/cap and parenthesized
+    // ---- count factors) ------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => Expr::Add,
+                Some(TokenKind::Minus) => Expr::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.parse_mul()?;
+            lhs = op(Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => Expr::Mul,
+                Some(TokenKind::Slash) => Expr::Div,
+                Some(TokenKind::Percent) => Expr::Mod,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.parse_atom()?;
+            lhs = op(Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        let err = self.error("expected a number, parameter name or `(`");
+        match self.next().map(|t| &t.kind) {
+            Some(TokenKind::Int(value)) => Ok(Expr::Int(*value)),
+            Some(TokenKind::Ident(name)) if !is_reserved_name(name) => {
+                Ok(Expr::Param(name.clone()))
+            }
+            Some(TokenKind::Ident(name)) => Err(ParseError {
+                message: format!("`{name}` is a reserved word and cannot appear in expressions"),
+                ..err
+            }),
+            Some(TokenKind::LParen) => {
+                let inner = self.parse_expr()?;
+                match self.next().map(|t| &t.kind) {
+                    Some(TokenKind::RParen) => Ok(inner),
+                    _ => Err(self.error("expected `)`")),
+                }
+            }
+            _ => Err(err),
+        }
+    }
+
+    // ---- multiset (terms) parsing --------------------------------------
+
+    /// A term: a `*`-chain of atoms whose last element must be a place name.
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        #[derive(Debug)]
+        enum Factor {
+            Name(String),
+            Value(Expr),
+        }
+        let mut factors = Vec::new();
+        loop {
+            let col = self.col();
+            let factor = match self.next().map(|t| &t.kind) {
+                Some(TokenKind::Ident(name)) if !is_reserved_name(name) => {
+                    Factor::Name(name.clone())
+                }
+                Some(TokenKind::Ident(name)) => {
+                    return Err(ParseError::new(
+                        self.line,
+                        col,
+                        format!("`{name}` is a reserved word and cannot be used in terms"),
+                    ));
+                }
+                Some(TokenKind::Int(value)) => Factor::Value(Expr::Int(*value)),
+                Some(TokenKind::LParen) => {
+                    let inner = self.parse_expr()?;
+                    match self.next().map(|t| &t.kind) {
+                        Some(TokenKind::RParen) => Factor::Value(inner),
+                        _ => return Err(self.error("expected `)`")),
+                    }
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        self.line,
+                        col,
+                        "expected a term (a place name, optionally preceded by `count*`)",
+                    ));
+                }
+            };
+            factors.push(factor);
+            match self.peek() {
+                Some(TokenKind::Star) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        let place = match factors.pop() {
+            Some(Factor::Name(name)) => name,
+            Some(Factor::Value(_)) | None => {
+                return Err(self.error("a term must end in a place name"));
+            }
+        };
+        let count = factors
+            .into_iter()
+            .map(|factor| match factor {
+                Factor::Name(name) => Expr::Param(name),
+                Factor::Value(expr) => expr,
+            })
+            .reduce(|l, r| Expr::Mul(Box::new(l), Box::new(r)))
+            .unwrap_or(Expr::Int(1));
+        Ok(Term { count, place })
+    }
+
+    /// `+`-separated terms up to `stop` (or the end of the line); the single
+    /// token `0` denotes the empty multiset.
+    fn parse_terms(&mut self, stop: Option<&TokenKind>) -> Result<Vec<Term>, ParseError> {
+        let at_stop = |cursor: &Cursor<'_>| match (cursor.peek(), stop) {
+            (None, _) => true,
+            (Some(kind), Some(stop)) => kind == stop,
+            (Some(_), None) => false,
+        };
+        if self.peek() == Some(&TokenKind::Int(0)) {
+            // Lookahead: `0` alone (before the stop token) is the empty
+            // multiset; `0*p` and friends are ordinary terms.
+            let save = self.pos;
+            self.next();
+            if at_stop(self) {
+                return Ok(Vec::new());
+            }
+            self.pos = save;
+        }
+        let mut terms = vec![self.parse_term()?];
+        while self.peek() == Some(&TokenKind::Plus) {
+            self.next();
+            terms.push(self.parse_term()?);
+        }
+        Ok(terms)
+    }
+}
+
+/// Splits off a `#` comment and any trailing `\r`.
+fn strip_comment(line: &str) -> &str {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Parses a `.pnet` document from text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a 1-based line/column span for any
+/// malformed input; the function is total and never panics.
+pub fn parse_str(src: &str) -> Result<NetDef, ParseError> {
+    let mut def = NetDef::default();
+    for (index, raw_line) in src.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw_line);
+        // The `net` stanza takes a free-form name (dots, parentheses,
+        // anything printable), so it is peeled off *before* tokenization.
+        let stripped = line.trim_start();
+        if stripped == "net" || stripped.starts_with("net ") || stripped.starts_with("net\t") {
+            let col = line.chars().count() - stripped.chars().count() + 1;
+            if def.name.is_some() {
+                return Err(ParseError::new(line_no, col, "duplicate `net` stanza"));
+            }
+            let name = stripped["net".len()..].trim();
+            if name.is_empty() {
+                return Err(ParseError::new(
+                    line_no,
+                    col,
+                    "`net` needs a name on the same line",
+                ));
+            }
+            def.name = Some(name.to_string());
+            continue;
+        }
+        let tokens = tokenize(line_no, line)?;
+        let Some(first) = tokens.first() else {
+            continue;
+        };
+        let line_len = line.chars().count();
+        let mut cursor = Cursor::new(line_no, line_len, &tokens[1..]);
+        // Columns inside the cursor are relative to the full line because
+        // tokenize recorded them there; only `col()` past-the-end uses
+        // line_len, which is also full-line based.
+        let TokenKind::Ident(keyword) = &first.kind else {
+            return Err(ParseError::new(
+                line_no,
+                first.col,
+                format!(
+                    "expected a stanza keyword (net, param, agents, place, init, trans, cap, target), found {}",
+                    first.kind.describe()
+                ),
+            ));
+        };
+        match keyword.as_str() {
+            // `net <name>` was peeled off before tokenization; reaching
+            // here means `net` ran straight into a non-space character.
+            "net" => {
+                return Err(ParseError::new(
+                    line_no,
+                    first.col,
+                    "`net` needs a name on the same line (separated by a space)",
+                ));
+            }
+            "param" => {
+                let name = cursor.expect_name("a parameter name")?;
+                match cursor.next().map(|t| &t.kind) {
+                    Some(TokenKind::Equals) => {}
+                    _ => return Err(cursor.error("expected `=` after the parameter name")),
+                }
+                let default = cursor.parse_expr()?;
+                cursor.expect_end("the parameter expression")?;
+                define_param(&mut def, line_no, first.col, name, default)?;
+            }
+            "agents" => {
+                let default = cursor.parse_expr()?;
+                cursor.expect_end("the agents expression")?;
+                define_param(&mut def, line_no, first.col, "agents".to_string(), default)?;
+            }
+            "place" => {
+                let place = cursor.expect_name("a place name")?;
+                def.places.insert(place);
+                while cursor.peek().is_some() {
+                    let place = cursor.expect_name("a place name")?;
+                    def.places.insert(place);
+                }
+            }
+            "init" => {
+                let terms = cursor.parse_terms(None)?;
+                cursor.expect_end("the initial configuration")?;
+                def.inits.push(terms);
+            }
+            "trans" => {
+                let pre = cursor.parse_terms(Some(&TokenKind::Arrow))?;
+                match cursor.next().map(|t| &t.kind) {
+                    Some(TokenKind::Arrow) => {}
+                    _ => return Err(cursor.error("expected `->` between pre and post")),
+                }
+                let post = cursor.parse_terms(None)?;
+                cursor.expect_end("the transition")?;
+                def.transitions.push(TransDef { pre, post });
+            }
+            "cap" => {
+                if def.cap.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        first.col,
+                        "duplicate `cap` stanza",
+                    ));
+                }
+                let expr = cursor.parse_expr()?;
+                cursor.expect_end("the cap expression")?;
+                def.cap = Some(expr);
+            }
+            "target" => {
+                if def.target.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        first.col,
+                        "duplicate `target` stanza",
+                    ));
+                }
+                let terms = cursor.parse_terms(None)?;
+                cursor.expect_end("the target configuration")?;
+                def.target = Some(terms);
+            }
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    first.col,
+                    format!(
+                        "unknown stanza `{other}` (expected net, param, agents, place, init, trans, cap or target)"
+                    ),
+                ));
+            }
+        }
+    }
+    def.places = def.used_places();
+    Ok(def)
+}
+
+fn define_param(
+    def: &mut NetDef,
+    line: usize,
+    col: usize,
+    name: String,
+    default: Expr,
+) -> Result<(), ParseError> {
+    if def.params.iter().any(|(existing, _)| *existing == name) {
+        return Err(ParseError::new(
+            line,
+            col,
+            format!("parameter `{name}` is defined twice"),
+        ));
+    }
+    def.params.push((name, default));
+    Ok(())
+}
+
+/// Parses a `.pnet` document from raw bytes, rejecting invalid UTF-8 with a
+/// spanned error instead of panicking.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for invalid UTF-8 or any malformed stanza.
+pub fn parse_bytes(bytes: &[u8]) -> Result<NetDef, ParseError> {
+    match std::str::from_utf8(bytes) {
+        Ok(src) => parse_str(src),
+        Err(err) => {
+            let offset = err.valid_up_to();
+            let prefix = &bytes[..offset];
+            let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+            let line_start = prefix
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |pos| pos + 1);
+            // The prefix is valid UTF-8 by construction, so the column is a
+            // real character count.
+            let col =
+                std::str::from_utf8(&prefix[line_start..]).map_or(1, |s| s.chars().count() + 1);
+            Err(ParseError::new(line, col, "invalid UTF-8"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_document() {
+        let src = "\
+# a doubling net
+net doubling
+agents 6
+place a b
+init agents*a
+trans 2*a -> a + b   # merge
+trans b -> 0
+cap 10
+";
+        let def = parse_str(src).unwrap();
+        assert_eq!(def.name.as_deref(), Some("doubling"));
+        assert_eq!(def.params.len(), 1);
+        assert_eq!(def.places.len(), 2);
+        assert_eq!(def.inits.len(), 1);
+        assert_eq!(def.transitions.len(), 2);
+        assert!(def.transitions[1].post.is_empty());
+        assert!(def.cap.is_some());
+    }
+
+    #[test]
+    fn places_are_closed_under_use() {
+        let def = parse_str("trans a -> b\n").unwrap();
+        assert!(def.places.contains("a") && def.places.contains("b"));
+    }
+
+    #[test]
+    fn zero_star_is_a_term_not_the_empty_multiset() {
+        let def = parse_str("init 0*a\n").unwrap();
+        assert_eq!(def.inits[0].len(), 1);
+        assert_eq!(def.inits[0][0].count, Expr::Int(0));
+        let empty = parse_str("init 0\n").unwrap();
+        assert!(empty.inits[0].is_empty());
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse_str("trans a -> \n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.col > 10, "column was {}", err.col);
+        let err = parse_str("place a\nbogus b\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 1));
+        assert!(err.to_string().contains("unknown stanza"));
+    }
+
+    #[test]
+    fn reserved_words_are_rejected_as_names() {
+        assert!(parse_str("place trans\n").is_err());
+        assert!(parse_str("param init = 3\n").is_err());
+        assert!(parse_str("init cap\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_stanzas_are_rejected() {
+        assert!(parse_str("net a\nnet b\n").is_err());
+        assert!(parse_str("cap 1\ncap 2\n").is_err());
+        assert!(parse_str("agents 1\nagents 2\n").is_err());
+        assert!(parse_str("target a\ntarget a\n").is_err());
+    }
+
+    #[test]
+    fn bytes_entry_point_rejects_invalid_utf8_with_a_span() {
+        let err = parse_bytes(b"place a\n\xff\xfe").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 1));
+        assert!(err.to_string().contains("invalid UTF-8"));
+    }
+
+    #[test]
+    fn overflowing_literals_are_errors_not_panics() {
+        assert!(parse_str("cap 99999999999999999999999\n").is_err());
+        assert!(parse_str("init 2x*a\n").is_err());
+    }
+}

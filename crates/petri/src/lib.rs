@@ -62,6 +62,7 @@ pub mod cycles;
 pub mod engine;
 pub mod euler;
 pub mod explore;
+pub mod fingerprint;
 pub mod gates;
 pub mod karp_miller;
 pub mod packed;

@@ -1,183 +1,21 @@
-//! Representation-independent result fingerprints.
+//! Representation-independent result fingerprints (re-exported).
 //!
 //! The server's determinism contract — every response bit-identical to a
 //! solo [`Batch`](pp_petri::Batch) run at the reported `final_limits` —
 //! must be checkable *over the wire*, where the full graph does not
 //! travel. Each response therefore carries a 64-bit FNV-1a fingerprint of
-//! the result's observable structure, computed here; a client (or the CI
-//! smoke test, or `bench_server_throughput --check`) recomputes the same
-//! fingerprint on a direct local run and compares.
+//! the result's observable structure; a client (or the CI smoke test, or
+//! `bench_server_throughput --check`) recomputes the same fingerprint on
+//! a direct local run and compares.
 //!
-//! Fingerprints hash *observable* structure only — node numbering, dense
-//! rows, edges, depths, completions, basis/marking contents in a
-//! caller-supplied canonical place order — never memory layout, so they
-//! are stable across the packed/unpacked representations and every worker
-//! count, exactly like
-//! [`ReachabilityGraph::identical_to`](pp_petri::ReachabilityGraph::identical_to).
+//! The hashing itself lives in [`pp_petri::fingerprint`] so the net-DSL
+//! differential fuzzer (`pp_netdsl::fuzz`) and the server share one
+//! definition; this module re-exports it unchanged for existing callers.
 
-use pp_petri::batch::BatchOutcome;
-use pp_petri::cover::{CoverabilityOracle, CoveringWordOutcome};
-use pp_petri::karp_miller::{KarpMillerTree, OmegaValue};
-use pp_petri::ReachabilityGraph;
-
-/// Incremental 64-bit FNV-1a hasher (dependency-free, stable forever).
-#[derive(Debug, Clone)]
-pub struct Fnv(u64);
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Fnv {
-    /// The FNV-1a offset basis.
-    #[must_use]
-    pub fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Feeds raw bytes.
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    /// Feeds one `u64` in little-endian byte order.
-    pub fn write_u64(&mut self, value: u64) {
-        self.write_bytes(&value.to_le_bytes());
-    }
-
-    /// Feeds one `usize` widened to `u64`.
-    pub fn write_usize(&mut self, value: usize) {
-        self.write_u64(value as u64);
-    }
-
-    /// Feeds a string length-prefixed (no concatenation ambiguity).
-    pub fn write_str(&mut self, s: &str) {
-        self.write_usize(s.len());
-        self.write_bytes(s.as_bytes());
-    }
-
-    /// The current hash value.
-    #[must_use]
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// Fingerprint of a reachability graph: length, completion, initial ids,
-/// and per node the dense row, depth and successor edge list — the same
-/// data [`ReachabilityGraph::identical_to`] compares.
-#[must_use]
-pub fn reachability_fingerprint<P: Clone + Ord>(graph: &ReachabilityGraph<P>) -> u64 {
-    let mut h = Fnv::new();
-    h.write_str("reach");
-    h.write_usize(graph.len());
-    h.write_str(&graph.completion().to_string());
-    h.write_usize(graph.initial_ids().len());
-    for &id in graph.initial_ids() {
-        h.write_usize(id);
-    }
-    for id in 0..graph.len() {
-        let row = graph.dense_node(id);
-        h.write_usize(row.len());
-        for count in row {
-            h.write_u64(count);
-        }
-        h.write_usize(graph.depth_of(id));
-        let successors = graph.successors(id);
-        h.write_usize(successors.len());
-        for &(transition, target) in successors {
-            h.write_usize(transition);
-            h.write_usize(target);
-        }
-    }
-    h.finish()
-}
-
-/// Fingerprint of a coverability oracle: the minimal basis, each element
-/// read off in the supplied canonical `places` order.
-#[must_use]
-pub fn coverability_fingerprint<P: Clone + Ord>(
-    oracle: &CoverabilityOracle<P>,
-    places: &[P],
-) -> u64 {
-    let mut h = Fnv::new();
-    h.write_str("cover");
-    h.write_usize(oracle.basis().len());
-    for element in oracle.basis() {
-        for place in places {
-            h.write_u64(element.get(place));
-        }
-    }
-    h.finish()
-}
-
-/// Fingerprint of a Karp–Miller tree: completion plus every marking in
-/// the supplied canonical `places` order (ω encoded distinctly from every
-/// finite count).
-#[must_use]
-pub fn karp_miller_fingerprint<P: Clone + Ord>(tree: &KarpMillerTree<P>, places: &[P]) -> u64 {
-    let mut h = Fnv::new();
-    h.write_str("km");
-    h.write_str(&tree.completion().to_string());
-    h.write_usize(tree.markings().len());
-    for marking in tree.markings() {
-        for place in places {
-            match marking.get(place) {
-                OmegaValue::Finite(count) => {
-                    h.write_u64(0);
-                    h.write_u64(count);
-                }
-                OmegaValue::Omega => h.write_u64(1),
-            }
-        }
-    }
-    h.finish()
-}
-
-/// Fingerprint of a covering-word outcome: the verdict and, when covered,
-/// the transition word itself.
-#[must_use]
-pub fn covering_word_fingerprint(outcome: &CoveringWordOutcome) -> u64 {
-    let mut h = Fnv::new();
-    h.write_str("word");
-    match outcome {
-        CoveringWordOutcome::Covered(word) => {
-            h.write_str("covered");
-            h.write_usize(word.len());
-            for &transition in word {
-                h.write_usize(transition);
-            }
-        }
-        CoveringWordOutcome::NotCoverable => h.write_str("not-coverable"),
-        CoveringWordOutcome::Truncated => h.write_str("truncated"),
-    }
-    h.finish()
-}
-
-/// Fingerprint of any batch outcome, dispatching on its shape. `places`
-/// is the canonical place order used for basis/marking shapes (callers
-/// pass the sorted place universe of the job's net).
-#[must_use]
-pub fn outcome_fingerprint<P: Clone + Ord>(outcome: &BatchOutcome<P>, places: &[P]) -> u64 {
-    match outcome {
-        BatchOutcome::Reachability(graph) => reachability_fingerprint(graph),
-        BatchOutcome::Coverability(oracle) => coverability_fingerprint(oracle, places),
-        BatchOutcome::KarpMiller(tree) => karp_miller_fingerprint(tree, places),
-        BatchOutcome::CoveringWord(word) => covering_word_fingerprint(word),
-    }
-}
-
-/// Renders a fingerprint (or session key hash) as fixed-width lowercase
-/// hex, the wire encoding used in frames.
-#[must_use]
-pub fn hex(value: u64) -> String {
-    format!("{value:016x}")
-}
+pub use pp_petri::fingerprint::{
+    coverability_fingerprint, covering_word_fingerprint, hex, karp_miller_fingerprint,
+    outcome_fingerprint, reachability_fingerprint, Fnv,
+};
 
 #[cfg(test)]
 mod tests {

@@ -11,6 +11,8 @@
 //!  "query":"reachability","budget":5000,"id":"job-1"}
 //! {"cmd":"submit","net":{"transitions":[{"pre":{"a":2},"post":{"a":1,"b":1}}]},
 //!  "initials":[{"a":4}],"query":"coverability","target":{"b":2}}
+//! {"cmd":"submit","net_dsl":"place a b\ninit 4*a\ntrans 2*a -> a + b\n",
+//!  "params":{"agents":8},"query":"reachability"}
 //! {"cmd":"resume","session":"c:74a1…","budget":20000}
 //! {"cmd":"shutdown"}
 //! ```
@@ -41,7 +43,8 @@ pub const MAX_INLINE_TRANSITIONS: usize = 4096;
 /// human `message`. Codes are part of the wire contract:
 /// `parse-error`, `bad-request`, `unknown-command`, `unknown-protocol`,
 /// `unknown-place`, `unknown-session`, `frame-too-large`, `server-busy`,
-/// `shutting-down`.
+/// `shutting-down`, `net-dsl-error` (a `.pnet` payload failed to parse or
+/// instantiate; the message carries the `line L, column C` span).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
     /// The stable error code.
@@ -258,7 +261,10 @@ fn parse_config(value: &Json, what: &str) -> Result<WireConfig, WireError> {
     Ok(config)
 }
 
-fn parse_query(frame: &Json) -> Result<QuerySpec, WireError> {
+/// Parses the query shape. `fallback_target` (a `.pnet` `target` stanza)
+/// stands in when a coverability-flavored query gives no explicit
+/// `target` — so a shrunk fuzzer repro submits as-is.
+fn parse_query(frame: &Json, fallback_target: Option<WireConfig>) -> Result<QuerySpec, WireError> {
     let name = match frame.get("query") {
         None => "reachability",
         Some(Json::Str(s)) => s.as_str(),
@@ -268,10 +274,12 @@ fn parse_query(frame: &Json) -> Result<QuerySpec, WireError> {
         "reachability" => Ok(QuerySpec::Reachability),
         "karp-miller" => Ok(QuerySpec::KarpMiller),
         "coverability" | "covering-word" => {
-            let target = frame
-                .get("target")
-                .ok_or_else(|| WireError::bad(format!("query {name:?} requires a `target`")))?;
-            let target = parse_config(target, "`target`")?;
+            let target = match frame.get("target") {
+                Some(value) => parse_config(value, "`target`")?,
+                None => fallback_target.ok_or_else(|| {
+                    WireError::bad(format!("query {name:?} requires a `target`"))
+                })?,
+            };
             if name == "coverability" {
                 Ok(QuerySpec::Coverability { target })
             } else {
@@ -286,17 +294,16 @@ fn parse_query(frame: &Json) -> Result<QuerySpec, WireError> {
 
 fn parse_submit(frame: &Json) -> Result<Submission, WireError> {
     let id = opt_string(frame, "id")?;
-    let query = parse_query(frame)?;
     let budget = opt_usize(frame, "budget")?;
-    let max_agents = opt_u64(frame, "max_agents")?;
+    let mut max_agents = opt_u64(frame, "max_agents")?;
     let max_depth = opt_usize(frame, "max_depth")?;
-    let source = match (frame.get("protocol"), frame.get("net")) {
-        (Some(_), Some(_)) => {
-            return Err(WireError::bad(
-                "give either a catalog `protocol` or an inline `net`, not both",
-            ))
-        }
-        (Some(protocol), None) => {
+    let mut dsl_target: Option<WireConfig> = None;
+    let source = match (
+        frame.get("protocol"),
+        frame.get("net"),
+        frame.get("net_dsl"),
+    ) {
+        (Some(protocol), None, None) => {
             let family = protocol
                 .as_str()
                 .ok_or_else(|| WireError::bad("`protocol` must be a string"))?
@@ -315,13 +322,27 @@ fn parse_submit(frame: &Json) -> Result<Submission, WireError> {
             }
             Source::Catalog { family, n, agents }
         }
-        (None, Some(net)) => parse_inline(frame, net)?,
-        (None, None) => {
+        (None, Some(net), None) => parse_inline(frame, net)?,
+        (None, None, Some(text)) => {
+            let (source, cap, target) = parse_net_dsl(frame, text)?;
+            if max_agents.is_none() {
+                max_agents = cap;
+            }
+            dsl_target = target;
+            source
+        }
+        (None, None, None) => {
             return Err(WireError::bad(
-                "submit requires a catalog `protocol` or an inline `net`",
+                "submit requires a catalog `protocol`, an inline `net` or a `net_dsl` text",
+            ))
+        }
+        _ => {
+            return Err(WireError::bad(
+                "give exactly one of `protocol`, `net` and `net_dsl`",
             ))
         }
     };
+    let query = parse_query(frame, dsl_target)?;
     Ok(Submission {
         id,
         source,
@@ -330,6 +351,74 @@ fn parse_submit(frame: &Json) -> Result<Submission, WireError> {
         max_agents,
         max_depth,
     })
+}
+
+/// Converts a sorted multiset into the wire's name-ordered sparse form.
+fn multiset_to_config(config: &pp_multiset::Multiset<String>) -> WireConfig {
+    config
+        .iter()
+        .map(|(place, count)| (place.clone(), count))
+        .collect()
+}
+
+/// Parses and instantiates a `.pnet` payload, canonicalizing it into
+/// [`Source::Inline`]. Because the canonical form is exactly what an
+/// equivalent inline-literal frame carries, the server's session-cache
+/// keying deduplicates the two spellings onto one session for free.
+/// Returns the source plus the definition's `cap` (folded into
+/// `max_agents` unless the frame sets one) and `target` stanza (the
+/// default coverability target).
+#[allow(clippy::type_complexity)]
+fn parse_net_dsl(
+    frame: &Json,
+    text: &Json,
+) -> Result<(Source, Option<u64>, Option<WireConfig>), WireError> {
+    let text = text
+        .as_str()
+        .ok_or_else(|| WireError::bad("`net_dsl` must be a string"))?;
+    let mut overrides: Vec<(String, u64)> = Vec::new();
+    match frame.get("params") {
+        None | Some(Json::Null) => {}
+        Some(value) => {
+            let map = value
+                .as_object()
+                .ok_or_else(|| WireError::bad("`params` must be an object of name → count"))?;
+            for (name, count) in map {
+                let count = count.as_u64().ok_or_else(|| {
+                    WireError::bad(format!("`params`[{name:?}] must be a non-negative integer"))
+                })?;
+                overrides.push((name.clone(), count));
+            }
+        }
+    }
+    let def = pp_netdsl::parse_str(text)
+        .map_err(|err| WireError::new("net-dsl-error", err.to_string()))?;
+    let overrides: Vec<(&str, u64)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let spec = pp_netdsl::instantiate(&def, &overrides)
+        .map_err(|err| WireError::new("net-dsl-error", err.to_string()))?;
+    if spec.net.num_transitions() > MAX_INLINE_TRANSITIONS {
+        return Err(WireError::bad(format!(
+            "inline nets are capped at {MAX_INLINE_TRANSITIONS} transitions"
+        )));
+    }
+    let transitions = spec
+        .net
+        .transitions()
+        .iter()
+        .map(|t| WireTransition {
+            pre: multiset_to_config(t.pre()),
+            post: multiset_to_config(t.post()),
+        })
+        .collect();
+    let initials = spec.initials.iter().map(multiset_to_config).collect();
+    Ok((
+        Source::Inline {
+            transitions,
+            initials,
+        },
+        spec.cap,
+        spec.target.as_ref().map(multiset_to_config),
+    ))
 }
 
 fn parse_inline(frame: &Json, net: &Json) -> Result<Source, WireError> {
@@ -493,6 +582,95 @@ mod tests {
             QuerySpec::Coverability {
                 target: vec![("b".to_string(), 2)]
             }
+        );
+    }
+
+    #[test]
+    fn net_dsl_submissions_canonicalize_to_inline() {
+        // The same net, spelled as a `.pnet` text and as an inline
+        // literal, must parse to the SAME source — that equality is what
+        // makes the server's cache key dedup the two spellings.
+        let dsl = req(
+            r#"{"cmd":"submit","net_dsl":"place a b\ninit 4*a\ntrans 2*a -> a + b\n",
+                "query":"reachability"}"#,
+        )
+        .unwrap();
+        let inline = req(
+            r#"{"cmd":"submit","net":{"transitions":[{"pre":{"a":2},"post":{"a":1,"b":1}}]},
+                "initials":[{"a":4}],"query":"reachability"}"#,
+        )
+        .unwrap();
+        let (Request::Submit(dsl), Request::Submit(inline)) = (dsl, inline) else {
+            panic!("expected submits");
+        };
+        assert_eq!(dsl.source, inline.source);
+    }
+
+    #[test]
+    fn net_dsl_params_cap_and_target_stanzas_apply() {
+        let Request::Submit(sub) = req(r#"{"cmd":"submit",
+                "net_dsl":"agents 2\nplace a b\ninit agents*a\ntrans a -> b\ncap 9\ntarget 2*b\n",
+                "params":{"agents":6},"query":"coverability"}"#)
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        let Source::Inline { initials, .. } = &sub.source else {
+            panic!("expected inline");
+        };
+        assert_eq!(
+            initials,
+            &vec![vec![("a".to_string(), 6)]],
+            "params override"
+        );
+        assert_eq!(sub.max_agents, Some(9), "cap stanza folds into max_agents");
+        assert_eq!(
+            sub.query,
+            QuerySpec::Coverability {
+                target: vec![("b".to_string(), 2)]
+            },
+            "target stanza is the default coverability target"
+        );
+        // An explicit frame `max_agents` wins over the cap stanza.
+        let Request::Submit(sub) = req(
+            r#"{"cmd":"submit","net_dsl":"place a\ninit a\ntrans a -> 2*a\ncap 9\n",
+                "max_agents":5}"#,
+        )
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(sub.max_agents, Some(5));
+    }
+
+    #[test]
+    fn net_dsl_errors_carry_spans_and_a_stable_code() {
+        let err = req(r#"{"cmd":"submit","net_dsl":"place a\ninit 2*\n"}"#).unwrap_err();
+        assert_eq!(err.code, "net-dsl-error");
+        assert!(
+            err.message.starts_with("line 2, column 8"),
+            "span missing: {}",
+            err.message
+        );
+        // Instantiation failures use the same code.
+        let err = req(r#"{"cmd":"submit","net_dsl":"param n = 1\nplace a\ninit (n - 2)*a\n"}"#)
+            .unwrap_err();
+        assert_eq!(err.code, "net-dsl-error");
+        // Frame-shape failures stay `bad-request`.
+        assert_eq!(
+            req(r#"{"cmd":"submit","net_dsl":7}"#).unwrap_err().code,
+            "bad-request"
+        );
+        assert_eq!(
+            req(r#"{"cmd":"submit","net_dsl":"place a\ninit a\ntrans a -> a + a\n","params":[]}"#)
+                .unwrap_err()
+                .code,
+            "bad-request"
+        );
+        assert_eq!(
+            req(r#"{"cmd":"submit","protocol":"majority","net_dsl":"place a\ninit a\n"}"#)
+                .unwrap_err()
+                .code,
+            "bad-request",
+            "sources are mutually exclusive"
         );
     }
 

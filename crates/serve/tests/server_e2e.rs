@@ -486,6 +486,103 @@ fn inline_nets_run_and_match_a_direct_run_on_the_same_literal() {
 }
 
 #[test]
+fn net_dsl_payloads_run_error_with_spans_and_dedup_onto_inline_sessions() {
+    let handle = spawn(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    // 1. A valid `.pnet` payload runs; its answer is bit-identical to a
+    //    direct batch run of the same net at the reported watermark.
+    let dsl = "net doubling\nplace a b\ninit 6*a\ntrans 2*a -> a + b\ntrans a + b -> 2*b\n";
+    let frame = obj(&[("cmd", Json::str("submit")), ("net_dsl", Json::str(dsl))]);
+    let answer = client.submit(&frame).expect("submit");
+    assert_ok(&answer.result);
+    assert_eq!(str_field(&answer.result, "completion"), "complete");
+    let mut direct_net: pp_petri::PetriNet<String> = pp_petri::PetriNet::new();
+    direct_net.add_transition(pp_petri::Transition::new(
+        pp_multiset::Multiset::from_pairs([("a".to_string(), 2u64)]),
+        pp_multiset::Multiset::from_pairs([("a".to_string(), 1u64), ("b".to_string(), 1)]),
+    ));
+    direct_net.add_transition(pp_petri::Transition::new(
+        pp_multiset::Multiset::from_pairs([("a".to_string(), 1u64), ("b".to_string(), 1)]),
+        pp_multiset::Multiset::from_pairs([("b".to_string(), 2u64)]),
+    ));
+    let initial = pp_multiset::Multiset::from_pairs([("a".to_string(), 6u64)]);
+    let report = Batch::new()
+        .job(
+            BatchJob::reachability("d", direct_net.clone(), [initial])
+                .limits(final_limits_of(&answer.result)),
+        )
+        .run();
+    let places: Vec<String> = direct_net.places().iter().cloned().collect();
+    assert_eq!(
+        str_field(&answer.result, "fingerprint"),
+        hex(outcome_fingerprint(&report.jobs[0].outcome, &places))
+    );
+
+    // 2. A malformed payload gets the stable code and a line:col span,
+    //    and the connection survives to serve the next frame.
+    let bad = obj(&[
+        ("cmd", Json::str("submit")),
+        ("net_dsl", Json::str("place a\ninit 2*\n")),
+        ("id", Json::str("bad-net")),
+    ]);
+    let answer = client.submit(&bad).expect("submit");
+    assert_error(&answer.result, "net-dsl-error");
+    assert!(
+        str_field(&answer.result, "message").starts_with("line 2, column 8"),
+        "span missing: {}",
+        answer.result
+    );
+    assert_eq!(str_field(&answer.result, "id"), "bad-net");
+
+    // 3. The equivalent inline literal — submitted from a different
+    //    connection — lands on the SAME cached session: the DSL payload
+    //    canonicalizes to the inline source before keying.
+    let inline = obj(&[
+        ("cmd", Json::str("submit")),
+        (
+            "net",
+            obj(&[(
+                "transitions",
+                Json::Array(vec![
+                    obj(&[
+                        ("pre", obj(&[("a", Json::uint(2))])),
+                        ("post", obj(&[("a", Json::uint(1)), ("b", Json::uint(1))])),
+                    ]),
+                    obj(&[
+                        ("pre", obj(&[("a", Json::uint(1)), ("b", Json::uint(1))])),
+                        ("post", obj(&[("b", Json::uint(2))])),
+                    ]),
+                ]),
+            )]),
+        ),
+        ("initials", Json::Array(vec![obj(&[("a", Json::uint(6))])])),
+    ]);
+    let mut other = connect(&handle);
+    let second = other.submit(&inline).expect("submit");
+    assert_ok(&second.result);
+    assert_eq!(
+        field(&second.result, "cache"),
+        &obj(&[("seeded", Json::Bool(true))]),
+        "inline literal must hit the session the DSL payload seeded"
+    );
+    assert_eq!(
+        str_field(&answer.result, "id"),
+        "bad-net",
+        "error frames echo ids"
+    );
+    assert_eq!(
+        str_field(&second.result, "fingerprint"),
+        str_field(
+            &client.submit(&frame).expect("submit").result,
+            "fingerprint"
+        ),
+        "both spellings report one answer"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn over_cap_connections_are_refused_with_server_busy() {
     let handle = spawn(ServerConfig {
         max_connections: 1,

@@ -1,0 +1,107 @@
+//! End-to-end equivalence of the `.pnet` catalog definitions and the
+//! hand-built Rust constructors: for every catalog family, at two agent
+//! counts each, the DSL-instantiated net must drive the engine to the
+//! **same place** as the `pp_protocols` net — `identical_to` reachability
+//! graphs (same configurations, same edges, same completion) and equal
+//! backward-coverability bases. The unit tests inside `pp_netdsl` already
+//! assert the nets are equal as data; this test closes the loop through
+//! the analysis pipeline itself, which is what the differential fuzzer's
+//! trust rests on.
+
+use pp_multiset::Multiset;
+use pp_netdsl::families::catalog_defs;
+use pp_netdsl::instantiate;
+use pp_petri::{Analysis, ExplorationLimits};
+use pp_protocols::batch::spread_input;
+use pp_protocols::catalog;
+
+const AGENT_COUNTS: [u64; 2] = [4, 7];
+const BUDGET: usize = 20_000;
+
+fn limits(cap: Option<u64>) -> ExplorationLimits {
+    ExplorationLimits {
+        max_configurations: BUDGET,
+        max_agents: cap,
+        max_depth: None,
+    }
+}
+
+#[test]
+fn catalog_families_reach_identical_graphs_and_bases() {
+    for n in [2u64, 3] {
+        let entries = catalog::all(n);
+        let defs = catalog_defs(n);
+        assert_eq!(
+            entries.len(),
+            defs.len(),
+            "catalog mirrors diverge at n={n}"
+        );
+        for (entry, (family, def)) in entries.iter().zip(&defs) {
+            assert_eq!(entry.family, *family, "family order diverges at n={n}");
+            let rust_net = entry
+                .protocol
+                .net()
+                .map_places(|id| entry.protocol.state_name(*id).to_string());
+            for agents in AGENT_COUNTS {
+                let spec = instantiate(def, &[("agents", agents)])
+                    .unwrap_or_else(|err| panic!("{family} (n={n}): {err}"));
+                assert_eq!(spec.net, rust_net, "{family} (n={n}) nets differ");
+
+                let rust_initial: Multiset<String> = Multiset::from_pairs(
+                    spread_input(&entry.protocol, agents)
+                        .iter()
+                        .map(|(id, count)| (entry.protocol.state_name(*id).to_string(), count)),
+                );
+                assert_eq!(
+                    spec.initials,
+                    vec![rust_initial.clone()],
+                    "{family} (n={n}, agents={agents}) initial configurations differ"
+                );
+
+                // Reachability: the graphs must match structurally, not
+                // just in summary statistics.
+                let mut dsl_analysis = Analysis::new(&spec.net);
+                let mut rust_analysis = Analysis::new(&rust_net);
+                let dsl_graph = dsl_analysis
+                    .reachability(spec.initials.clone())
+                    .limits(limits(spec.cap))
+                    .run();
+                let rust_graph = rust_analysis
+                    .reachability([rust_initial])
+                    .limits(limits(spec.cap))
+                    .run();
+                assert!(
+                    dsl_graph.identical_to(&rust_graph),
+                    "{family} (n={n}, agents={agents}) reachability graphs differ"
+                );
+                assert!(
+                    dsl_graph.is_complete(),
+                    "{family} (n={n}, agents={agents}) truncated — raise BUDGET"
+                );
+
+                // Coverability: backward bases from the same target must be
+                // equal multiset-for-multiset. Target two tokens in the
+                // last place — inhabited for every family and non-trivial
+                // for most.
+                let target_place = spec.net.places().iter().next_back().unwrap().clone();
+                let target = Multiset::from_pairs([(target_place, 2u64)]);
+                let dsl_oracle = dsl_analysis.coverability(target.clone()).run();
+                let rust_oracle = rust_analysis.coverability(target).run();
+                assert_eq!(
+                    dsl_oracle.basis(),
+                    rust_oracle.basis(),
+                    "{family} (n={n}, agents={agents}) coverability bases differ"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flock_doubling_appears_exactly_at_powers_of_two() {
+    for n in 1u64..=9 {
+        let has_doubling = catalog_defs(n).iter().any(|(f, _)| *f == "flock-doubling");
+        assert_eq!(has_doubling, n.is_power_of_two(), "n={n}");
+        assert_eq!(catalog_defs(n).len(), catalog::all(n).len(), "n={n}");
+    }
+}
